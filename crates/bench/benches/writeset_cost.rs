@@ -1,0 +1,62 @@
+//! **T-2** (§6.3 text claim) — *"Applying writesets takes only around 20 %
+//! of the time it takes to execute the entire transaction."*
+//!
+//! Measures, on one database replica with the Fig. 7 cost model:
+//! 1. executing the full update transaction through the SQL path
+//!    (parse → plan → read → write), and
+//! 2. applying its extracted writeset.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sirep_bench as bench;
+use sirep_common::OnlineStats;
+use sirep_storage::Database;
+use sirep_workloads::{UpdateIntensive, Workload};
+use std::time::Instant;
+
+fn main() {
+    let scale = bench::scale();
+    let workload = UpdateIntensive::default();
+    let db = Database::new(bench::updint_cost(scale));
+    for ddl in workload.ddl() {
+        let t = db.begin().unwrap();
+        sirep_sql::execute_sql(&db, &t, &ddl).unwrap();
+        t.commit().unwrap();
+    }
+    workload.populate(&db).unwrap();
+
+    let iterations = if bench::quick() { 50 } else { 400 };
+    let mut rng = SmallRng::seed_from_u64(0x715);
+    let mut exec_ms = OnlineStats::new();
+    let mut apply_ms = OnlineStats::new();
+
+    for i in 0..iterations {
+        let tmpl = workload.next(&mut rng, i);
+        // Full execution through the SQL path.
+        let t0 = Instant::now();
+        let txn = db.begin().unwrap();
+        for sql in &tmpl.statements {
+            sirep_sql::execute_sql(&db, &txn, sql).unwrap();
+        }
+        let ws = txn.writeset();
+        txn.commit().unwrap();
+        exec_ms.record(scale.model_ms(t0.elapsed()));
+
+        // Applying the extracted writeset (what a remote replica does).
+        let t1 = Instant::now();
+        let remote = db.begin().unwrap();
+        remote.apply_writeset(&ws).unwrap();
+        remote.commit().unwrap();
+        apply_ms.record(scale.model_ms(t1.elapsed()));
+    }
+
+    let ratio = apply_ms.mean() / exec_ms.mean();
+    println!("\n== T-2: writeset application vs full execution (update-intensive txn) ==");
+    println!("full execution : {:>8.2} model ms (n={})", exec_ms.mean(), exec_ms.count());
+    println!("writeset apply : {:>8.2} model ms (n={})", apply_ms.mean(), apply_ms.count());
+    println!("ratio          : {:>8.1} %   (paper: \"around 20%\")", 100.0 * ratio);
+    assert!(
+        (0.10..0.45).contains(&ratio),
+        "ratio {ratio} far outside the paper's regime — cost model drifted"
+    );
+}

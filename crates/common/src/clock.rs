@@ -1,0 +1,143 @@
+//! Model-time scaling.
+//!
+//! The paper's experiments ran against PostgreSQL on 2005-era disks: typical
+//! transaction service times of 5–300 ms and offered loads of 5–200
+//! transactions per second. Re-running those sweeps in real time would take
+//! hours. Instead, every injected service time in this workspace (storage
+//! cost model, network links, client think times) flows through a
+//! [`TimeScale`], which maps *model milliseconds* to wall-clock time with a
+//! configurable compression factor.
+//!
+//! Queueing behaviour — utilization, saturation points, relative response
+//! times — is invariant under uniform time scaling as long as every duration
+//! in the system is scaled by the same factor, which is what routing them all
+//! through one `TimeScale` guarantees.
+
+use std::time::{Duration, Instant};
+
+/// Maps model time (the paper's milliseconds) to wall time.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeScale {
+    /// Wall nanoseconds per model millisecond.
+    wall_ns_per_model_ms: u64,
+}
+
+impl TimeScale {
+    /// Real time: 1 model ms = 1 wall ms.
+    pub const REAL_TIME: TimeScale = TimeScale { wall_ns_per_model_ms: 1_000_000 };
+
+    /// The default used by the figure harnesses: 20x compression
+    /// (1 model ms = 50 µs wall).
+    pub const BENCH_DEFAULT: TimeScale = TimeScale { wall_ns_per_model_ms: 50_000 };
+
+    /// A very aggressive compression for unit tests (1 model ms = 2 µs).
+    pub const TEST_FAST: TimeScale = TimeScale { wall_ns_per_model_ms: 2_000 };
+
+    /// Custom compression factor: `factor` model milliseconds elapse per
+    /// wall millisecond. `TimeScale::compressed(20.0)` is 20x faster than
+    /// real time.
+    pub fn compressed(factor: f64) -> TimeScale {
+        assert!(factor > 0.0, "compression factor must be positive");
+        TimeScale { wall_ns_per_model_ms: (1_000_000.0 / factor).max(1.0) as u64 }
+    }
+
+    /// Convert a model duration in (fractional) milliseconds to wall time.
+    pub fn wall(&self, model_ms: f64) -> Duration {
+        debug_assert!(model_ms >= 0.0);
+        Duration::from_nanos((model_ms * self.wall_ns_per_model_ms as f64) as u64)
+    }
+
+    /// Convert an elapsed wall duration back to model milliseconds (used
+    /// when reporting measured response times in the paper's units).
+    pub fn model_ms(&self, wall: Duration) -> f64 {
+        wall.as_nanos() as f64 / self.wall_ns_per_model_ms as f64
+    }
+
+    /// Sleep for `model_ms` model milliseconds of simulated work.
+    pub fn sleep(&self, model_ms: f64) {
+        precise_sleep(self.wall(model_ms));
+    }
+}
+
+impl Default for TimeScale {
+    fn default() -> Self {
+        TimeScale::BENCH_DEFAULT
+    }
+}
+
+/// Sleep with good *mean* accuracy and without burning CPU.
+///
+/// `thread::sleep` on Linux overshoots by ~60–110 µs. Spinning away the
+/// error would be precise but monopolizes CPUs when hundreds of simulated
+/// clients sleep concurrently (benchmarks routinely run on small machines —
+/// CI boxes with one core). Instead we *compensate*: sleep for the target
+/// minus the typical overshoot. Individual sleeps jitter by tens of
+/// microseconds, but the mean service time — which is what determines
+/// utilization and queueing, and therefore the shape of every figure —
+/// matches the request. Only very short waits (≤25 µs) spin.
+pub fn precise_sleep(d: Duration) {
+    /// Typical `thread::sleep` overshoot on Linux (measured 60–110 µs).
+    const OVERSHOOT: Duration = Duration::from_micros(80);
+    const SPIN_MAX: Duration = Duration::from_micros(25);
+    if d.is_zero() {
+        return;
+    }
+    if d <= SPIN_MAX {
+        let start = Instant::now();
+        while start.elapsed() < d {
+            std::hint::spin_loop();
+        }
+        return;
+    }
+    match d.checked_sub(OVERSHOOT) {
+        Some(target) if !target.is_zero() => std::thread::sleep(target),
+        // 25 µs < d ≤ 80 µs: a zero-length sleep undershoots and a real one
+        // overshoots; yield once, splitting the difference cheaply.
+        _ => std::thread::yield_now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_roundtrip() {
+        let ts = TimeScale::compressed(20.0);
+        let wall = ts.wall(100.0); // 100 model ms at 20x = 5 wall ms
+        assert_eq!(wall, Duration::from_millis(5));
+        let back = ts.model_ms(wall);
+        assert!((back - 100.0).abs() < 1e-6, "got {back}");
+    }
+
+    #[test]
+    fn real_time_is_identity() {
+        let ts = TimeScale::REAL_TIME;
+        assert_eq!(ts.wall(3.0), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn precise_sleep_mean_is_accurate() {
+        // Individual sleeps jitter; the mean must land near the target.
+        let d = Duration::from_micros(400);
+        let start = Instant::now();
+        const N: u32 = 50;
+        for _ in 0..N {
+            precise_sleep(d);
+        }
+        let mean = start.elapsed() / N;
+        assert!(mean >= d / 2, "mean sleep far too short: {mean:?}");
+        assert!(mean < d * 3, "mean sleep far too long: {mean:?}");
+    }
+
+    #[test]
+    fn zero_sleep_returns_immediately() {
+        precise_sleep(Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        let _ = TimeScale::compressed(0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The failure taxonomy shared by the storage engine, the replication
+//! middleware and the client driver.
+//!
+//! The paper distinguishes several abort causes that have different protocol
+//! consequences:
+//!
+//! - a **version-check failure** inside the database (first-updater-wins,
+//!   §4: "If the last committed version of x was created by a concurrent
+//!   transaction, Ti aborts immediately") — surfaced to the client as a
+//!   serialization failure, just like PostgreSQL's error 40001;
+//! - a **database deadlock** between a local transaction and an applying
+//!   writeset (§4.2) — remote writesets are *retried* by the middleware,
+//!   local transactions are aborted;
+//! - a **validation failure** at the middleware (local or global
+//!   certification, Fig. 4 steps I.2.d and II.2);
+//! - a **crash** of the middleware/database pair a client was connected to
+//!   (§5.4), which the driver either masks (failover) or surfaces as a
+//!   "transaction lost, safe to retry" exception.
+
+use std::fmt;
+
+/// Why a transaction was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The database-internal version check failed: a concurrent transaction
+    /// committed a newer version of a tuple this transaction wrote.
+    SerializationFailure,
+    /// The database lock manager found a wait-for cycle and chose this
+    /// transaction as the victim.
+    Deadlock,
+    /// Middleware certification failed: the writeset intersects the writeset
+    /// of a concurrent transaction that validated first.
+    ValidationFailure,
+    /// The client asked for a rollback.
+    UserRequested,
+    /// The replica executing the transaction crashed before the commit
+    /// request was processed; the transaction is lost but the connection
+    /// failed over (paper §5.4 case 2).
+    ReplicaCrashed,
+    /// The middleware shut the transaction down (e.g. replica shutdown).
+    Shutdown,
+}
+
+impl AbortReason {
+    /// Whether a client can safely resubmit the same transaction.
+    ///
+    /// Everything except an explicit user rollback is transient from the
+    /// application's point of view.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, AbortReason::UserRequested)
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::SerializationFailure => {
+                "could not serialize access due to concurrent update"
+            }
+            AbortReason::Deadlock => "deadlock detected",
+            AbortReason::ValidationFailure => "writeset validation failed",
+            AbortReason::UserRequested => "transaction rolled back by user",
+            AbortReason::ReplicaCrashed => "replica crashed before commit",
+            AbortReason::Shutdown => "replica shutting down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors surfaced by the storage engine and everything stacked on top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The transaction was aborted; it no longer exists in the engine.
+    Aborted(AbortReason),
+    /// A statement referenced an unknown table.
+    UnknownTable(String),
+    /// A statement referenced an unknown column.
+    UnknownColumn(String),
+    /// A value had the wrong type for its column.
+    TypeMismatch { column: String, expected: &'static str },
+    /// An INSERT collided with an existing visible row with the same key.
+    DuplicateKey(String),
+    /// The transaction handle is unknown (already terminated, or bogus).
+    NoSuchTransaction,
+    /// SQL text failed to parse.
+    Parse(String),
+    /// The operation is not supported by this engine.
+    Unsupported(String),
+    /// The connection to the middleware is gone and failover could not mask
+    /// the failure transparently; `committed` reports the resolved outcome
+    /// of an in-doubt commit when it is known.
+    ConnectionLost { in_doubt: bool },
+    /// Internal invariant violation — always a bug, never expected.
+    Internal(String),
+}
+
+impl DbError {
+    /// Shorthand for the common "aborted due to write-write conflict" error.
+    pub fn serialization_failure() -> Self {
+        DbError::Aborted(AbortReason::SerializationFailure)
+    }
+
+    /// True if this error means the transaction was aborted (as opposed to a
+    /// statement-level error that leaves the transaction usable).
+    pub fn is_abort(&self) -> bool {
+        matches!(self, DbError::Aborted(_))
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Aborted(r) => write!(f, "transaction aborted: {r}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::TypeMismatch { column, expected } => {
+                write!(f, "type mismatch for column {column}: expected {expected}")
+            }
+            DbError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            DbError::NoSuchTransaction => f.write_str("no such transaction"),
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::ConnectionLost { in_doubt } => {
+                write!(f, "connection lost (in-doubt: {in_doubt})")
+            }
+            DbError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(AbortReason::SerializationFailure.is_retryable());
+        assert!(AbortReason::Deadlock.is_retryable());
+        assert!(AbortReason::ValidationFailure.is_retryable());
+        assert!(AbortReason::ReplicaCrashed.is_retryable());
+        assert!(!AbortReason::UserRequested.is_retryable());
+    }
+
+    #[test]
+    fn abort_classification() {
+        assert!(DbError::serialization_failure().is_abort());
+        assert!(!DbError::UnknownTable("t".into()).is_abort());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::Aborted(AbortReason::Deadlock);
+        assert!(e.to_string().contains("deadlock"));
+        let e = DbError::TypeMismatch { column: "price".into(), expected: "float" };
+        assert!(e.to_string().contains("price"));
+    }
+}

@@ -1,0 +1,154 @@
+//! A log-bucketed latency histogram.
+//!
+//! Used by the load generator to report percentiles alongside the mean
+//! response times the paper plots. Buckets grow geometrically (~7.2 % per
+//! bucket, 64 buckets per decade), bounding the relative quantile error to
+//! under one bucket width while keeping the footprint fixed.
+
+/// Fixed-footprint histogram over positive values (e.g. milliseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// bucket i covers [BASE * GROWTH^i, BASE * GROWTH^(i+1))
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+const BASE: f64 = 1e-3; // smallest tracked value
+const BUCKETS: usize = 448; // covers 1e-3 .. ~1e4 with 64 buckets/decade
+const GROWTH: f64 = 1.0366329284377976; // 10^(1/64)
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; BUCKETS], underflow: 0, total: 0 }
+    }
+
+    fn bucket_of(value: f64) -> Option<usize> {
+        if value < BASE {
+            return None;
+        }
+        let idx = (value / BASE).log(GROWTH).floor() as usize;
+        Some(idx.min(BUCKETS - 1))
+    }
+
+    /// Lower bound of bucket `i`.
+    fn bucket_low(i: usize) -> f64 {
+        BASE * GROWTH.powi(i as i32)
+    }
+
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value.is_finite() && value >= 0.0);
+        self.total += 1;
+        match Self::bucket_of(value) {
+            Some(i) => self.counts[i] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q` in [0, 1]; returns the lower edge of the
+    /// bucket containing the q-th sample. NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if seen >= target {
+            return 0.0;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_low(i);
+            }
+        }
+        Self::bucket_low(BUCKETS - 1)
+    }
+
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64); // uniform 1..1000
+        }
+        assert_eq!(h.count(), 1000);
+        let med = h.median();
+        assert!((med - 500.0).abs() / 500.0 < 0.08, "median {med}");
+        let p99 = h.p99();
+        assert!((p99 - 990.0).abs() / 990.0 < 0.08, "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_nan() {
+        let h = Histogram::new();
+        assert!(h.median().is_nan());
+    }
+
+    #[test]
+    fn underflow_counts_toward_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(0.0);
+        }
+        h.record(100.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!(h.quantile(1.0) > 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10.0);
+        b.record(20.0);
+        b.record(30.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn huge_values_clamp_to_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(1e12);
+        assert!(h.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_quantile_panics() {
+        let h = Histogram::new();
+        let _ = h.quantile(1.5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Strongly-typed identifiers used across the system.
+//!
+//! The paper uses several distinct id spaces which are easy to confuse when
+//! they are all bare integers:
+//!
+//! - a **replica** (a middleware/database pair, `R^k` / `M^k` in the paper),
+//! - a **local transaction id** assigned by a database replica,
+//! - a **global transaction id** (`T.tid`) assigned at validation time, which
+//!   is identical at every replica because validation runs in total order,
+//! - a **client** and its **session** (one JDBC connection).
+//!
+//! Each gets its own newtype so the compiler keeps them apart.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Construct from a raw integer.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw integer value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A middleware/database replica pair (`R^k` in the paper).
+    ReplicaId,
+    "R"
+);
+id_type!(
+    /// A transaction id local to one database replica; assigned at `begin`.
+    TxnId,
+    "T"
+);
+id_type!(
+    /// The global transaction id `T.tid`, assigned in validation (total)
+    /// order. Identical at every replica for the same transaction.
+    GlobalTid,
+    "G"
+);
+id_type!(
+    /// A client program (one emulated browser / terminal).
+    ClientId,
+    "C"
+);
+id_type!(
+    /// One client connection to a middleware replica. A client that fails
+    /// over to another replica keeps its `ClientId` but gets a new session.
+    SessionId,
+    "S"
+);
+id_type!(
+    /// A member endpoint inside the group communication system.
+    MemberId,
+    "M"
+);
+
+impl GlobalTid {
+    /// The sentinel "no transaction validated yet" value; `T.cert` starts
+    /// here (the paper initializes `lastvalidated_tid := 0`).
+    pub const ZERO: GlobalTid = GlobalTid(0);
+
+    /// The next tid in validation order.
+    #[must_use]
+    pub fn next(self) -> GlobalTid {
+        GlobalTid(self.0 + 1)
+    }
+}
+
+impl ReplicaId {
+    /// Convenience for indexing `Vec`s keyed by replica.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_ordering() {
+        let a = GlobalTid::new(1);
+        let b = GlobalTid::new(2);
+        assert!(a < b);
+        assert_eq!(a.next(), b);
+        assert_eq!(GlobalTid::ZERO.raw(), 0);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ReplicaId::new(3).to_string(), "R3");
+        assert_eq!(format!("{:?}", TxnId::new(7)), "T7");
+        assert_eq!(GlobalTid::from(9).to_string(), "G9");
+        assert_eq!(ClientId::new(1).to_string(), "C1");
+        assert_eq!(SessionId::new(2).to_string(), "S2");
+        assert_eq!(MemberId::new(4).to_string(), "M4");
+    }
+
+    #[test]
+    fn replica_index_roundtrip() {
+        assert_eq!(ReplicaId::new(5).index(), 5);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared infrastructure for the SI-Rep reproduction.
+//!
+//! This crate holds the small, dependency-light building blocks used by every
+//! other crate in the workspace:
+//!
+//! - [`ids`]: strongly-typed identifiers (replicas, transactions, clients).
+//! - [`error`]: the abort/failure taxonomy shared by the storage engine,
+//!   the replication middleware and the client driver.
+//! - [`clock`]: model-time scaling and precise sleeping, so benchmark sweeps
+//!   reproduce the paper's queueing behaviour in a fraction of wall time.
+//! - [`stats`]: online statistics with the 95/5 confidence-interval stopping
+//!   rule used by the paper ("all tests were run until a 95/5 confidence
+//!   interval was achieved").
+//! - [`histogram`]: log-bucketed latency histograms.
+//! - [`metrics`]: cheap atomic counters for protocol events (commits, aborts
+//!   by reason, commit-order holes, ...).
+
+pub mod clock;
+pub mod error;
+pub mod histogram;
+pub mod ids;
+pub mod metrics;
+pub mod stats;
+pub mod sync;
+
+pub use clock::{precise_sleep, TimeScale};
+pub use error::{AbortReason, DbError};
+pub use histogram::Histogram;
+pub use ids::{ClientId, GlobalTid, MemberId, ReplicaId, SessionId, TxnId};
+pub use metrics::Metrics;
+pub use stats::{ConfidenceInterval, OnlineStats};
+pub use sync::Semaphore;

@@ -1,0 +1,232 @@
+//! Online statistics and the paper's stopping rule.
+//!
+//! §6 of the paper: *"All tests were run until a 95/5 confidence interval was
+//! achieved"* — i.e. the half-width of the 95 % confidence interval of the
+//! mean is at most 5 % of the mean. [`OnlineStats`] implements Welford's
+//! algorithm so the harness can check that rule incrementally without
+//! storing samples.
+
+/// Single-pass mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel collection).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sample variance (n-1 denominator).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// The 95 % confidence interval of the mean (normal approximation,
+    /// z = 1.96 — fine for the hundreds of samples the harnesses collect).
+    pub fn ci95(&self) -> ConfidenceInterval {
+        let half = 1.96 * self.std_err();
+        ConfidenceInterval { mean: self.mean(), half_width: half }
+    }
+
+    /// The paper's stopping rule: the 95 % CI half-width is within
+    /// `tolerance` (e.g. 0.05 for "95/5") of the mean. Requires a minimum
+    /// number of samples so early lucky streaks don't stop a run.
+    pub fn ci_converged(&self, tolerance: f64, min_samples: u64) -> bool {
+        if self.n < min_samples {
+            return false;
+        }
+        let ci = self.ci95();
+        if ci.mean == 0.0 {
+            return true;
+        }
+        ci.half_width <= tolerance * ci.mean.abs()
+    }
+}
+
+/// A symmetric confidence interval around a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    pub mean: f64,
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Relative half-width (NaN when the mean is zero).
+    pub fn relative(&self) -> f64 {
+        self.half_width / self.mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_match_reference() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &samples {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // population variance is 4.0; sample variance is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let mut all = OnlineStats::new();
+        for i in 0..50 {
+            let x = (i as f64).sin() * 10.0 + 20.0;
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_noop() {
+        let mut a = OnlineStats::new();
+        a.record(1.0);
+        a.record(3.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.mean(), before);
+    }
+
+    #[test]
+    fn ci_converges_with_low_variance() {
+        let mut s = OnlineStats::new();
+        for _ in 0..100 {
+            s.record(10.0);
+        }
+        assert!(s.ci_converged(0.05, 50));
+        assert_eq!(s.ci95().half_width, 0.0);
+    }
+
+    #[test]
+    fn ci_does_not_converge_below_min_samples() {
+        let mut s = OnlineStats::new();
+        for _ in 0..10 {
+            s.record(10.0);
+        }
+        assert!(!s.ci_converged(0.05, 50));
+    }
+
+    #[test]
+    fn high_variance_needs_more_samples() {
+        let mut s = OnlineStats::new();
+        // Alternating extremes: relative CI stays wide with few samples.
+        for i in 0..20 {
+            s.record(if i % 2 == 0 { 1.0 } else { 100.0 });
+        }
+        assert!(!s.ci_converged(0.05, 10));
+        let ci = s.ci95();
+        assert!(ci.relative() > 0.05);
+        assert!(ci.low() < ci.mean && ci.mean < ci.high());
+    }
+
+    #[test]
+    fn empty_stats_report_nan_mean() {
+        let s = OnlineStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.std_err().is_nan());
+    }
+}

@@ -1,0 +1,123 @@
+//! A small counting semaphore (std has none; crossbeam has none).
+//!
+//! Used to model bounded service capacity: a database replica with `K`
+//! servers (CPU + disk channels) executes at most `K` costed operations
+//! concurrently, which is what turns injected service times into real
+//! queueing — and therefore into the saturating response-time curves of the
+//! paper's figures.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Semaphore {
+        assert!(permits > 0, "a semaphore needs at least one permit");
+        Semaphore { permits: Mutex::new(permits), cond: Condvar::new() }
+    }
+
+    /// Block until a permit is available, then take it.
+    pub fn acquire(&self) -> SemaphoreGuard<'_> {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            self.cond.wait(&mut p);
+        }
+        *p -= 1;
+        SemaphoreGuard { sem: self }
+    }
+
+    /// Take a permit if one is available right now.
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard<'_>> {
+        let mut p = self.permits.lock();
+        if *p == 0 {
+            None
+        } else {
+            *p -= 1;
+            Some(SemaphoreGuard { sem: self })
+        }
+    }
+
+    pub fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+
+    fn release(&self) {
+        let mut p = self.permits.lock();
+        *p += 1;
+        drop(p);
+        self.cond.notify_one();
+    }
+}
+
+/// RAII permit.
+#[derive(Debug)]
+pub struct SemaphoreGuard<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_are_counted() {
+        let s = Semaphore::new(2);
+        let a = s.acquire();
+        let b = s.acquire();
+        assert_eq!(s.available(), 0);
+        assert!(s.try_acquire().is_none());
+        drop(a);
+        assert_eq!(s.available(), 1);
+        let c = s.try_acquire();
+        assert!(c.is_some());
+        drop(b);
+        drop(c);
+        assert_eq!(s.available(), 2);
+    }
+
+    #[test]
+    fn concurrency_is_bounded() {
+        let s = Arc::new(Semaphore::new(3));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..12 {
+            let s = Arc::clone(&s);
+            let in_flight = Arc::clone(&in_flight);
+            let max_seen = Arc::clone(&max_seen);
+            handles.push(thread::spawn(move || {
+                for _ in 0..20 {
+                    let _g = s.acquire();
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_seen.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_micros(200));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(max_seen.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permit")]
+    fn zero_permits_rejected() {
+        let _ = Semaphore::new(0);
+    }
+}

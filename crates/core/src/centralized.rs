@@ -1,0 +1,147 @@
+//! The non-replicated baseline: one database, a pass-through middleware.
+//!
+//! The paper's figures all include a "centralized" line — *"it still uses
+//! our middleware but the middleware simply forwards requests to the single
+//! database and does not perform any concurrency control, writeset
+//! retrieval, etc."* (§6.1).
+
+use crate::session::{Connection, System};
+use sirep_common::{AbortReason, DbError, Metrics};
+use sirep_sql::ExecResult;
+use sirep_storage::{CostModel, Database, TxnHandle};
+use std::sync::Arc;
+
+/// A single-database system.
+pub struct Centralized {
+    db: Database,
+    metrics: Arc<Metrics>,
+}
+
+impl Centralized {
+    pub fn new(cost: CostModel) -> Centralized {
+        Centralized { db: Database::new(cost), metrics: Arc::new(Metrics::new()) }
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl System for Centralized {
+    fn name(&self) -> &'static str {
+        "centralized"
+    }
+
+    fn connect(&self) -> Result<Box<dyn Connection>, DbError> {
+        Ok(Box::new(CentralConn {
+            db: self.db.clone(),
+            metrics: Arc::clone(&self.metrics),
+            txn: None,
+        }))
+    }
+
+    fn metrics(&self) -> Metrics {
+        let m = Metrics::new();
+        m.merge(&self.metrics);
+        m
+    }
+}
+
+struct CentralConn {
+    db: Database,
+    metrics: Arc<Metrics>,
+    txn: Option<TxnHandle>,
+}
+
+impl Connection for CentralConn {
+    fn execute(&mut self, sql: &str) -> Result<ExecResult, DbError> {
+        if self.txn.is_none() {
+            Metrics::inc(&self.metrics.begins_total);
+            self.txn = Some(self.db.begin()?);
+        }
+        let txn = self.txn.as_ref().expect("just ensured");
+        match sirep_sql::execute_sql(&self.db, txn, sql) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                if e.is_abort() || matches!(e, DbError::DuplicateKey(_)) {
+                    if let DbError::Aborted(reason) = &e {
+                        match reason {
+                            AbortReason::SerializationFailure => {
+                                Metrics::inc(&self.metrics.aborts_serialization)
+                            }
+                            AbortReason::Deadlock => {
+                                Metrics::inc(&self.metrics.aborts_deadlock)
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.txn = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn commit(&mut self) -> Result<(), DbError> {
+        match self.txn.take() {
+            None => Ok(()),
+            Some(t) => {
+                let readonly = t.is_readonly();
+                t.commit()?;
+                Metrics::inc(if readonly {
+                    &self.metrics.commits_readonly
+                } else {
+                    &self.metrics.commits_update
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn rollback(&mut self) {
+        if let Some(t) = self.txn.take() {
+            t.abort(AbortReason::UserRequested);
+            Metrics::inc(&self.metrics.aborts_user);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_transaction_lifecycle() {
+        let sys = Centralized::new(CostModel::free());
+        {
+            let t = sys.db.begin().unwrap();
+            sirep_sql::execute_sql(&sys.db, &t, "CREATE TABLE t (a INT, PRIMARY KEY (a))")
+                .unwrap();
+            t.commit().unwrap();
+        }
+        let mut c = sys.connect().unwrap();
+        c.execute("INSERT INTO t VALUES (1)").unwrap();
+        c.commit().unwrap();
+        let r = c.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows()[0][0], sirep_storage::Value::Int(1));
+        c.commit().unwrap();
+        let m = sys.metrics();
+        assert_eq!(m.commits(), 2);
+    }
+
+    #[test]
+    fn rollback_discards_changes() {
+        let sys = Centralized::new(CostModel::free());
+        {
+            let t = sys.db.begin().unwrap();
+            sirep_sql::execute_sql(&sys.db, &t, "CREATE TABLE t (a INT, PRIMARY KEY (a))")
+                .unwrap();
+            t.commit().unwrap();
+        }
+        let mut c = sys.connect().unwrap();
+        c.execute("INSERT INTO t VALUES (1)").unwrap();
+        c.rollback();
+        let r = c.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows()[0][0], sirep_storage::Value::Int(0));
+    }
+}

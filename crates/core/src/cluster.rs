@@ -1,0 +1,360 @@
+//! Cluster assembly: N middleware/database replica pairs over one group.
+
+use crate::model::{ReplicatedExecution, TxSpec};
+use crate::msg::{ReplMsg, XactId};
+use crate::node::{MemberRegistry, ReplicaNode, ReplicationMode};
+use crate::session::Session;
+use parking_lot::{Mutex, RwLock};
+use sirep_common::{DbError, MemberId, Metrics, ReplicaId};
+use sirep_gcs::{Group, GroupConfig};
+use sirep_storage::{CostModel, Database};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for an SRCA-Rep / SRCA-Opt cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub replicas: usize,
+    pub mode: ReplicationMode,
+    /// Database service-time model (shared by all replicas).
+    pub cost: CostModel,
+    /// Group communication latency model.
+    pub gcs: GroupConfig,
+    /// Applier threads per replica (step III concurrency).
+    pub appliers: usize,
+    /// Record begin/commit histories and readsets for 1-copy-SI checking.
+    pub track_history: bool,
+    /// Outcome-log capacity for in-doubt resolution.
+    pub outcome_cap: usize,
+}
+
+impl ClusterConfig {
+    /// Test defaults: everything instantaneous, full SRCA-Rep.
+    pub fn test(replicas: usize) -> ClusterConfig {
+        ClusterConfig {
+            replicas,
+            mode: ReplicationMode::SrcaRep,
+            cost: CostModel::free(),
+            gcs: GroupConfig::instant(),
+            appliers: 2,
+            track_history: false,
+            outcome_cap: 1 << 16,
+        }
+    }
+}
+
+/// A running cluster. Dropping it shuts every replica down.
+pub struct Cluster {
+    nodes: RwLock<Vec<Arc<ReplicaNode>>>,
+    group: Group<ReplMsg>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    config: ClusterConfig,
+    /// GCS member id → logical replica id (recovered replicas re-join
+    /// under fresh member ids).
+    registry: MemberRegistry,
+    /// Logical replica id → current GCS member id.
+    member_of: Mutex<HashMap<usize, MemberId>>,
+    /// Times each replica id has re-joined after a crash.
+    rejoins: Mutex<HashMap<usize, u64>>,
+}
+
+impl Cluster {
+    pub fn new(config: ClusterConfig) -> Cluster {
+        assert!(config.replicas > 0, "a cluster needs at least one replica");
+        let group: Group<ReplMsg> = Group::new(config.gcs.clone());
+        let initial_view: Vec<ReplicaId> =
+            (0..config.replicas as u64).map(ReplicaId::new).collect();
+        let registry: MemberRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let mut member_of = HashMap::new();
+        let mut nodes = Vec::with_capacity(config.replicas);
+        let mut threads = Vec::new();
+        for k in 0..config.replicas {
+            let member = group.join();
+            registry.lock().insert(member.id().raw(), ReplicaId::new(k as u64));
+            member_of.insert(k, member.id());
+            let db = Database::new(config.cost.clone());
+            if config.track_history {
+                db.set_track_reads(true);
+            }
+            let node = ReplicaNode::new(
+                ReplicaId::new(k as u64),
+                db,
+                member.handle(),
+                config.mode,
+                initial_view.clone(),
+                config.outcome_cap,
+                config.track_history,
+                Arc::clone(&registry),
+                0,
+                None,
+            );
+            {
+                let n = Arc::clone(&node);
+                threads.push(std::thread::spawn(move || n.run_delivery(member)));
+            }
+            for _ in 0..config.appliers {
+                let n = Arc::clone(&node);
+                threads.push(std::thread::spawn(move || n.run_applier()));
+            }
+            nodes.push(node);
+        }
+        Cluster {
+            nodes: RwLock::new(nodes),
+            group,
+            threads: Mutex::new(threads),
+            config,
+            registry,
+            member_of: Mutex::new(member_of),
+            rejoins: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.read().is_empty()
+    }
+
+    pub fn node(&self, k: usize) -> Arc<ReplicaNode> {
+        Arc::clone(&self.nodes.read()[k])
+    }
+
+    pub fn nodes(&self) -> Vec<Arc<ReplicaNode>> {
+        self.nodes.read().clone()
+    }
+
+    /// Live replicas — what the driver's discovery multicast returns.
+    pub fn alive(&self) -> Vec<Arc<ReplicaNode>> {
+        self.nodes.read().iter().filter(|n| n.is_alive()).cloned().collect()
+    }
+
+    /// Open a client session pinned to replica `k`.
+    pub fn session(&self, k: usize) -> Session {
+        Session::new(self.node(k))
+    }
+
+    /// Run DDL at every replica (schemas must be identical; the paper
+    /// installs them before the run).
+    pub fn execute_ddl(&self, sql: &str) -> Result<(), DbError> {
+        for n in self.nodes.read().iter() {
+            let txn = n.database().begin()?;
+            sirep_sql::execute_sql(n.database(), &txn, sql)?;
+            txn.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Deterministically populate every replica (same closure per replica —
+    /// use a fixed seed!).
+    pub fn load_with(&self, f: impl Fn(&Database) -> Result<(), DbError>) -> Result<(), DbError> {
+        for n in self.nodes.read().iter() {
+            // Bulk load: initial population is not part of any experiment,
+            // so skip the service-time charges.
+            n.database().cost_model().set_suspended(true);
+            let r = f(n.database());
+            n.database().cost_model().set_suspended(false);
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Crash replica `k`: survivors get a view change; clients of `k` see
+    /// connection errors and fail over.
+    pub fn crash(&self, k: usize) {
+        // Crash the group member first so the survivors' uniform-delivery
+        // cut is taken before local cleanup rejects anything.
+        let member = *self.member_of.lock().get(&k).expect("unknown replica");
+        self.group.crash(member);
+        self.node(k).mark_crashed();
+    }
+
+    /// **Online recovery** (the paper's §8 future work): bring a crashed
+    /// replica back without halting transaction processing.
+    ///
+    /// Protocol: the recovering replica first re-joins the group under a
+    /// fresh member id (its deliveries buffer from that point on); a donor
+    /// replica is then briefly latched to produce a consistent state
+    /// transfer — a fork of its committed database plus the validation
+    /// state (`ws_list`, queue, outcome log). Buffered deliveries already
+    /// covered by the transfer are recognized via the outcome log and
+    /// skipped; everything newer validates and applies normally. Only the
+    /// donor is latched, and only for the duration of the copy.
+    pub fn recover(&self, k: usize) -> Result<(), DbError> {
+        {
+            let nodes = self.nodes.read();
+            if nodes[k].is_alive() {
+                return Err(DbError::Internal(format!("replica {k} has not crashed")));
+            }
+        }
+        let donor = self
+            .alive()
+            .into_iter()
+            .next()
+            .ok_or_else(|| DbError::Internal("no live donor replica".into()))?;
+        // 1. Join the group: deliveries buffer in the member's queue from
+        //    here on.
+        let member = self.group.join();
+        self.registry.lock().insert(member.id().raw(), ReplicaId::new(k as u64));
+        self.member_of.lock().insert(k, member.id());
+        // 2. Barrier: multicast a marker through the joiner's membership
+        //    and wait for the donor to process it. Everything sequenced
+        //    before the joiner's buffer began is then reflected in the
+        //    donor's state; everything after is in the buffer.
+        let token = {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(1);
+            (member.id().raw() << 32) | NEXT.fetch_add(1, Ordering::Relaxed)
+        };
+        member
+            .handle()
+            .multicast_total(crate::msg::ReplMsg::Marker { token })
+            .map_err(|_| DbError::Internal("joiner failed to multicast marker".into()))?;
+        if !donor.wait_for_marker(token, Duration::from_secs(30)) {
+            return Err(DbError::Internal("donor never processed the recovery marker".into()));
+        }
+        // 3. Consistent state transfer from the donor (brief latch).
+        let (db, bootstrap) = donor.state_transfer(self.config.cost.clone());
+        if self.config.track_history {
+            db.set_track_reads(true);
+        }
+        // 4. Construct the node and let it drain the buffer + live stream.
+        let incarnation = {
+            let mut rejoins = self.rejoins.lock();
+            let e = rejoins.entry(k).or_insert(0);
+            *e += 1;
+            *e
+        };
+        let node = ReplicaNode::new(
+            ReplicaId::new(k as u64),
+            db,
+            member.handle(),
+            self.config.mode,
+            self.view_replicas(),
+            self.config.outcome_cap,
+            self.config.track_history,
+            Arc::clone(&self.registry),
+            incarnation,
+            Some(bootstrap),
+        );
+        {
+            let n = Arc::clone(&node);
+            self.threads.lock().push(std::thread::spawn(move || n.run_delivery(member)));
+        }
+        for _ in 0..self.config.appliers {
+            let n = Arc::clone(&node);
+            self.threads.lock().push(std::thread::spawn(move || n.run_applier()));
+        }
+        self.nodes.write()[k] = node;
+        Ok(())
+    }
+
+    fn view_replicas(&self) -> Vec<ReplicaId> {
+        let reg = self.registry.lock();
+        let mut v: Vec<ReplicaId> = self
+            .group
+            .view()
+            .members
+            .iter()
+            .filter_map(|m| reg.get(&m.raw()).copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Aggregated metrics across replicas.
+    pub fn metrics(&self) -> Metrics {
+        let total = Metrics::new();
+        for n in self.nodes.read().iter() {
+            total.merge(&n.metrics);
+        }
+        total
+    }
+
+    /// Wait until all in-flight replication work has drained (queues empty,
+    /// no pending local transactions, validation counters stable).
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut stable_rounds = 0;
+        let mut last_fingerprint = (0u64, 0usize, 0usize);
+        while Instant::now() < deadline {
+            let alive = self.alive();
+            let fp = (
+                alive.iter().map(|n| n.last_validated().raw()).max().unwrap_or(0),
+                alive.iter().map(|n| n.queue_len()).sum::<usize>(),
+                alive.iter().map(|n| n.pending_len()).sum::<usize>(),
+            );
+            let idle = fp.1 == 0
+                && fp.2 == 0
+                && alive.iter().all(|n| n.last_validated().raw() == fp.0);
+            if idle && fp == last_fingerprint {
+                stable_rounds += 1;
+                if stable_rounds >= 3 {
+                    return true;
+                }
+            } else {
+                stable_rounds = 0;
+            }
+            last_fingerprint = fp;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    /// Collect the recorded execution for 1-copy-SI checking. Call only on
+    /// a quiesced cluster with `track_history` enabled. Returns the
+    /// transaction specs and the per-replica schedules.
+    pub fn collect_history(&self) -> (BTreeMap<XactId, TxSpec>, ReplicatedExecution<XactId>) {
+        let nodes = self.nodes.read().clone();
+        let mut specs: BTreeMap<XactId, TxSpec> = BTreeMap::new();
+        for n in &nodes {
+            for (xact, spec) in n.recorder.take_specs() {
+                specs.insert(xact, spec);
+            }
+        }
+        let mut exec = ReplicatedExecution { schedules: Vec::new(), locality: BTreeMap::new() };
+        for n in &nodes {
+            let events: Vec<_> = n
+                .recorder
+                .take_events()
+                .into_iter()
+                .filter(|op| specs.contains_key(&op.txn()))
+                .collect();
+            exec.schedules.push(events);
+        }
+        for xact in specs.keys() {
+            exec.locality.insert(*xact, xact.origin.index());
+        }
+        (specs, exec)
+    }
+
+    /// Shut the whole cluster down and join all threads.
+    pub fn shutdown(&self) {
+        let nodes = self.nodes.read().clone();
+        for (k, n) in nodes.iter().enumerate() {
+            if n.is_alive() {
+                let member = *self.member_of.lock().get(&k).expect("unknown replica");
+                self.group.crash(member);
+                n.mark_crashed();
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

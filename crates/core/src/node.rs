@@ -1,0 +1,860 @@
+//! The decentralized middleware replica `M^k` running SRCA-Rep (Fig. 4 of
+//! the paper), including adjustments 1–3 of §4:
+//!
+//! - **Adjustment 1**: local validation checks only the local
+//!   `tocommit_queue` (the database already validated against everything
+//!   that committed);
+//! - **Adjustment 2**: writesets are applied and committed *concurrently*
+//!   when they don't conflict with anything earlier in the queue — this is
+//!   what removes the middleware/database "hidden deadlock" of §4.2;
+//! - **Adjustment 3**: start/commit synchronization via the
+//!   [`HoleTracker`], which restores 1-copy-SI. Running in
+//!   [`ReplicationMode::SrcaOpt`] skips adjustment 3 — that is the SRCA-Opt
+//!   ablation of Fig. 7, which trades 1-copy-SI for throughput under
+//!   update-intensive load.
+//!
+//! ## Thread structure (per replica)
+//!
+//! - any number of **client session threads** execute SQL statements against
+//!   the local database and, at commit, run local validation and multicast
+//!   the writeset (steps I.1–I.2);
+//! - one **delivery thread** receives the total-order stream and runs global
+//!   validation deterministically (step II);
+//! - a small pool of **applier threads** implements step III for REMOTE
+//!   writesets: picking queue entries with no conflicting predecessor,
+//!   applying them (with deadlock retry), and committing under the hole
+//!   rule. Local transactions never wait for an applier: on successful
+//!   validation the delivery thread hands them back to their session
+//!   thread, which commits immediately (adjustment 2).
+//!
+//! All protocol state (ws_list, tocommit queue, hole tracker, pending local
+//! transactions, current view) lives behind one mutex per replica — the
+//! paper's `wsmutex`. Database work (reads, writes, writeset application,
+//! the commit log force) happens outside it; only the final commit step,
+//! which must be atomic with local transaction begins, runs under the lock.
+
+use crate::holes::HoleTracker;
+use crate::msg::{Outcome, ReplMsg, WsMsg, XactId};
+use crate::recorder::Recorder;
+use crate::validation::WsList;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use sirep_common::{AbortReason, DbError, GlobalTid, Metrics, ReplicaId};
+use sirep_gcs::{Delivery, GcsError, GcsHandle, Member};
+use sirep_storage::{Database, TxnHandle, WriteSet};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which variant of the protocol a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Full SRCA-Rep: adjustments 1+2+3; provides 1-copy-SI.
+    SrcaRep,
+    /// SRCA-Opt: adjustments 1+2 only; no hole synchronization. Each
+    /// replica is locally SI but 1-copy-SI may be violated (§4.3.2).
+    SrcaOpt,
+}
+
+/// How long waiters poll for shutdown while blocked on the node condvar.
+const WAIT_TICK: Duration = Duration::from_millis(25);
+
+/// An entry of `tocommit_queue_k` (always in tid = validation order).
+struct QEntry {
+    tid: GlobalTid,
+    xact: XactId,
+    ws: Arc<WriteSet>,
+    origin: ReplicaId,
+    /// An applier has picked this entry (is applying / committing it).
+    running: bool,
+}
+
+/// A local transaction that has been multicast and awaits its fate. On
+/// successful global validation the delivery thread hands the transaction
+/// *back* to the waiting session thread, which performs the commit itself —
+/// the paper's adjustment 2: a validated local transaction "can commit
+/// immediately", without queueing behind the appliers (routing local
+/// commits through the applier pool can starve them when every applier is
+/// blocked inside the database on a local's tuple lock — a reincarnation of
+/// the §4.2 hidden deadlock).
+struct PendingLocal {
+    txn: TxnHandle,
+    responder: Sender<Result<LocalCommitJob, DbError>>,
+    /// Keeps the transaction in the hole tracker's set B until it no
+    /// longer holds database locks.
+    guard: LocalGuard,
+}
+
+/// Handed from the delivery thread back to the session thread on
+/// successful validation: everything needed to run the commit step.
+struct LocalCommitJob {
+    tid: GlobalTid,
+    txn: TxnHandle,
+    _guard: LocalGuard,
+}
+
+/// RAII membership in the hole tracker's set B (running local
+/// transactions). Dropped when the local transaction terminates — whether
+/// by commit, validation failure, rollback, statement abort or session
+/// drop — so the count can never leak.
+pub struct LocalGuard {
+    node: Arc<ReplicaNode>,
+}
+
+impl Drop for LocalGuard {
+    fn drop(&mut self) {
+        let mut st = self.node.state.lock();
+        st.holes.local_finished();
+        drop(st);
+        self.node.cond.notify_all();
+    }
+}
+
+/// Bounded log of transaction outcomes for in-doubt resolution (§5.4).
+/// Cloned wholesale during recovery state transfer so a recovered replica
+/// can (a) answer in-doubt inquiries about pre-recovery transactions and
+/// (b) recognize — and skip — buffered deliveries that are already covered
+/// by the transferred state.
+#[derive(Clone)]
+struct OutcomeLog {
+    map: HashMap<XactId, Outcome>,
+    order: VecDeque<XactId>,
+    cap: usize,
+}
+
+impl OutcomeLog {
+    fn new(cap: usize) -> OutcomeLog {
+        OutcomeLog { map: HashMap::new(), order: VecDeque::new(), cap }
+    }
+
+    fn record(&mut self, xact: XactId, outcome: Outcome) {
+        if self.map.insert(xact, outcome).is_none() {
+            self.order.push_back(xact);
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, xact: XactId) -> Option<Outcome> {
+        self.map.get(&xact).copied()
+    }
+}
+
+/// A point-in-time snapshot of a replica's protocol state.
+#[derive(Debug, Clone)]
+pub struct NodeStatus {
+    pub replica: ReplicaId,
+    pub alive: bool,
+    /// `lastvalidated_tid` — how far certification has progressed here.
+    pub last_validated: GlobalTid,
+    /// Validated writesets not yet committed at this replica.
+    pub queued: usize,
+    /// Local transactions awaiting their validation outcome.
+    pub pending_local: usize,
+    /// Whether the commit order currently has holes (adjustment 3 gates
+    /// new local begins while true).
+    pub holes_open: bool,
+    pub running_locals: usize,
+    pub waiting_to_start: usize,
+    /// Live replicas as processed by this node's delivery thread.
+    pub view: Vec<ReplicaId>,
+}
+
+/// The answer to an in-doubt inquiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InDoubt {
+    /// The writeset was received; this is the validation outcome.
+    Known(Outcome),
+    /// The origin replica crashed and its writeset never arrived — by
+    /// uniform delivery the transaction did not commit anywhere.
+    NeverReceived,
+}
+
+struct NodeState {
+    wslist: WsList,
+    queue: VecDeque<QEntry>,
+    holes: HoleTracker,
+    pending_local: HashMap<XactId, PendingLocal>,
+    outcomes: OutcomeLog,
+    /// Live replicas as of the last view change processed by the delivery
+    /// thread (so in-doubt inquiries see exactly the §5.4 guarantee).
+    view: Vec<ReplicaId>,
+    /// Current incarnation of each replica id (bumps when a previously
+    /// departed replica re-joins).
+    incarnations: HashMap<ReplicaId, u64>,
+    /// (replica, incarnation) pairs whose departure this node has
+    /// processed. By uniform delivery, every writeset that incarnation
+    /// multicast is already in `outcomes` — so an in-doubt transaction of a
+    /// departed incarnation with no outcome was never received, full stop.
+    departed: std::collections::HashSet<(ReplicaId, u64)>,
+    /// Recovery markers processed (see [`ReplMsg::Marker`]).
+    markers_seen: std::collections::HashSet<u64>,
+    last_progress_sent: GlobalTid,
+}
+
+/// Maps GCS member ids to replica ids. Identity at cluster creation; a
+/// recovered replica re-joins the group under a fresh member id that is
+/// bound back to its logical replica id here.
+pub(crate) type MemberRegistry = Arc<Mutex<HashMap<u64, ReplicaId>>>;
+
+/// One middleware/database replica pair.
+pub struct ReplicaNode {
+    id: ReplicaId,
+    db: Database,
+    gcs: GcsHandle<ReplMsg>,
+    mode: ReplicationMode,
+    state: Mutex<NodeState>,
+    cond: Condvar,
+    shutdown: AtomicBool,
+    next_xact: AtomicU64,
+    /// This node's own incarnation (times its replica id has re-joined);
+    /// encoded in the top bits of every XactId it assigns (via next_xact's
+    /// starting value), kept for introspection.
+    #[allow(dead_code)]
+    incarnation: u64,
+    registry: MemberRegistry,
+    pub metrics: Arc<Metrics>,
+    pub recorder: Arc<Recorder>,
+}
+
+/// State transferred from a donor replica during online recovery.
+pub(crate) struct Bootstrap {
+    pub wslist: WsList,
+    pub queue_entries: Vec<(GlobalTid, XactId, Arc<WriteSet>, ReplicaId)>,
+    outcomes: OutcomeLog,
+    /// Highest tid whose effects are contained in the transferred database
+    /// state (modulo the copied queue entries, which are still pending).
+    pub max_committed: GlobalTid,
+    pub view: Vec<ReplicaId>,
+    incarnations: HashMap<ReplicaId, u64>,
+    departed: std::collections::HashSet<(ReplicaId, u64)>,
+}
+
+/// An active local transaction bound to a session.
+pub struct ActiveTxn {
+    pub xact: XactId,
+    pub txn: TxnHandle,
+    guard: LocalGuard,
+}
+
+impl ReplicaNode {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: ReplicaId,
+        db: Database,
+        gcs: GcsHandle<ReplMsg>,
+        mode: ReplicationMode,
+        initial_view: Vec<ReplicaId>,
+        outcome_cap: usize,
+        record_history: bool,
+        registry: MemberRegistry,
+        incarnation: u64,
+        bootstrap: Option<Bootstrap>,
+    ) -> Arc<ReplicaNode> {
+        let state = match bootstrap {
+            None => NodeState {
+                wslist: WsList::new(),
+                queue: VecDeque::new(),
+                holes: HoleTracker::new(),
+                pending_local: HashMap::new(),
+                outcomes: OutcomeLog::new(outcome_cap),
+                view: initial_view,
+                incarnations: HashMap::new(),
+                departed: std::collections::HashSet::new(),
+                markers_seen: std::collections::HashSet::new(),
+                last_progress_sent: GlobalTid::ZERO,
+            },
+            Some(b) => {
+                let holes = HoleTracker::bootstrap(
+                    b.max_committed,
+                    b.queue_entries.iter().map(|(tid, ..)| *tid),
+                );
+                let queue = b
+                    .queue_entries
+                    .into_iter()
+                    .map(|(tid, xact, ws, origin)| QEntry {
+                        tid,
+                        xact,
+                        ws,
+                        origin,
+                        running: false,
+                    })
+                    .collect();
+                NodeState {
+                    wslist: b.wslist,
+                    queue,
+                    holes,
+                    pending_local: HashMap::new(),
+                    outcomes: b.outcomes,
+                    view: b.view,
+                    incarnations: b.incarnations,
+                    departed: b.departed,
+                    markers_seen: std::collections::HashSet::new(),
+                    last_progress_sent: GlobalTid::ZERO,
+                }
+            }
+        };
+        Arc::new(ReplicaNode {
+            id,
+            db,
+            gcs,
+            mode,
+            state: Mutex::new(state),
+            cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_xact: AtomicU64::new(XactId::seq_base(incarnation) + 1),
+            incarnation,
+            registry,
+            metrics: Arc::new(Metrics::new()),
+            recorder: Arc::new(Recorder::new(record_history)),
+        })
+    }
+
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn is_alive(&self) -> bool {
+        !self.shutdown.load(Ordering::Acquire)
+    }
+
+    pub fn mode(&self) -> ReplicationMode {
+        self.mode
+    }
+
+    /// Current number of queued (validated, uncommitted) writesets.
+    pub fn queue_len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// A point-in-time snapshot of this replica's protocol state, for
+    /// monitoring and load-balancing decisions.
+    pub fn status(&self) -> NodeStatus {
+        let st = self.state.lock();
+        NodeStatus {
+            replica: self.id,
+            alive: self.is_alive(),
+            last_validated: st.wslist.last_tid(),
+            queued: st.queue.len(),
+            pending_local: st.pending_local.len(),
+            holes_open: st.holes.holes_exist(),
+            running_locals: st.holes.running_locals(),
+            waiting_to_start: st.holes.waiting_to_start(),
+            view: st.view.clone(),
+        }
+    }
+
+    /// Pending local transactions awaiting validation/commit.
+    pub fn pending_len(&self) -> usize {
+        self.state.lock().pending_local.len()
+    }
+
+    /// `lastvalidated_tid` at this replica.
+    pub fn last_validated(&self) -> GlobalTid {
+        self.state.lock().wslist.last_tid()
+    }
+
+    /// The live view as processed by this node's delivery thread.
+    pub fn current_view(&self) -> Vec<ReplicaId> {
+        self.state.lock().view.clone()
+    }
+
+    /// Block until this node's delivery thread has processed the recovery
+    /// marker `token` (and therefore every message sequenced before it).
+    pub(crate) fn wait_for_marker(&self, token: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        while !st.markers_seen.contains(&token) {
+            if !self.is_alive() || std::time::Instant::now() >= deadline {
+                return false;
+            }
+            self.cond.wait_for(&mut st, WAIT_TICK);
+        }
+        st.markers_seen.remove(&token);
+        true
+    }
+
+    /// Produce a consistent state transfer for a recovering replica (the
+    /// paper's §8 "recovery without interrupting transaction processing"):
+    /// a fork of this replica's committed database plus the protocol state
+    /// needed to continue validation deterministically. The donor is
+    /// latched (its state lock) only for the duration of the copy; other
+    /// replicas are unaffected.
+    ///
+    /// Correctness: commits at this replica happen under the state lock, so
+    /// while we hold it the forked database corresponds exactly to "all
+    /// validated tids except those still in the queue". The recovering
+    /// replica must have joined the group *before* this is taken; every
+    /// writeset it then receives is either (a) recorded in the transferred
+    /// outcome log — covered by the fork or the copied queue and skipped —
+    /// or (b) new, and validated normally against the transferred ws_list.
+    pub(crate) fn state_transfer(&self, cost: sirep_storage::CostModel) -> (Database, Bootstrap) {
+        let st = self.state.lock();
+        let db = self.db.fork_latest(cost);
+        let queue_entries = st
+            .queue
+            .iter()
+            .map(|e| (e.tid, e.xact, Arc::clone(&e.ws), e.origin))
+            .collect();
+        let boot = Bootstrap {
+            wslist: st.wslist.clone(),
+            queue_entries,
+            outcomes: st.outcomes.clone(),
+            max_committed: st.holes.max_committed(),
+            view: st.view.clone(),
+            incarnations: st.incarnations.clone(),
+            departed: st.departed.clone(),
+        };
+        (db, boot)
+    }
+
+    // ---------------------------------------------------------------------
+    // Client-side protocol (steps I.1, I.2)
+    // ---------------------------------------------------------------------
+
+    /// Start a local transaction (step I.1.a): under SRCA-Rep the begin
+    /// waits until the commit order has no holes, and is atomic with
+    /// commits (both run under the node state lock).
+    pub fn begin_local(self: &Arc<Self>) -> Result<ActiveTxn, DbError> {
+        if !self.is_alive() {
+            return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
+        }
+        let xact = XactId {
+            origin: self.id,
+            seq: self.next_xact.fetch_add(1, Ordering::Relaxed),
+        };
+        Metrics::inc(&self.metrics.begins_total);
+        match self.mode {
+            ReplicationMode::SrcaRep => {
+                let mut st = self.state.lock();
+                if st.holes.holes_exist() {
+                    Metrics::inc(&self.metrics.begins_delayed_by_holes);
+                    st.holes.start_waiting();
+                    // A waiting local throttles hole-creating commits once
+                    // no locals are running (liveness protocol of §4.3.3);
+                    // existing holes drain.
+                    while st.holes.holes_exist() && self.is_alive() {
+                        self.cond.wait_for(&mut st, WAIT_TICK);
+                    }
+                    st.holes.done_waiting();
+                    // Wake other throttled commits in case we were the last
+                    // waiter.
+                    self.cond.notify_all();
+                    if !self.is_alive() {
+                        return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
+                    }
+                }
+                let txn = self.db.begin()?;
+                st.holes.local_started();
+                self.recorder.on_begin(xact);
+                drop(st);
+                Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) } })
+            }
+            ReplicationMode::SrcaOpt => {
+                // No synchronization: begin immediately (1-copy-SI may be
+                // lost, which is the point of the ablation).
+                let txn = self.db.begin()?;
+                self.state.lock().holes.local_started();
+                self.recorder.on_begin(xact);
+                Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) } })
+            }
+        }
+    }
+
+    /// Commit a local transaction (step I.2): extract the writeset, run
+    /// local validation against the tocommit queue, multicast in total
+    /// order, and block until the transaction's fate is decided.
+    pub fn commit_local(self: &Arc<Self>, active: ActiveTxn) -> Result<(), DbError> {
+        let ActiveTxn { xact, txn, guard } = active;
+        let ws = txn.writeset();
+        if ws.is_empty() {
+            // Read-only fast path (step I.2.c): commit locally, no
+            // coordination. Its commit position is irrelevant for 1-copy-SI.
+            self.recorder.on_local_committed(xact, &txn, &ws);
+            txn.commit()?;
+            self.recorder.on_commit(xact);
+            Metrics::inc(&self.metrics.commits_readonly);
+            return Ok(());
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        let ws = Arc::new(ws);
+        {
+            let mut st = self.state.lock();
+            // Local validation (adjustment 1): only the tocommit queue.
+            if st.queue.iter().any(|e| e.ws.intersects(&ws)) {
+                drop(st);
+                txn.abort(AbortReason::ValidationFailure);
+                Metrics::inc(&self.metrics.aborts_validation);
+                return Err(DbError::Aborted(AbortReason::ValidationFailure));
+            }
+            let cert = st.wslist.last_tid();
+            st.pending_local
+                .insert(xact, PendingLocal { txn, responder: reply_tx, guard });
+            // Multicast outside the lock; cert was captured under it, so
+            // anything validated in between has tid > cert and global
+            // validation will see it.
+            drop(st);
+            let msg = ReplMsg::WriteSet(Arc::new(WsMsg {
+                origin: self.id,
+                xact,
+                cert,
+                ws: Arc::clone(&ws),
+            }));
+            if self.gcs.multicast_total(msg).is_err() {
+                // We crashed concurrently; the pending entry is cleaned up
+                // by the shutdown path.
+                return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
+            }
+        }
+        match reply_rx.recv() {
+            Ok(Ok(job)) => {
+                // Adjustment 2: commit immediately on this (the client's)
+                // thread — never behind the applier pool.
+                let LocalCommitJob { tid, txn, _guard } = job;
+                self.finalize(tid, xact, &ws, txn, true);
+                Metrics::inc(&self.metrics.commits_update);
+                Ok(())
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(DbError::Aborted(AbortReason::ReplicaCrashed)),
+        }
+    }
+
+    /// Resolve an in-doubt transaction for a failed-over client (§5.4 case
+    /// 3): blocks until the outcome is known or the origin's crash has been
+    /// processed — uniform delivery guarantees no writeset can arrive after
+    /// that.
+    pub fn inquire(&self, xact: XactId) -> Result<InDoubt, DbError> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(o) = st.outcomes.get(xact) {
+                return Ok(InDoubt::Known(o));
+            }
+            // The transaction's origin *incarnation* has departed: uniform
+            // delivery put any writeset it multicast in front of the view
+            // change we already processed, so no outcome means no writeset
+            // — even if the replica id has since re-joined (recovery).
+            if st.departed.contains(&(xact.origin, xact.incarnation()))
+                || (!st.view.contains(&xact.origin)
+                    && st.incarnations.get(&xact.origin).copied().unwrap_or(0)
+                        == xact.incarnation())
+            {
+                return Ok(InDoubt::NeverReceived);
+            }
+            if !self.is_alive() {
+                return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
+            }
+            self.cond.wait_for(&mut st, WAIT_TICK);
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Delivery thread (step II: global validation in total order)
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn run_delivery(self: Arc<Self>, member: Member<ReplMsg>) {
+        let idle = Duration::from_millis(10);
+        loop {
+            if !self.is_alive() {
+                return;
+            }
+            match member.recv_timeout(idle) {
+                Ok(Delivery::TotalOrder { msg: ReplMsg::WriteSet(m), .. }) => {
+                    self.handle_writeset(&m);
+                }
+                Ok(
+                    Delivery::TotalOrder { msg: ReplMsg::Progress { from, lastvalidated }, .. }
+                    | Delivery::Fifo { msg: ReplMsg::Progress { from, lastvalidated }, .. },
+                ) => {
+                    let mut st = self.state.lock();
+                    let view = st.view.clone();
+                    st.wslist.advance_progress(from, lastvalidated, &view);
+                }
+                Ok(
+                    Delivery::TotalOrder { msg: ReplMsg::Marker { token }, .. }
+                    | Delivery::Fifo { msg: ReplMsg::Marker { token }, .. },
+                ) => {
+                    let mut st = self.state.lock();
+                    st.markers_seen.insert(token);
+                    self.cond.notify_all();
+                }
+                Ok(Delivery::Fifo { msg: ReplMsg::WriteSet(_), .. }) => {
+                    debug_assert!(false, "writesets travel in total order only");
+                }
+                Ok(Delivery::ViewChange(v)) => {
+                    // Translate member ids to logical replica ids
+                    // (recovered replicas re-join under fresh member ids).
+                    let reg = self.registry.lock();
+                    let mut view: Vec<ReplicaId> = v
+                        .members
+                        .iter()
+                        .map(|m| reg.get(&m.raw()).copied().unwrap_or(ReplicaId::new(m.raw())))
+                        .collect();
+                    drop(reg);
+                    view.sort();
+                    view.dedup();
+                    let mut st = self.state.lock();
+                    // Departure/rejoin bookkeeping for in-doubt resolution.
+                    for r in st.view.clone() {
+                        if !view.contains(&r) {
+                            let inc = st.incarnations.get(&r).copied().unwrap_or(0);
+                            st.departed.insert((r, inc));
+                        }
+                    }
+                    for r in &view {
+                        let cur = st.incarnations.get(r).copied().unwrap_or(0);
+                        if st.departed.contains(&(*r, cur)) {
+                            // A previously departed replica re-joined: bump.
+                            st.incarnations.insert(*r, cur + 1);
+                        } else {
+                            st.incarnations.entry(*r).or_insert(0);
+                        }
+                    }
+                    st.view = view;
+                    self.cond.notify_all();
+                }
+                Err(GcsError::Timeout) => self.maybe_send_progress(),
+                Err(_) => return, // disconnected: we crashed
+            }
+        }
+    }
+
+    fn handle_writeset(self: &Arc<Self>, m: &WsMsg) {
+        let mut st = self.state.lock();
+        Metrics::inc(&self.metrics.ws_delivered);
+        if st.outcomes.get(m.xact).is_some() {
+            // Already decided — only possible on a recovered replica whose
+            // delivery buffer overlaps the transferred state (the effect is
+            // in the fork or the copied queue). Skip idempotently.
+            return;
+        }
+        {
+            let view = st.view.clone();
+            st.wslist.advance_progress(m.origin, m.cert, &view);
+        }
+        if st.wslist.passes(m.cert, &m.ws) {
+            let tid = st.wslist.append(m.xact, Arc::clone(&m.ws));
+            st.holes.on_validated(tid);
+            // A local entry with a waiting session commits on the session
+            // thread (adjustment 2); mark it running so no applier picks it.
+            let local_job = if m.origin == self.id {
+                st.pending_local
+                    .remove(&m.xact)
+                    .map(|p| (p.responder, LocalCommitJob { tid, txn: p.txn, _guard: p.guard }))
+            } else {
+                None
+            };
+            st.queue.push_back(QEntry {
+                tid,
+                xact: m.xact,
+                ws: Arc::clone(&m.ws),
+                origin: m.origin,
+                running: local_job.is_some(),
+            });
+            st.outcomes.record(m.xact, Outcome::Committed);
+            drop(st);
+            if let Some((responder, job)) = local_job {
+                let _ = responder.send(Ok(job));
+            }
+            self.cond.notify_all();
+        } else {
+            st.outcomes.record(m.xact, Outcome::Aborted);
+            Metrics::inc(&self.metrics.ws_discarded);
+            if m.origin == self.id {
+                if let Some(p) = st.pending_local.remove(&m.xact) {
+                    drop(st);
+                    p.txn.abort(AbortReason::ValidationFailure);
+                    Metrics::inc(&self.metrics.aborts_validation);
+                    let _ = p.responder.send(Err(DbError::Aborted(
+                        AbortReason::ValidationFailure,
+                    )));
+                    self.cond.notify_all();
+                    return;
+                }
+            }
+            self.cond.notify_all();
+        }
+    }
+
+    /// When idle and the ws_list is growing, advertise our progress so every
+    /// replica can prune (we promise future certs ≥ lastvalidated).
+    fn maybe_send_progress(&self) {
+        const PRUNE_THRESHOLD: usize = 64;
+        let (should, lastvalidated) = {
+            let st = self.state.lock();
+            let lv = st.wslist.last_tid();
+            (st.wslist.len() > PRUNE_THRESHOLD && lv > st.last_progress_sent, lv)
+        };
+        if should
+            && self
+                .gcs
+                .multicast_fifo(ReplMsg::Progress { from: self.id, lastvalidated })
+                .is_ok()
+        {
+            self.state.lock().last_progress_sent = lastvalidated;
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Applier threads (step III)
+    // ---------------------------------------------------------------------
+
+    pub(crate) fn run_applier(self: Arc<Self>) {
+        loop {
+            // Pick the first queue entry with no conflicting predecessor
+            // (adjustment 2: anything non-conflicting may proceed, not just
+            // the head).
+            let picked = {
+                let mut st = self.state.lock();
+                loop {
+                    if !self.is_alive() {
+                        return;
+                    }
+                    if let Some(i) = Self::find_eligible(&st.queue) {
+                        st.queue[i].running = true;
+                        break (
+                            st.queue[i].tid,
+                            st.queue[i].xact,
+                            Arc::clone(&st.queue[i].ws),
+                            st.queue[i].origin,
+                        );
+                    }
+                    self.cond.wait_for(&mut st, WAIT_TICK);
+                }
+            };
+            let (tid, xact, ws, _origin) = picked;
+            // Appliers only ever see remote writesets (local entries are
+            // committed by their session thread and enter the queue already
+            // marked running). A nominally-local entry without a session —
+            // transferred during recovery from before our crash — is applied
+            // like any remote writeset.
+            let handle = match self.apply_remote(&ws) {
+                Some(h) => h,
+                None => return, // database crashed
+            };
+            self.finalize(tid, xact, &ws, handle, false);
+        }
+    }
+
+    /// Apply a remote writeset, retrying on database deadlocks (§4.2: "the
+    /// middleware has to reapply the writeset until the remote transaction
+    /// succeeds").
+    fn apply_remote(&self, ws: &WriteSet) -> Option<TxnHandle> {
+        loop {
+            if !self.is_alive() {
+                return None;
+            }
+            let txn = match self.db.begin() {
+                Ok(t) => t,
+                Err(_) => return None,
+            };
+            match txn.apply_writeset(ws) {
+                Ok(()) => return Some(txn),
+                Err(DbError::Aborted(AbortReason::Deadlock))
+                | Err(DbError::Aborted(AbortReason::SerializationFailure)) => {
+                    Metrics::inc(&self.metrics.ws_apply_retries);
+                    continue;
+                }
+                Err(DbError::Aborted(AbortReason::Shutdown)) => return None,
+                Err(e) => {
+                    // Schema divergence would be a bug: surface loudly.
+                    panic!("writeset application failed irrecoverably: {e}");
+                }
+            }
+        }
+    }
+
+    /// Commit a picked entry: log force outside the lock, then the hole
+    /// rule + database commit + bookkeeping atomically under it. Called by
+    /// applier threads for remote writesets and by the owning session
+    /// thread for local transactions (adjustment 2).
+    fn finalize(&self, tid: GlobalTid, xact: XactId, ws: &WriteSet, txn: TxnHandle, is_local: bool) {
+        self.db.cost_model().commit();
+        let mut st = self.state.lock();
+        if self.mode == ReplicationMode::SrcaRep {
+            let mut counted = false;
+            while !st.holes.may_commit(tid, is_local) && self.is_alive() {
+                if !counted {
+                    Metrics::inc(&self.metrics.commits_delayed_for_holes);
+                    counted = true;
+                }
+                self.cond.wait_for(&mut st, WAIT_TICK);
+            }
+        }
+        if !self.is_alive() {
+            drop(st);
+            txn.abort(AbortReason::Shutdown);
+            return;
+        }
+        if is_local {
+            self.recorder.on_local_committed(xact, &txn, ws);
+        } else {
+            self.recorder.on_begin(xact);
+        }
+        let res = txn.commit_quiet();
+        debug_assert!(res.is_ok(), "validated transaction failed to commit: {res:?}");
+        self.recorder.on_commit(xact);
+        st.holes.on_committed(tid);
+        if let Some(pos) = st.queue.iter().position(|e| e.xact == xact) {
+            st.queue.remove(pos);
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    fn find_eligible(queue: &VecDeque<QEntry>) -> Option<usize> {
+        'outer: for i in 0..queue.len() {
+            if queue[i].running {
+                continue;
+            }
+            for j in 0..i {
+                if queue[j].ws.intersects(&queue[i].ws) {
+                    continue 'outer;
+                }
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    // ---------------------------------------------------------------------
+    // Crash / shutdown
+    // ---------------------------------------------------------------------
+
+    /// Bring this replica down: fail all client operations, kill active
+    /// database transactions, answer pending commits with a crash error.
+    /// The caller must also crash the GCS member so survivors get a view
+    /// change.
+    pub(crate) fn mark_crashed(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.db.crash();
+        let pendings: Vec<PendingLocal> = {
+            let mut st = self.state.lock();
+            st.pending_local.drain().map(|(_, p)| p).collect()
+        };
+        for p in pendings {
+            p.txn.abort(AbortReason::ReplicaCrashed);
+            let _ = p.responder.send(Err(DbError::Aborted(AbortReason::ReplicaCrashed)));
+        }
+        self.cond.notify_all();
+    }
+}
+
+/// Remote-begin recording note: the begin of a remote transaction at this
+/// replica is recorded in [`ReplicaNode::finalize`] just before its commit,
+/// while the state lock is held. Its exact position does not affect
+/// 1-copy-SI (remote readsets are empty — Def. 3), but it must not span a
+/// conflicting commit, and by recording it at commit time under the lock it
+/// never does.
+#[allow(dead_code)]
+struct RecordingNotes;

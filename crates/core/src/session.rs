@@ -1,0 +1,195 @@
+//! Client sessions and the system-agnostic connection traits.
+//!
+//! A [`Session`] models one JDBC connection with `autocommit=off`: the
+//! first statement after a commit/rollback implicitly begins a transaction
+//! (there is no explicit BEGIN in JDBC — §5.3 of the paper), `commit()`
+//! drives the replication protocol, and abort errors doom the transaction
+//! until the next statement starts a fresh one.
+
+use crate::msg::XactId;
+use crate::node::{ActiveTxn, ReplicaNode};
+use sirep_common::{AbortReason, DbError, Metrics};
+use sirep_sql::{ExecResult, Statement};
+use std::sync::Arc;
+
+/// A workload transaction template. Statement-oriented systems replay the
+/// statements; the table-level-locking baseline of [20] additionally needs
+/// the pre-declared table list (its key usability restriction, which
+/// SI-Rep exists to remove).
+#[derive(Debug, Clone)]
+pub struct TxnTemplate {
+    pub statements: Vec<String>,
+    /// Tables the transaction will touch — required by the [20] baseline.
+    pub tables: Vec<String>,
+    /// Purely read-only (lets primary-copy-ish systems route it).
+    pub readonly: bool,
+}
+
+/// Anything a client can connect to: an SRCA-Rep replica, the centralized
+/// SRCA middleware, the [20] baseline, or a plain single database.
+pub trait System: Send + Sync {
+    fn name(&self) -> &'static str;
+    /// Open a client connection. Statement-oriented systems hand out
+    /// sessions; the [20] baseline hands out request submitters.
+    fn connect(&self) -> Result<Box<dyn Connection>, DbError>;
+    /// Aggregated protocol metrics.
+    fn metrics(&self) -> Metrics;
+}
+
+/// One client connection.
+pub trait Connection: Send {
+    /// Execute one SQL statement inside the current transaction (starting
+    /// one if needed).
+    fn execute(&mut self, sql: &str) -> Result<ExecResult, DbError>;
+    /// Commit the current transaction.
+    fn commit(&mut self) -> Result<(), DbError>;
+    /// Roll back the current transaction (no-op without one).
+    fn rollback(&mut self);
+    /// Run a whole transaction template: default implementation replays the
+    /// statements and commits, which is what the statement-transparent
+    /// systems do. The [20] baseline overrides this (it *needs* the
+    /// template).
+    fn run_template(&mut self, tmpl: &TxnTemplate) -> Result<(), DbError> {
+        for sql in &tmpl.statements {
+            self.execute(sql)?;
+        }
+        self.commit()
+    }
+    /// The current transaction's client-visible id, if one is active
+    /// (used by the failover driver for in-doubt resolution).
+    fn xact_id(&self) -> Option<XactId> {
+        None
+    }
+}
+
+/// A session pinned to one SRCA-Rep replica.
+pub struct Session {
+    node: Arc<ReplicaNode>,
+    current: Option<ActiveTxn>,
+    autocommit: bool,
+}
+
+impl Session {
+    pub fn new(node: Arc<ReplicaNode>) -> Session {
+        Session { node, current: None, autocommit: false }
+    }
+
+    pub fn node(&self) -> &Arc<ReplicaNode> {
+        &self.node
+    }
+
+    /// JDBC's autocommit mode (the paper's footnote 4: "Otherwise each
+    /// statement should be executed in its own transaction"). Off by
+    /// default, as in all the experiments. Turning it on commits any open
+    /// transaction first, like `Connection.setAutoCommit(true)` does.
+    pub fn set_autocommit(&mut self, on: bool) -> Result<(), DbError> {
+        if on && self.current.is_some() {
+            self.commit()?;
+        }
+        self.autocommit = on;
+        Ok(())
+    }
+
+    pub fn autocommit(&self) -> bool {
+        self.autocommit
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.current.is_some()
+    }
+
+    fn ensure_txn(&mut self) -> Result<&ActiveTxn, DbError> {
+        if self.current.is_none() {
+            self.current = Some(self.node.begin_local()?);
+        }
+        Ok(self.current.as_ref().expect("just ensured"))
+    }
+}
+
+impl Connection for Session {
+    fn execute(&mut self, sql: &str) -> Result<ExecResult, DbError> {
+        let stmt = sirep_sql::parse(sql)?;
+        if matches!(stmt, Statement::CreateTable { .. }) {
+            return Err(DbError::Unsupported(
+                "DDL must run through Cluster::execute_ddl (identical schemas at all replicas)"
+                    .into(),
+            ));
+        }
+        let db = self.node.database().clone();
+        let active = self.ensure_txn()?;
+        match sirep_sql::execute(&db, &active.txn, &stmt) {
+            Ok(r) => {
+                if self.autocommit {
+                    self.commit()?;
+                }
+                Ok(r)
+            }
+            Err(e) => {
+                if e.is_abort() || matches!(e, DbError::DuplicateKey(_)) {
+                    // The engine doomed the transaction (PostgreSQL
+                    // semantics); drop our handle.
+                    if let DbError::Aborted(reason) = &e {
+                        match reason {
+                            AbortReason::SerializationFailure => {
+                                Metrics::inc(&self.node.metrics.aborts_serialization)
+                            }
+                            AbortReason::Deadlock => {
+                                Metrics::inc(&self.node.metrics.aborts_deadlock)
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.current = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn commit(&mut self) -> Result<(), DbError> {
+        match self.current.take() {
+            None => Ok(()), // JDBC: commit with no work is a no-op
+            Some(active) => self.node.commit_local(active),
+        }
+    }
+
+    fn rollback(&mut self) {
+        if let Some(active) = self.current.take() {
+            active.txn.abort(AbortReason::UserRequested);
+            Metrics::inc(&self.node.metrics.aborts_user);
+        }
+    }
+
+    fn xact_id(&self) -> Option<XactId> {
+        self.current.as_ref().map(|a| a.xact)
+    }
+}
+
+impl System for crate::cluster::Cluster {
+    fn name(&self) -> &'static str {
+        match self.config().mode {
+            crate::node::ReplicationMode::SrcaRep => "SRCA-Rep",
+            crate::node::ReplicationMode::SrcaOpt => "SRCA-Opt",
+        }
+    }
+
+    fn connect(&self) -> Result<Box<dyn Connection>, DbError> {
+        // Round-robin over alive replicas (simple load balancing; the
+        // driver crate adds discovery + failover on top).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let alive = self.alive();
+        if alive.is_empty() {
+            return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
+        }
+        let pick = NEXT.fetch_add(1, Ordering::Relaxed) % alive.len();
+        Ok(Box::new(Session::new(Arc::clone(&alive[pick]))))
+    }
+
+    fn metrics(&self) -> Metrics {
+        Cluster::metrics(self)
+    }
+}
+
+use crate::cluster::Cluster;

@@ -1,0 +1,201 @@
+//! Certification: the `ws_list` and the validation test.
+//!
+//! A transaction `T_i` passes validation iff no transaction that validated
+//! after `T_i.cert` has an overlapping writeset (SRCA step I.3.d / SRCA-Rep
+//! step II.2):
+//!
+//! > if ∃ Tj ∈ ws_list such that Ti.cert < Tj.tid ∧ Ti.WS ∩ Tj.WS ≠ ∅
+//! > then abort else Ti.tid := ++lastvalidated.
+//!
+//! Every replica runs this test in total-order delivery order with the same
+//! inputs, so every replica assigns the same `tid`s and makes the same
+//! decisions — the heart of the paper's determinism argument.
+//!
+//! The `ws_list` would grow without bound; entries with
+//! `tid <= min(cert of any future message)` can never participate in a
+//! validation again. Replicas advertise their `lastvalidated` (piggybacked
+//! on every writeset's `cert`, plus explicit [`ReplMsg::Progress`] messages
+//! when idle), and the list is pruned below the group-wide minimum.
+//!
+//! [`ReplMsg::Progress`]: crate::msg::ReplMsg::Progress
+
+use crate::msg::XactId;
+use sirep_common::{GlobalTid, ReplicaId};
+use sirep_storage::WriteSet;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// One validated writeset.
+#[derive(Debug, Clone)]
+pub struct CertEntry {
+    pub tid: GlobalTid,
+    pub xact: XactId,
+    pub ws: Arc<WriteSet>,
+}
+
+/// The list of validated writesets, ordered by tid (ascending).
+#[derive(Debug, Default, Clone)]
+pub struct WsList {
+    entries: VecDeque<CertEntry>,
+    last_tid: GlobalTid,
+    /// Latest `lastvalidated` advertised by each replica (for pruning).
+    progress: HashMap<ReplicaId, GlobalTid>,
+}
+
+impl WsList {
+    pub fn new() -> WsList {
+        WsList::default()
+    }
+
+    /// `lastvalidated_tid`: the tid of the most recently validated txn.
+    pub fn last_tid(&self) -> GlobalTid {
+        self.last_tid
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The validation test: does `ws` conflict with any entry validated
+    /// after `cert`?
+    pub fn passes(&self, cert: GlobalTid, ws: &WriteSet) -> bool {
+        // Entries are tid-ascending; scan from the back and stop at cert.
+        for e in self.entries.iter().rev() {
+            if e.tid <= cert {
+                break;
+            }
+            if e.ws.intersects(ws) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Assign the next tid and append (the caller must have called
+    /// [`WsList::passes`] under the same lock).
+    pub fn append(&mut self, xact: XactId, ws: Arc<WriteSet>) -> GlobalTid {
+        self.last_tid = self.last_tid.next();
+        self.entries.push_back(CertEntry { tid: self.last_tid, xact, ws });
+        self.last_tid
+    }
+
+    /// Record a replica's advertised progress and prune entries no future
+    /// message can be certified against. `alive` lists replicas still in
+    /// the view (crashed replicas must not hold the watermark back).
+    pub fn advance_progress(
+        &mut self,
+        from: ReplicaId,
+        lastvalidated: GlobalTid,
+        alive: &[ReplicaId],
+    ) {
+        let e = self.progress.entry(from).or_insert(GlobalTid::ZERO);
+        *e = (*e).max(lastvalidated);
+        self.progress.retain(|r, _| alive.contains(r));
+        // Until every live replica has reported at least once, don't prune.
+        if alive.iter().any(|r| !self.progress.contains_key(r)) {
+            return;
+        }
+        let watermark = self.progress.values().copied().min().unwrap_or(GlobalTid::ZERO);
+        while self.entries.front().is_some_and(|e| e.tid <= watermark) {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Iterate entries with `tid > cert` (test/debug).
+    pub fn entries_after(&self, cert: GlobalTid) -> impl Iterator<Item = &CertEntry> {
+        self.entries.iter().filter(move |e| e.tid > cert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirep_storage::{Key, WsOp};
+
+    fn ws(keys: &[i64]) -> Arc<WriteSet> {
+        let mut w = WriteSet::new();
+        for &k in keys {
+            w.push(Arc::from("t"), Key::single(k), WsOp::Delete);
+        }
+        Arc::new(w)
+    }
+
+    fn xact(seq: u64) -> XactId {
+        XactId { origin: ReplicaId::new(0), seq }
+    }
+
+    #[test]
+    fn tids_are_dense_and_increasing() {
+        let mut l = WsList::new();
+        assert_eq!(l.last_tid(), GlobalTid::ZERO);
+        let t1 = l.append(xact(1), ws(&[1]));
+        let t2 = l.append(xact(2), ws(&[2]));
+        assert_eq!(t1, GlobalTid::new(1));
+        assert_eq!(t2, GlobalTid::new(2));
+        assert_eq!(l.last_tid(), t2);
+    }
+
+    #[test]
+    fn validation_checks_only_after_cert() {
+        let mut l = WsList::new();
+        l.append(xact(1), ws(&[1])); // tid 1
+        l.append(xact(2), ws(&[2])); // tid 2
+        // cert = 0: conflicts with tid 1.
+        assert!(!l.passes(GlobalTid::ZERO, &ws(&[1])));
+        // cert = 1: tid 1 is no longer concurrent → passes.
+        assert!(l.passes(GlobalTid::new(1), &ws(&[1])));
+        // cert = 1 but conflicts with tid 2 → fails.
+        assert!(!l.passes(GlobalTid::new(1), &ws(&[2])));
+        // Disjoint always passes.
+        assert!(l.passes(GlobalTid::ZERO, &ws(&[99])));
+    }
+
+    #[test]
+    fn progress_pruning_waits_for_all_replicas() {
+        let mut l = WsList::new();
+        for i in 1..=10 {
+            l.append(xact(i), ws(&[i as i64]));
+        }
+        let alive = vec![ReplicaId::new(0), ReplicaId::new(1)];
+        l.advance_progress(ReplicaId::new(0), GlobalTid::new(10), &alive);
+        assert_eq!(l.len(), 10, "must not prune before all replicas report");
+        l.advance_progress(ReplicaId::new(1), GlobalTid::new(4), &alive);
+        assert_eq!(l.len(), 6, "prunes to min watermark");
+        // Validation against surviving entries still works.
+        assert!(!l.passes(GlobalTid::new(4), &ws(&[5])));
+    }
+
+    #[test]
+    fn crashed_replicas_do_not_hold_watermark() {
+        let mut l = WsList::new();
+        for i in 1..=5 {
+            l.append(xact(i), ws(&[i as i64]));
+        }
+        let both = vec![ReplicaId::new(0), ReplicaId::new(1)];
+        l.advance_progress(ReplicaId::new(0), GlobalTid::new(5), &both);
+        l.advance_progress(ReplicaId::new(1), GlobalTid::new(1), &both);
+        assert_eq!(l.len(), 4);
+        // R1 crashes; its stale watermark is dropped.
+        let only0 = vec![ReplicaId::new(0)];
+        l.advance_progress(ReplicaId::new(0), GlobalTid::new(5), &only0);
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn progress_is_monotonic() {
+        let mut l = WsList::new();
+        for i in 1..=3 {
+            l.append(xact(i), ws(&[i as i64]));
+        }
+        let alive = vec![ReplicaId::new(0)];
+        l.advance_progress(ReplicaId::new(0), GlobalTid::new(3), &alive);
+        assert!(l.is_empty());
+        // A stale (smaller) report cannot resurrect anything or regress.
+        l.advance_progress(ReplicaId::new(0), GlobalTid::new(1), &alive);
+        assert!(l.is_empty());
+    }
+}

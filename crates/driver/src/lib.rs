@@ -1,0 +1,324 @@
+//! # sirep-driver
+//!
+//! The SI-Rep client driver — the analogue of the paper's JDBC driver
+//! (§5.4): *"A client is connected to one middleware replica via a standard
+//! JDBC interface [...] we provide automatic failover in case of site or
+//! process crashes."*
+//!
+//! What it reproduces:
+//!
+//! - **Discovery**: instead of connecting to a fixed address, the driver
+//!   asks the group for replicas willing to take load ("the middleware as a
+//!   whole has a fixed IP multicast address"; replicas "respond with their
+//!   IP address/port") and picks one by a pluggable [`Policy`] — the
+//!   paper's §8 names load balancing as future work, so policies beyond
+//!   round-robin are an extension.
+//! - **Failover** on middleware crash, distinguishing the paper's three
+//!   connection states:
+//!   1. *no active transaction* → reconnect transparently;
+//!   2. *transaction active, commit not yet submitted* → the transaction is
+//!      lost; the driver surfaces a retryable error but the connection
+//!      remains usable (reconnected);
+//!   3. *commit submitted* → the driver reconnects and resolves the
+//!      **in-doubt** transaction by its identifier: if the new replica
+//!      received the writeset the recorded validation outcome is returned
+//!      (possibly a fully transparent success); if it did not, uniform
+//!      delivery guarantees the transaction committed nowhere.
+//!
+//! ```
+//! use sirep_core::{Cluster, ClusterConfig, Connection};
+//! use sirep_driver::{Driver, DriverConfig};
+//! use std::sync::Arc;
+//!
+//! let cluster = Arc::new(Cluster::new(ClusterConfig::test(3)));
+//! cluster.execute_ddl("CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap();
+//! let driver = Driver::new(Arc::clone(&cluster), DriverConfig::default());
+//! let mut conn = driver.connect().unwrap();
+//! conn.execute("INSERT INTO t VALUES (1)").unwrap();
+//! conn.commit().unwrap();
+//! ```
+
+use sirep_common::{AbortReason, DbError};
+use sirep_core::{Cluster, Connection, InDoubt, Outcome, ReplicaNode, Session, XactId};
+use sirep_sql::ExecResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Replica choice policy (load balancing — paper §8 future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Rotate over alive replicas.
+    #[default]
+    RoundRobin,
+    /// Pick the alive replica with the least queued replication work.
+    LeastLoaded,
+    /// Always prefer the lowest-numbered alive replica (deterministic;
+    /// useful in tests).
+    Primary,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DriverConfig {
+    pub policy: Policy,
+    /// How many replicas to try before giving up on a failover.
+    pub max_failover_attempts: usize,
+}
+
+impl DriverConfig {
+    pub fn with_policy(policy: Policy) -> DriverConfig {
+        DriverConfig { policy, max_failover_attempts: 0 }
+    }
+}
+
+/// The driver: a connection factory bound to one cluster (the "multicast
+/// address" of the middleware group).
+pub struct Driver {
+    cluster: Arc<Cluster>,
+    config: DriverConfig,
+    rr: AtomicUsize,
+}
+
+impl Driver {
+    pub fn new(cluster: Arc<Cluster>, config: DriverConfig) -> Driver {
+        Driver { cluster, config, rr: AtomicUsize::new(0) }
+    }
+
+    /// Discovery + replica choice.
+    fn discover(&self, exclude: Option<&Arc<ReplicaNode>>) -> Result<Arc<ReplicaNode>, DbError> {
+        let mut alive = self.cluster.alive();
+        if let Some(ex) = exclude {
+            alive.retain(|n| n.id() != ex.id());
+        }
+        if alive.is_empty() {
+            return Err(DbError::ConnectionLost { in_doubt: false });
+        }
+        let pick = match self.config.policy {
+            Policy::RoundRobin => {
+                let i = self.rr.fetch_add(1, Ordering::Relaxed) % alive.len();
+                Arc::clone(&alive[i])
+            }
+            Policy::LeastLoaded => {
+                let n = alive
+                    .iter()
+                    .min_by_key(|n| n.queue_len() + n.pending_len())
+                    .expect("nonempty");
+                Arc::clone(n)
+            }
+            Policy::Primary => {
+                let n = alive.iter().min_by_key(|n| n.id()).expect("nonempty");
+                Arc::clone(n)
+            }
+        };
+        Ok(pick)
+    }
+
+    /// Open a failover-capable connection.
+    pub fn connect(&self) -> Result<DriverConnection<'_>, DbError> {
+        let node = self.discover(None)?;
+        Ok(DriverConnection { driver: self, session: Session::new(node), failovers: 0 })
+    }
+}
+
+/// A client connection with transparent failover.
+pub struct DriverConnection<'d> {
+    driver: &'d Driver,
+    session: Session,
+    /// Total failovers performed on this connection (observable for tests
+    /// and metrics).
+    failovers: usize,
+}
+
+impl DriverConnection<'_> {
+    pub fn failovers(&self) -> usize {
+        self.failovers
+    }
+
+    /// The replica this connection is currently pinned to.
+    pub fn replica(&self) -> sirep_common::ReplicaId {
+        self.session.node().id()
+    }
+
+    fn is_crash(e: &DbError) -> bool {
+        matches!(
+            e,
+            DbError::Aborted(AbortReason::ReplicaCrashed)
+                | DbError::Aborted(AbortReason::Shutdown)
+                | DbError::ConnectionLost { .. }
+        )
+    }
+
+    /// Reconnect to another replica. Returns an error only when no replica
+    /// is left.
+    fn reconnect(&mut self) -> Result<(), DbError> {
+        let max = if self.driver.config.max_failover_attempts == 0 {
+            usize::MAX
+        } else {
+            self.driver.config.max_failover_attempts
+        };
+        if self.failovers >= max {
+            return Err(DbError::ConnectionLost { in_doubt: false });
+        }
+        let current = Arc::clone(self.session.node());
+        let next = self.driver.discover(Some(&current))?;
+        self.session = Session::new(next);
+        self.failovers += 1;
+        Ok(())
+    }
+}
+
+impl Connection for DriverConnection<'_> {
+    fn execute(&mut self, sql: &str) -> Result<ExecResult, DbError> {
+        let had_txn = self.session.in_transaction();
+        match self.session.execute(sql) {
+            Ok(r) => Ok(r),
+            Err(e) if Self::is_crash(&e) => {
+                self.reconnect()?;
+                if had_txn {
+                    // §5.4 case 2: the transaction was local to the crashed
+                    // replica and is lost; the client may retry on the (now
+                    // reconnected) connection.
+                    Err(DbError::Aborted(AbortReason::ReplicaCrashed))
+                } else {
+                    // Case 1: nothing was in flight — fully transparent.
+                    self.session.execute(sql)
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn commit(&mut self) -> Result<(), DbError> {
+        // Capture the in-doubt identifier before submitting the commit.
+        let xact = self.session.xact_id();
+        match self.session.commit() {
+            Ok(()) => Ok(()),
+            Err(e) if Self::is_crash(&e) => {
+                // §5.4 case 3: the commit was submitted but the replica
+                // died. Fail over and resolve by transaction id.
+                self.reconnect()?;
+                let Some(xact) = xact else {
+                    return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
+                };
+                self.resolve_in_doubt(xact)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn rollback(&mut self) {
+        self.session.rollback();
+    }
+
+    fn xact_id(&self) -> Option<XactId> {
+        self.session.xact_id()
+    }
+}
+
+impl DriverConnection<'_> {
+    fn resolve_in_doubt(&mut self, xact: XactId) -> Result<(), DbError> {
+        loop {
+            match self.session.node().inquire(xact) {
+                Ok(InDoubt::Known(Outcome::Committed)) => return Ok(()),
+                Ok(InDoubt::Known(Outcome::Aborted)) => {
+                    return Err(DbError::Aborted(AbortReason::ValidationFailure));
+                }
+                Ok(InDoubt::NeverReceived) => {
+                    // Uniform delivery: the writeset reached nobody — the
+                    // transaction is simply lost, safe to retry.
+                    return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
+                }
+                Err(_) => {
+                    // The replica we asked also crashed; keep failing over.
+                    self.reconnect()?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirep_core::ClusterConfig;
+
+    fn cluster(n: usize) -> Arc<Cluster> {
+        let c = Arc::new(Cluster::new(ClusterConfig::test(n)));
+        c.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
+        c
+    }
+
+    #[test]
+    fn basic_connect_and_commit() {
+        let c = cluster(3);
+        let d = Driver::new(Arc::clone(&c), DriverConfig::default());
+        let mut conn = d.connect().unwrap();
+        conn.execute("INSERT INTO kv VALUES (1, 1)").unwrap();
+        conn.commit().unwrap();
+        assert_eq!(conn.failovers(), 0);
+    }
+
+    #[test]
+    fn round_robin_spreads_connections() {
+        let c = cluster(3);
+        let d = Driver::new(Arc::clone(&c), DriverConfig::default());
+        let replicas: std::collections::HashSet<_> =
+            (0..3).map(|_| d.connect().unwrap().replica()).collect();
+        assert_eq!(replicas.len(), 3);
+    }
+
+    #[test]
+    fn case1_transparent_failover_without_txn() {
+        let c = cluster(3);
+        let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::Primary));
+        let mut conn = d.connect().unwrap();
+        conn.execute("INSERT INTO kv VALUES (1, 1)").unwrap();
+        conn.commit().unwrap();
+        assert!(c.quiesce(std::time::Duration::from_secs(5)));
+        let victim = conn.replica();
+        c.crash(victim.index());
+        // No transaction was active: the next statement succeeds unnoticed.
+        let r = conn.execute("SELECT v FROM kv WHERE k = 1").unwrap();
+        assert_eq!(r.rows()[0][0], sirep_storage::Value::Int(1));
+        conn.commit().unwrap();
+        assert_eq!(conn.failovers(), 1);
+        assert_ne!(conn.replica(), victim);
+    }
+
+    #[test]
+    fn case2_active_txn_is_lost_but_connection_survives() {
+        let c = cluster(3);
+        let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::Primary));
+        let mut conn = d.connect().unwrap();
+        conn.execute("INSERT INTO kv VALUES (5, 5)").unwrap(); // txn active
+        c.crash(conn.replica().index());
+        let err = conn.execute("INSERT INTO kv VALUES (6, 6)").unwrap_err();
+        assert_eq!(err, DbError::Aborted(AbortReason::ReplicaCrashed));
+        // The connection failed over; a retry of the whole txn succeeds.
+        conn.execute("INSERT INTO kv VALUES (5, 5)").unwrap();
+        conn.execute("INSERT INTO kv VALUES (6, 6)").unwrap();
+        conn.commit().unwrap();
+        assert!(c.quiesce(std::time::Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn least_loaded_policy_picks_alive() {
+        let c = cluster(2);
+        let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::LeastLoaded));
+        c.crash(0);
+        let conn = d.connect().unwrap();
+        assert_eq!(conn.replica().index(), 1);
+    }
+
+    #[test]
+    fn all_replicas_down_is_connection_lost() {
+        let c = cluster(1);
+        let d = Driver::new(Arc::clone(&c), DriverConfig::default());
+        c.crash(0);
+        let err = match d.connect() {
+            Err(e) => e,
+            Ok(_) => panic!("connect must fail with every replica down"),
+        };
+        assert!(matches!(err, DbError::ConnectionLost { .. }));
+    }
+}

@@ -1,0 +1,372 @@
+//! The group: membership, sequencing, and delivery queues.
+//!
+//! All sequencing decisions happen under one mutex, which makes the
+//! guarantees easy to state and verify:
+//!
+//! - **Total order**: every total-order multicast is assigned a global
+//!   sequence number and enqueued to *every* live member's queue while the
+//!   lock is held, so all members see all messages (total-order, FIFO and
+//!   view changes) in one consistent stream.
+//! - **Uniform reliable delivery**: a multicast either happens-before a
+//!   crash (it was sequenced first, so it sits in every survivor's queue
+//!   *ahead of* the view change announcing the crash) or it is rejected
+//!   (the member was already marked crashed). This is exactly the property
+//!   §5.4 of the paper relies on for in-doubt transaction resolution: a new
+//!   replica that waits for the crash notification "either receives the
+//!   writeset before being informed about the crash or not at all".
+//! - **View synchrony**: all members deliver the same view changes at the
+//!   same position in the message stream.
+//!
+//! Network latency is simulated at the *receiver*: each delivery carries the
+//! wall-clock instant at which it becomes visible, and [`Member::recv`]
+//! sleeps until then. Latency is a [`TimeScale`]-scaled model duration, so
+//! the paper's "3 ms per uniform reliable multicast in a LAN" (§5.2) is one
+//! config knob.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use sirep_common::{precise_sleep, MemberId, TimeScale};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Group configuration.
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// One-way delivery latency for a uniform reliable total-order
+    /// multicast, in model milliseconds (the paper cites ≤3 ms).
+    pub total_order_delay_ms: f64,
+    /// One-way delivery latency for plain FIFO multicast (cheaper: no
+    /// stability round).
+    pub fifo_delay_ms: f64,
+    /// Time for the failure detector to notice a crash and install the new
+    /// view ("reconfiguration [...] can take up to a couple of seconds").
+    pub detection_delay_ms: f64,
+    pub scale: TimeScale,
+}
+
+impl GroupConfig {
+    /// Zero-latency config for unit tests.
+    pub fn instant() -> GroupConfig {
+        GroupConfig {
+            total_order_delay_ms: 0.0,
+            fifo_delay_ms: 0.0,
+            detection_delay_ms: 0.0,
+            scale: TimeScale::REAL_TIME,
+        }
+    }
+
+    /// The paper's LAN: ~3 ms uniform total order, ~1 ms FIFO, 1 s failure
+    /// detection.
+    pub fn lan(scale: TimeScale) -> GroupConfig {
+        GroupConfig {
+            total_order_delay_ms: 3.0,
+            fifo_delay_ms: 1.0,
+            detection_delay_ms: 1000.0,
+            scale,
+        }
+    }
+}
+
+/// A membership view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    pub id: u64,
+    pub members: Vec<MemberId>,
+}
+
+impl View {
+    pub fn contains(&self, m: MemberId) -> bool {
+        self.members.contains(&m)
+    }
+}
+
+/// What a member receives.
+#[derive(Debug, Clone)]
+pub enum Delivery<M> {
+    /// Uniform reliable total-order multicast: same position in every
+    /// member's stream. `seq` is the global sequence number.
+    TotalOrder { seq: u64, sender: MemberId, msg: M },
+    /// FIFO multicast: per-sender order only (still globally consistent in
+    /// this implementation, as in Spread's agreed-order service levels).
+    Fifo { sender: MemberId, msg: M },
+    /// A membership change (crash or join).
+    ViewChange(View),
+}
+
+/// Errors surfaced by group operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcsError {
+    /// The member was removed from the group (crashed) — its endpoint is
+    /// dead.
+    MemberCrashed,
+    /// recv() on a crashed/empty endpoint.
+    Disconnected,
+    /// recv_timeout() elapsed.
+    Timeout,
+}
+
+impl fmt::Display for GcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GcsError::MemberCrashed => "member has crashed",
+            GcsError::Disconnected => "endpoint disconnected",
+            GcsError::Timeout => "timed out",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for GcsError {}
+
+struct Timed<M> {
+    visible_at: Instant,
+    delivery: Delivery<M>,
+}
+
+struct MemberSlot<M> {
+    alive: bool,
+    tx: Sender<Timed<M>>,
+    /// Monotonic per-member delivery horizon so jittered/mixed latencies
+    /// can never reorder the stream.
+    horizon: Instant,
+}
+
+struct GroupState<M> {
+    members: HashMap<MemberId, MemberSlot<M>>,
+    next_member: u64,
+    next_seq: u64,
+    view_id: u64,
+}
+
+impl<M> GroupState<M> {
+    fn live_view(&self, view_id: u64) -> View {
+        let mut members: Vec<MemberId> = self
+            .members
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(&id, _)| id)
+            .collect();
+        members.sort();
+        View { id: view_id, members }
+    }
+
+    /// Enqueue a delivery to every live member with the given model-ms
+    /// latency. Must be called under the state lock.
+    fn broadcast(&mut self, delivery: Delivery<M>, delay_ms: f64, scale: TimeScale)
+    where
+        M: Clone,
+    {
+        let now = Instant::now();
+        let visible = now + scale.wall(delay_ms);
+        for slot in self.members.values_mut().filter(|s| s.alive) {
+            let at = visible.max(slot.horizon);
+            slot.horizon = at;
+            // A full queue / dropped receiver means the member endpoint was
+            // dropped; treat as crashed-silently.
+            let _ = slot.tx.send(Timed { visible_at: at, delivery: delivery.clone() });
+        }
+    }
+}
+
+struct GroupInner<M> {
+    state: Mutex<GroupState<M>>,
+    config: GroupConfig,
+}
+
+/// A simulated process group. Cloning shares the group.
+pub struct Group<M> {
+    inner: Arc<GroupInner<M>>,
+}
+
+impl<M> Clone for Group<M> {
+    fn clone(&self) -> Self {
+        Group { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<M: Clone + Send + 'static> Group<M> {
+    pub fn new(config: GroupConfig) -> Group<M> {
+        Group {
+            inner: Arc::new(GroupInner {
+                state: Mutex::new(GroupState {
+                    members: HashMap::new(),
+                    next_member: 0,
+                    next_seq: 0,
+                    view_id: 0,
+                }),
+                config,
+            }),
+        }
+    }
+
+    /// Join the group: returns the new member's endpoint. All members
+    /// (including the new one) receive the new view.
+    pub fn join(&self) -> Member<M> {
+        let (tx, rx) = channel::unbounded();
+        let mut st = self.inner.state.lock();
+        let id = MemberId::new(st.next_member);
+        st.next_member += 1;
+        st.members.insert(id, MemberSlot { alive: true, tx, horizon: Instant::now() });
+        st.view_id += 1;
+        let view = st.live_view(st.view_id);
+        st.broadcast(Delivery::ViewChange(view), 0.0, self.inner.config.scale);
+        drop(st);
+        Member { id, group: Arc::clone(&self.inner), rx }
+    }
+
+    /// Crash a member: it is removed from the group and every survivor
+    /// receives a view change after the (simulated) failure-detection delay.
+    /// Messages the member multicast before the crash are already in every
+    /// queue, *ahead of* the view change.
+    pub fn crash(&self, id: MemberId) {
+        let mut st = self.inner.state.lock();
+        let Some(slot) = st.members.get_mut(&id) else { return };
+        if !slot.alive {
+            return;
+        }
+        slot.alive = false;
+        st.view_id += 1;
+        let view = st.live_view(st.view_id);
+        st.broadcast(
+            Delivery::ViewChange(view),
+            self.inner.config.detection_delay_ms,
+            self.inner.config.scale,
+        );
+    }
+
+    /// The current view (live members).
+    pub fn view(&self) -> View {
+        let st = self.inner.state.lock();
+        st.live_view(st.view_id)
+    }
+
+    pub fn config(&self) -> &GroupConfig {
+        &self.inner.config
+    }
+}
+
+/// A clonable multicast-only handle (e.g. for worker threads that send but
+/// never receive).
+pub struct GcsHandle<M> {
+    id: MemberId,
+    group: Arc<GroupInner<M>>,
+}
+
+impl<M> Clone for GcsHandle<M> {
+    fn clone(&self) -> Self {
+        GcsHandle { id: self.id, group: Arc::clone(&self.group) }
+    }
+}
+
+impl<M: Clone + Send + 'static> GcsHandle<M> {
+    pub fn id(&self) -> MemberId {
+        self.id
+    }
+
+    /// Uniform reliable total-order multicast to the whole group (including
+    /// the sender).
+    pub fn multicast_total(&self, msg: M) -> Result<u64, GcsError> {
+        let cfg = /* copy out to avoid borrow issues */ (
+            self.group.config.total_order_delay_ms,
+            self.group.config.scale,
+        );
+        let mut st = self.group.state.lock();
+        if !st.members.get(&self.id).is_some_and(|s| s.alive) {
+            return Err(GcsError::MemberCrashed);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.broadcast(Delivery::TotalOrder { seq, sender: self.id, msg }, cfg.0, cfg.1);
+        Ok(seq)
+    }
+
+    /// FIFO multicast to the whole group (including the sender).
+    pub fn multicast_fifo(&self, msg: M) -> Result<(), GcsError> {
+        let cfg = (self.group.config.fifo_delay_ms, self.group.config.scale);
+        let mut st = self.group.state.lock();
+        if !st.members.get(&self.id).is_some_and(|s| s.alive) {
+            return Err(GcsError::MemberCrashed);
+        }
+        st.broadcast(Delivery::Fifo { sender: self.id, msg }, cfg.0, cfg.1);
+        Ok(())
+    }
+}
+
+/// A member endpoint: receives deliveries, can multicast.
+pub struct Member<M> {
+    id: MemberId,
+    group: Arc<GroupInner<M>>,
+    rx: Receiver<Timed<M>>,
+}
+
+impl<M: Clone + Send + 'static> Member<M> {
+    pub fn id(&self) -> MemberId {
+        self.id
+    }
+
+    /// A clonable handle for multicasting from other threads.
+    pub fn handle(&self) -> GcsHandle<M> {
+        GcsHandle { id: self.id, group: Arc::clone(&self.group) }
+    }
+
+    pub fn multicast_total(&self, msg: M) -> Result<u64, GcsError> {
+        self.handle().multicast_total(msg)
+    }
+
+    pub fn multicast_fifo(&self, msg: M) -> Result<(), GcsError> {
+        self.handle().multicast_fifo(msg)
+    }
+
+    /// Blocking receive; sleeps until the delivery's simulated arrival time.
+    pub fn recv(&self) -> Result<Delivery<M>, GcsError> {
+        match self.rx.recv() {
+            Ok(t) => {
+                wait_until(t.visible_at);
+                Ok(t.delivery)
+            }
+            Err(_) => Err(GcsError::Disconnected),
+        }
+    }
+
+    /// Receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Delivery<M>, GcsError> {
+        let deadline = Instant::now() + timeout;
+        match self.rx.recv_deadline(deadline) {
+            Ok(t) => {
+                // Honour the simulated latency but never past the caller's
+                // deadline by more than the remaining sim delay.
+                wait_until(t.visible_at);
+                Ok(t.delivery)
+            }
+            Err(channel::RecvTimeoutError::Timeout) => Err(GcsError::Timeout),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(GcsError::Disconnected),
+        }
+    }
+
+    /// Non-blocking receive: returns a delivery only if one has already
+    /// "arrived" (its simulated latency elapsed).
+    pub fn try_recv(&self) -> Option<Delivery<M>> {
+        match self.rx.try_recv() {
+            Ok(t) => {
+                wait_until(t.visible_at);
+                Some(t.delivery)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The current view as known by the group.
+    pub fn view(&self) -> View {
+        let st = self.group.state.lock();
+        st.live_view(st.view_id)
+    }
+}
+
+fn wait_until(at: Instant) {
+    let now = Instant::now();
+    if at > now {
+        precise_sleep(at - now);
+    }
+}

@@ -1,0 +1,324 @@
+//! Semantics tests for the group communication system.
+
+use crate::group::*;
+use sirep_common::{MemberId, TimeScale};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Drain any pending view changes (joins produce them).
+fn drain_views<M: Clone + Send + 'static>(m: &Member<M>) {
+    while let Some(d) = m.try_recv() {
+        assert!(matches!(d, Delivery::ViewChange(_)), "unexpected early delivery");
+    }
+}
+
+fn collect_total<M: Clone + Send + 'static>(m: &Member<M>, n: usize) -> Vec<(u64, M)> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        match m.recv_timeout(Duration::from_secs(5)).expect("timed out") {
+            Delivery::TotalOrder { seq, msg, .. } => out.push((seq, msg)),
+            Delivery::Fifo { .. } | Delivery::ViewChange(_) => {}
+        }
+    }
+    out
+}
+
+#[test]
+fn total_order_is_identical_across_members() {
+    let group: Group<(u64, u64)> = Group::new(GroupConfig::instant());
+    let members: Vec<Member<(u64, u64)>> = (0..4).map(|_| group.join()).collect();
+    for m in &members {
+        drain_views(m);
+    }
+    // 4 sender threads × 50 messages, concurrently.
+    let mut senders = Vec::new();
+    for (i, m) in members.iter().enumerate() {
+        let h = m.handle();
+        senders.push(thread::spawn(move || {
+            for j in 0..50u64 {
+                h.multicast_total((i as u64, j)).unwrap();
+            }
+        }));
+    }
+    for s in senders {
+        s.join().unwrap();
+    }
+    let streams: Vec<Vec<(u64, (u64, u64))>> =
+        members.iter().map(|m| collect_total(m, 200)).collect();
+    for s in &streams[1..] {
+        assert_eq!(s, &streams[0], "members disagree on total order");
+    }
+    // Sequence numbers are dense and increasing.
+    let seqs: Vec<u64> = streams[0].iter().map(|(s, _)| *s).collect();
+    assert_eq!(seqs, (0..200).collect::<Vec<_>>());
+}
+
+#[test]
+fn senders_deliver_their_own_messages_in_order() {
+    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let a = group.join();
+    drain_views(&a);
+    a.multicast_total(1).unwrap();
+    a.multicast_total(2).unwrap();
+    let got = collect_total(&a, 2);
+    assert_eq!(got.iter().map(|(_, m)| *m).collect::<Vec<_>>(), vec![1, 2]);
+}
+
+#[test]
+fn fifo_preserves_per_sender_order() {
+    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let a = group.join();
+    let b = group.join();
+    drain_views(&a);
+    drain_views(&b);
+    for i in 0..20 {
+        a.multicast_fifo(i).unwrap();
+    }
+    let mut got = Vec::new();
+    while got.len() < 20 {
+        if let Delivery::Fifo { sender, msg } = b.recv_timeout(Duration::from_secs(5)).unwrap() {
+            assert_eq!(sender, a.id());
+            got.push(msg);
+        }
+    }
+    assert_eq!(got, (0..20).collect::<Vec<_>>());
+}
+
+#[test]
+fn view_changes_on_join_and_crash() {
+    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let a = group.join();
+    match a.recv().unwrap() {
+        Delivery::ViewChange(v) => assert_eq!(v.members, vec![a.id()]),
+        other => panic!("{other:?}"),
+    }
+    let b = group.join();
+    match a.recv().unwrap() {
+        Delivery::ViewChange(v) => {
+            assert_eq!(v.members.len(), 2);
+            assert!(v.contains(b.id()));
+        }
+        other => panic!("{other:?}"),
+    }
+    group.crash(b.id());
+    match a.recv().unwrap() {
+        Delivery::ViewChange(v) => assert_eq!(v.members, vec![a.id()]),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(group.view().members, vec![a.id()]);
+}
+
+#[test]
+fn crashed_member_cannot_multicast() {
+    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let a = group.join();
+    let b = group.join();
+    group.crash(b.id());
+    assert_eq!(b.multicast_total(1), Err(GcsError::MemberCrashed));
+    assert_eq!(b.multicast_fifo(1), Err(GcsError::MemberCrashed));
+    drop(a);
+}
+
+#[test]
+fn uniform_delivery_messages_precede_crash_view() {
+    // The §5.4 guarantee: survivors receive everything the crashed member
+    // multicast before its crash, and only then the view change.
+    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let a = group.join();
+    let b = group.join();
+    drain_views(&a);
+    drain_views(&b);
+    b.multicast_total(1).unwrap();
+    b.multicast_total(2).unwrap();
+    group.crash(b.id());
+    let mut msgs = Vec::new();
+    let mut saw_view = false;
+    for _ in 0..3 {
+        match a.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Delivery::TotalOrder { msg, .. } => {
+                assert!(!saw_view, "message delivered after crash view");
+                msgs.push(msg);
+            }
+            Delivery::ViewChange(v) => {
+                assert!(!v.contains(b.id()));
+                saw_view = true;
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(msgs, vec![1, 2]);
+    assert!(saw_view);
+}
+
+#[test]
+fn no_deliveries_to_crashed_member_after_crash() {
+    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let a = group.join();
+    let b = group.join();
+    drain_views(&a);
+    drain_views(&b);
+    group.crash(b.id());
+    a.multicast_total(42).unwrap();
+    // b gets nothing new (only what predates the crash — here nothing).
+    assert!(b.try_recv().is_none());
+    // a still receives its own message.
+    let got = collect_total(&a, 1);
+    assert_eq!(got[0].1, 42);
+}
+
+#[test]
+fn simulated_latency_is_applied() {
+    let mut cfg = GroupConfig::instant();
+    cfg.scale = TimeScale::REAL_TIME;
+    cfg.total_order_delay_ms = 20.0;
+    let group: Group<u32> = Group::new(cfg);
+    let a = group.join();
+    drain_views(&a);
+    let start = Instant::now();
+    a.multicast_total(1).unwrap();
+    let _ = collect_total(&a, 1);
+    let elapsed = start.elapsed();
+    assert!(elapsed >= Duration::from_millis(20), "latency not applied: {elapsed:?}");
+    assert!(elapsed < Duration::from_millis(500), "latency way too large: {elapsed:?}");
+}
+
+#[test]
+fn latency_scales_with_time_scale() {
+    let mut cfg = GroupConfig::lan(TimeScale::compressed(100.0));
+    cfg.total_order_delay_ms = 100.0; // → 1 ms wall at 100x
+    let group: Group<u32> = Group::new(cfg);
+    let a = group.join();
+    drain_views(&a);
+    let start = Instant::now();
+    a.multicast_total(1).unwrap();
+    let _ = collect_total(&a, 1);
+    assert!(start.elapsed() < Duration::from_millis(100));
+}
+
+#[test]
+fn mixed_total_and_fifo_streams_are_monotonic() {
+    // The per-member horizon must prevent a later (low-latency) FIFO message
+    // from arriving before an earlier (high-latency) total-order message.
+    let mut cfg = GroupConfig::instant();
+    cfg.total_order_delay_ms = 30.0;
+    cfg.fifo_delay_ms = 0.0;
+    cfg.scale = TimeScale::REAL_TIME;
+    let group: Group<&'static str> = Group::new(cfg);
+    let a = group.join();
+    let b = group.join();
+    drain_views(&a);
+    drain_views(&b);
+    a.multicast_total("slow").unwrap();
+    a.multicast_fifo("fast").unwrap();
+    let first = b.recv_timeout(Duration::from_secs(5)).unwrap();
+    match first {
+        Delivery::TotalOrder { msg, .. } => assert_eq!(msg, "slow"),
+        other => panic!("stream reordered: {other:?}"),
+    }
+}
+
+#[test]
+fn crash_is_idempotent_and_unknown_ids_ignored() {
+    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let a = group.join();
+    let b = group.join();
+    group.crash(b.id());
+    group.crash(b.id());
+    group.crash(MemberId::new(999));
+    drain_views(&a);
+    assert_eq!(group.view().members, vec![a.id()]);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One scripted step of a chaos run.
+    #[derive(Debug, Clone)]
+    enum Step {
+        Send { member: usize, msg: u32 },
+        Crash { member: usize },
+    }
+
+    fn step() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            8 => (0usize..4, any::<u32>()).prop_map(|(member, msg)| Step::Send { member, msg }),
+            1 => (0usize..4).prop_map(|member| Step::Crash { member }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+        /// Under random sends and crashes, all members deliver prefixes of
+        /// one common total order, and every message a survivor delivers
+        /// from a crashed sender precedes the view change that removes it.
+        #[test]
+        fn total_order_survives_crashes(steps in prop::collection::vec(step(), 1..40)) {
+            let group: Group<u32> = Group::new(GroupConfig::instant());
+            let members: Vec<Member<u32>> = (0..4).map(|_| group.join()).collect();
+            let mut alive = [true; 4];
+            let mut expected: Vec<u32> = Vec::new();
+            for s in &steps {
+                match s {
+                    Step::Send { member, msg } => {
+                        let r = members[*member].multicast_total(*msg);
+                        if alive[*member] {
+                            prop_assert!(r.is_ok());
+                            expected.push(*msg);
+                        } else {
+                            prop_assert_eq!(r, Err(GcsError::MemberCrashed));
+                        }
+                    }
+                    Step::Crash { member } => {
+                        group.crash(members[*member].id());
+                        alive[*member] = false;
+                    }
+                }
+            }
+            // Keep at least one member alive to observe the full stream.
+            let observer = match alive.iter().position(|&a| a) {
+                Some(i) => i,
+                None => return Ok(()),
+            };
+            // Drain every alive member's stream.
+            let mut streams: Vec<Vec<u32>> = vec![Vec::new(); 4];
+            for (i, m) in members.iter().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                while let Some(d) = m.try_recv() {
+                    if let Delivery::TotalOrder { msg, .. } = d {
+                        streams[i].push(msg);
+                    }
+                }
+            }
+            // The observer (alive the whole run) saw exactly the accepted
+            // messages, in order.
+            prop_assert_eq!(&streams[observer], &expected);
+            // Every other alive member saw the same sequence (it joined the
+            // group at the start, so full equality, not just prefix).
+            for (i, s) in streams.iter().enumerate() {
+                if alive[i] && i != observer {
+                    prop_assert_eq!(s, &expected);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn handles_work_from_other_threads() {
+    let group: Group<u64> = Group::new(GroupConfig::instant());
+    let a = group.join();
+    drain_views(&a);
+    let h = a.handle();
+    let t = thread::spawn(move || {
+        for i in 0..10 {
+            h.multicast_total(i).unwrap();
+        }
+    });
+    t.join().unwrap();
+    let got = collect_total(&a, 10);
+    assert_eq!(got.len(), 10);
+}

@@ -1,0 +1,211 @@
+//! Abstract syntax for the supported SQL subset.
+//!
+//! The subset covers what the paper's workloads need (TPC-W ordering mix,
+//! the large-DB and update-intensive micro workloads) plus enough generality
+//! to be useful from the examples:
+//!
+//! ```sql
+//! CREATE TABLE t (a INT, b FLOAT, c TEXT, PRIMARY KEY (a))
+//! INSERT INTO t VALUES (1, 2.5, 'x')
+//! INSERT INTO t (a, c) VALUES (1, 'x')
+//! UPDATE t SET b = b + 1 WHERE a = 3 AND c <> 'y'
+//! DELETE FROM t WHERE a >= 10
+//! SELECT * FROM t WHERE b > 2 ORDER BY a DESC LIMIT 5
+//! SELECT COUNT(*) FROM t WHERE ...
+//! SELECT SUM(b), MIN(a), MAX(a) FROM t
+//! ```
+
+use sirep_storage::{ColumnType, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ColumnType)>,
+        pk: Vec<String>,
+    },
+    /// `CREATE INDEX ON table (column)` — a secondary equality index.
+    CreateIndex {
+        table: String,
+        column: String,
+    },
+    Insert {
+        table: String,
+        /// Explicit column list; `None` means all columns positionally.
+        columns: Option<Vec<String>>,
+        values: Vec<Expr>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        predicate: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
+    Select(Select),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub projection: Vec<SelectItem>,
+    pub table: String,
+    pub predicate: Option<Expr>,
+    pub order_by: Vec<(String, OrderDir)>,
+    pub limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A scalar expression (usually a bare column).
+    Expr(Expr),
+    /// An aggregate over the matching rows.
+    Aggregate(AggFunc, AggArg),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggArg {
+    Star,
+    Column(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderDir {
+    Asc,
+    Desc,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    Column(String),
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Not(Box<Expr>),
+    IsNull(Box<Expr>, /*negated=*/ bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    // comparison
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // boolean
+    And,
+    Or,
+    // arithmetic
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+impl Expr {
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    /// Decompose a predicate into its top-level AND conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                let mut v = left.conjuncts();
+                v.extend(right.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// If this expression is `column = literal`, return the pair — the
+    /// planner uses this to turn full scans into point reads.
+    pub fn as_column_eq_literal(&self) -> Option<(&str, &Value)> {
+        if let Expr::Binary { op: BinOp::Eq, left, right } = self {
+            match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => {
+                    return Some((c, v));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_decomposition() {
+        let e = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Eq, Expr::col("a"), Expr::lit(1)),
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Gt, Expr::col("b"), Expr::lit(2)),
+                Expr::bin(BinOp::Lt, Expr::col("c"), Expr::lit(3)),
+            ),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+        // OR does not decompose.
+        let o = Expr::bin(
+            BinOp::Or,
+            Expr::bin(BinOp::Eq, Expr::col("a"), Expr::lit(1)),
+            Expr::bin(BinOp::Eq, Expr::col("a"), Expr::lit(2)),
+        );
+        assert_eq!(o.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn column_eq_literal_detection() {
+        let e = Expr::bin(BinOp::Eq, Expr::col("a"), Expr::lit(5));
+        let (c, v) = e.as_column_eq_literal().unwrap();
+        assert_eq!(c, "a");
+        assert_eq!(v, &Value::Int(5));
+        // Reversed order also matches.
+        let e = Expr::bin(BinOp::Eq, Expr::lit(5), Expr::col("a"));
+        assert!(e.as_column_eq_literal().is_some());
+        // Inequality does not.
+        let e = Expr::bin(BinOp::Lt, Expr::col("a"), Expr::lit(5));
+        assert!(e.as_column_eq_literal().is_none());
+        // column = column does not.
+        let e = Expr::bin(BinOp::Eq, Expr::col("a"), Expr::col("b"));
+        assert!(e.as_column_eq_literal().is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! Pretty-printing of the AST back to SQL text.
+//!
+//! `parse(stmt.to_string())` reproduces the same AST — the property test in
+//! `proptests.rs` generates random statements and checks exactly that
+//! roundtrip, which pins down both the parser's grammar and the printer's
+//! precedence handling.
+
+use crate::ast::*;
+use sirep_storage::{ColumnType, Value};
+use std::fmt;
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable { name, columns, pk } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                for (c, ty) in columns {
+                    write!(f, "{c} {}, ", type_name(*ty))?;
+                }
+                write!(f, "PRIMARY KEY (")?;
+                for (i, c) in pk.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "))")
+            }
+            Statement::CreateIndex { table, column } => {
+                write!(f, "CREATE INDEX ON {table} ({column})")
+            }
+            Statement::Insert { table, columns, values } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                write!(f, " VALUES (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Statement::Update { table, sets, predicate } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (c, e)) in sets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c} = {e}")?;
+                }
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, predicate } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Statement::Select(s) => s.fmt(f),
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Star => write!(f, "*")?,
+                SelectItem::Expr(e) => write!(f, "{e}")?,
+                SelectItem::Aggregate(func, arg) => {
+                    let name = match func {
+                        AggFunc::Count => "COUNT",
+                        AggFunc::Sum => "SUM",
+                        AggFunc::Min => "MIN",
+                        AggFunc::Max => "MAX",
+                        AggFunc::Avg => "AVG",
+                    };
+                    match arg {
+                        AggArg::Star => write!(f, "{name}(*)")?,
+                        AggArg::Column(c) => write!(f, "{name}({c})")?,
+                    }
+                }
+            }
+        }
+        write!(f, " FROM {}", self.table)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " WHERE {p}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, (c, dir)) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+                if *dir == OrderDir::Desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+fn type_name(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Int => "INT",
+        ColumnType::Float => "FLOAT",
+        ColumnType::Text => "TEXT",
+    }
+}
+
+/// Operator precedence tier (higher binds tighter), mirroring the parser.
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_child(
+            f: &mut fmt::Formatter<'_>,
+            child: &Expr,
+            parent_prec: u8,
+            is_right: bool,
+        ) -> fmt::Result {
+            let needs_parens = match child {
+                Expr::Binary { op, .. } => {
+                    let p = precedence(*op);
+                    // Same-precedence on the right needs parens because the
+                    // grammar is left-associative (e.g. a - (b - c)); at the
+                    // comparison tier (3) it is non-associative, so the left
+                    // needs them too (`(a = b) > c` cannot chain).
+                    p < parent_prec || (p == parent_prec && (is_right || p == 3))
+                }
+                // `IS NULL` binds at comparison level and cannot itself be
+                // a comparison operand without parens.
+                Expr::IsNull(..) => parent_prec >= 3,
+                Expr::Not(_) => true,
+                _ => false,
+            };
+            if needs_parens {
+                write!(f, "({child})")
+            } else {
+                write!(f, "{child}")
+            }
+        }
+        match self {
+            Expr::Literal(Value::Null) => write!(f, "NULL"),
+            Expr::Literal(Value::Int(i)) => {
+                if *i < 0 {
+                    // The grammar has no negative literals; print the
+                    // parseable form.
+                    write!(f, "(0 - {})", -i)
+                } else {
+                    write!(f, "{i}")
+                }
+            }
+            Expr::Literal(Value::Float(x)) => {
+                if *x < 0.0 {
+                    write!(f, "(0 - {:?})", -x)
+                } else {
+                    write!(f, "{x:?}")
+                }
+            }
+            Expr::Literal(Value::Text(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Binary { op, left, right } => {
+                let p = precedence(*op);
+                fmt_child(f, left, p, false)?;
+                let sym = match op {
+                    BinOp::Eq => "=",
+                    BinOp::Neq => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                };
+                write!(f, " {sym} ")?;
+                fmt_child(f, right, p, true)
+            }
+            Expr::Not(inner) => {
+                write!(f, "NOT ")?;
+                match &**inner {
+                    Expr::Binary { .. } | Expr::Not(_) => write!(f, "({inner})"),
+                    _ => write!(f, "{inner}"),
+                }
+            }
+            Expr::IsNull(inner, negated) => {
+                // `IS NULL` is not chainable in the grammar, so a nested
+                // IsNull needs parens too.
+                match &**inner {
+                    Expr::Binary { .. } | Expr::Not(_) | Expr::IsNull(..) => {
+                        write!(f, "({inner})")?;
+                    }
+                    _ => write!(f, "{inner}")?,
+                }
+                if *negated {
+                    write!(f, " IS NOT NULL")
+                } else {
+                    write!(f, " IS NULL")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    #[track_caller]
+    fn roundtrip(sql: &str) {
+        let ast = parse(sql).unwrap();
+        let printed = ast.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reprint `{printed}`: {e}"));
+        assert_eq!(ast, reparsed, "roundtrip changed the AST for `{printed}`");
+    }
+
+    #[test]
+    fn statements_roundtrip() {
+        roundtrip("CREATE TABLE t (a INT, b FLOAT, c TEXT, PRIMARY KEY (a, c))");
+        roundtrip("INSERT INTO t VALUES (1, 2.5, 'x''y')");
+        roundtrip("INSERT INTO t (a, c) VALUES (1, 'z')");
+        roundtrip("UPDATE t SET b = b * 2 + 1 WHERE a = 3 AND NOT c = 'q'");
+        roundtrip("DELETE FROM t WHERE a - 1 - 2 > 0 OR b IS NOT NULL");
+        roundtrip("SELECT *, a + 1 FROM t WHERE a = 1 OR b = 2 AND c = 'x' ORDER BY a DESC, b LIMIT 3");
+        roundtrip("SELECT COUNT(*), SUM(a), AVG(b) FROM t WHERE a IS NULL");
+    }
+
+    #[test]
+    fn left_associativity_preserved() {
+        // a - b - c must stay ((a-b)-c), not a-(b-c).
+        let ast = parse("SELECT a - 1 - 2 FROM t").unwrap();
+        let printed = ast.to_string();
+        assert_eq!(ast, parse(&printed).unwrap());
+        assert!(printed.contains("a - 1 - 2"), "no spurious parens: {printed}");
+    }
+
+    #[test]
+    fn precedence_parens_inserted() {
+        let ast = parse("SELECT (a + 1) * 2 FROM t").unwrap();
+        let printed = ast.to_string();
+        assert!(printed.contains("(a + 1) * 2"), "{printed}");
+        assert_eq!(ast, parse(&printed).unwrap());
+    }
+}

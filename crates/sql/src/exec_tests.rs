@@ -1,0 +1,258 @@
+//! End-to-end tests for the SQL executor.
+
+use crate::exec::{execute_sql, ExecResult};
+use sirep_common::DbError;
+use sirep_storage::{Database, Value};
+
+fn setup() -> Database {
+    let db = Database::in_memory();
+    let t = db.begin().unwrap();
+    execute_sql(
+        &db,
+        &t,
+        "CREATE TABLE item (i_id INT, i_title TEXT, i_cost FLOAT, i_stock INT, PRIMARY KEY (i_id))",
+    )
+    .unwrap();
+    for (id, title, cost, stock) in [
+        (1, "alpha", 10.0, 100),
+        (2, "beta", 20.0, 50),
+        (3, "gamma", 30.0, 0),
+        (4, "delta", 40.0, 25),
+    ] {
+        execute_sql(
+            &db,
+            &t,
+            &format!("INSERT INTO item VALUES ({id}, '{title}', {cost}, {stock})"),
+        )
+        .unwrap();
+    }
+    t.commit().unwrap();
+    db
+}
+
+fn q(db: &Database, sql: &str) -> ExecResult {
+    let t = db.begin().unwrap();
+    let r = execute_sql(db, &t, sql).unwrap();
+    t.commit().unwrap();
+    r
+}
+
+#[test]
+fn select_star_all_rows() {
+    let db = setup();
+    let r = q(&db, "SELECT * FROM item");
+    assert_eq!(r.rows().len(), 4);
+    match &r {
+        ExecResult::Rows { columns, .. } => {
+            assert_eq!(columns, &["i_id", "i_title", "i_cost", "i_stock"]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn point_read_by_pk() {
+    let db = setup();
+    let r = q(&db, "SELECT i_title FROM item WHERE i_id = 2");
+    assert_eq!(r.rows(), [vec![Value::Text("beta".into())]]);
+}
+
+#[test]
+fn point_read_with_extra_conjunct_rechecks() {
+    let db = setup();
+    let r = q(&db, "SELECT i_id FROM item WHERE i_id = 2 AND i_stock > 90");
+    assert!(r.rows().is_empty());
+    let r = q(&db, "SELECT i_id FROM item WHERE i_id = 1 AND i_stock > 90");
+    assert_eq!(r.rows().len(), 1);
+}
+
+#[test]
+fn range_predicates() {
+    let db = setup();
+    let r = q(&db, "SELECT i_id FROM item WHERE i_cost >= 20 AND i_cost < 40");
+    let ids: Vec<i64> = r.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![2, 3]);
+}
+
+#[test]
+fn or_and_not() {
+    let db = setup();
+    let r = q(&db, "SELECT i_id FROM item WHERE i_id = 1 OR i_id = 4");
+    assert_eq!(r.rows().len(), 2);
+    let r = q(&db, "SELECT i_id FROM item WHERE NOT i_stock = 0");
+    assert_eq!(r.rows().len(), 3);
+}
+
+#[test]
+fn order_by_and_limit() {
+    let db = setup();
+    let r = q(&db, "SELECT i_id FROM item ORDER BY i_cost DESC LIMIT 2");
+    let ids: Vec<i64> = r.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(ids, vec![4, 3]);
+}
+
+#[test]
+fn projection_expressions() {
+    let db = setup();
+    let r = q(&db, "SELECT i_cost * 2 FROM item WHERE i_id = 1");
+    assert_eq!(r.rows()[0][0], Value::Float(20.0));
+}
+
+#[test]
+fn aggregates() {
+    let db = setup();
+    let r = q(&db, "SELECT COUNT(*) FROM item WHERE i_stock > 0");
+    assert_eq!(r.rows()[0][0], Value::Int(3));
+    let r = q(&db, "SELECT SUM(i_stock), MIN(i_cost), MAX(i_cost), AVG(i_cost) FROM item");
+    assert_eq!(r.rows()[0][0], Value::Int(175));
+    assert_eq!(r.rows()[0][1], Value::Float(10.0));
+    assert_eq!(r.rows()[0][2], Value::Float(40.0));
+    assert_eq!(r.rows()[0][3], Value::Float(25.0));
+}
+
+#[test]
+fn aggregates_on_empty_set() {
+    let db = setup();
+    let r = q(&db, "SELECT COUNT(*), SUM(i_stock) FROM item WHERE i_id = 999");
+    assert_eq!(r.rows()[0][0], Value::Int(0));
+    assert_eq!(r.rows()[0][1], Value::Null);
+}
+
+#[test]
+fn mixing_aggregates_and_scalars_rejected() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    let r = execute_sql(&db, &t, "SELECT i_id, COUNT(*) FROM item");
+    assert!(matches!(r, Err(DbError::Unsupported(_))));
+}
+
+#[test]
+fn update_with_arithmetic() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    let r = execute_sql(&db, &t, "UPDATE item SET i_stock = i_stock - 5 WHERE i_id = 1").unwrap();
+    assert_eq!(r.affected(), 1);
+    t.commit().unwrap();
+    let r = q(&db, "SELECT i_stock FROM item WHERE i_id = 1");
+    assert_eq!(r.rows()[0][0], Value::Int(95));
+}
+
+#[test]
+fn update_multiple_rows() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    let r = execute_sql(&db, &t, "UPDATE item SET i_cost = i_cost + 1 WHERE i_cost < 35").unwrap();
+    assert_eq!(r.affected(), 3);
+    t.commit().unwrap();
+    let r = q(&db, "SELECT SUM(i_cost) FROM item");
+    assert_eq!(r.rows()[0][0], Value::Float(103.0));
+}
+
+#[test]
+fn update_no_match_affects_zero() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    let r = execute_sql(&db, &t, "UPDATE item SET i_stock = 0 WHERE i_id = 999").unwrap();
+    assert_eq!(r.affected(), 0);
+    t.commit().unwrap();
+}
+
+#[test]
+fn delete_rows() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    let r = execute_sql(&db, &t, "DELETE FROM item WHERE i_stock = 0").unwrap();
+    assert_eq!(r.affected(), 1);
+    t.commit().unwrap();
+    assert_eq!(q(&db, "SELECT COUNT(*) FROM item").rows()[0][0], Value::Int(3));
+}
+
+#[test]
+fn insert_with_column_list_fills_nulls() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    execute_sql(&db, &t, "INSERT INTO item (i_id, i_title) VALUES (9, 'omega')").unwrap();
+    t.commit().unwrap();
+    let r = q(&db, "SELECT i_cost FROM item WHERE i_id = 9");
+    assert_eq!(r.rows()[0][0], Value::Null);
+}
+
+#[test]
+fn null_comparison_excludes_rows() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    execute_sql(&db, &t, "INSERT INTO item (i_id, i_title) VALUES (9, 'omega')").unwrap();
+    t.commit().unwrap();
+    // NULL never compares true.
+    let r = q(&db, "SELECT i_id FROM item WHERE i_cost > 0");
+    assert_eq!(r.rows().len(), 4);
+    let r = q(&db, "SELECT i_id FROM item WHERE i_cost IS NULL");
+    assert_eq!(r.rows().len(), 1);
+    assert_eq!(r.rows()[0][0], Value::Int(9));
+    let r = q(&db, "SELECT i_id FROM item WHERE i_cost IS NOT NULL");
+    assert_eq!(r.rows().len(), 4);
+}
+
+#[test]
+fn statement_changes_visible_within_txn_only() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    execute_sql(&db, &t, "UPDATE item SET i_stock = 77 WHERE i_id = 1").unwrap();
+    let r = execute_sql(&db, &t, "SELECT i_stock FROM item WHERE i_id = 1").unwrap();
+    assert_eq!(r.rows()[0][0], Value::Int(77));
+    // Other transactions don't see it until commit.
+    let r = q(&db, "SELECT i_stock FROM item WHERE i_id = 1");
+    assert_eq!(r.rows()[0][0], Value::Int(100));
+    t.commit().unwrap();
+    let r = q(&db, "SELECT i_stock FROM item WHERE i_id = 1");
+    assert_eq!(r.rows()[0][0], Value::Int(77));
+}
+
+#[test]
+fn unknown_column_is_error() {
+    let db = setup();
+    let t = db.begin().unwrap();
+    let r = execute_sql(&db, &t, "SELECT nope FROM item");
+    assert!(matches!(r, Err(DbError::UnknownColumn(_))));
+    let r = execute_sql(&db, &t, "UPDATE item SET nope = 1");
+    assert!(matches!(r, Err(DbError::UnknownColumn(_))));
+}
+
+#[test]
+fn composite_pk_point_read() {
+    let db = Database::in_memory();
+    let t = db.begin().unwrap();
+    execute_sql(&db, &t, "CREATE TABLE ol (o INT, l INT, qty INT, PRIMARY KEY (o, l))").unwrap();
+    execute_sql(&db, &t, "INSERT INTO ol VALUES (1, 1, 5)").unwrap();
+    execute_sql(&db, &t, "INSERT INTO ol VALUES (1, 2, 7)").unwrap();
+    let r = execute_sql(&db, &t, "SELECT qty FROM ol WHERE o = 1 AND l = 2").unwrap();
+    assert_eq!(r.rows(), [vec![Value::Int(7)]]);
+    // Partial key → scan path, still correct.
+    let r = execute_sql(&db, &t, "SELECT qty FROM ol WHERE o = 1").unwrap();
+    assert_eq!(r.rows().len(), 2);
+    t.commit().unwrap();
+}
+
+#[test]
+fn division_by_zero_yields_null() {
+    let db = setup();
+    let r = q(&db, "SELECT i_stock / 0 FROM item WHERE i_id = 1");
+    assert_eq!(r.rows()[0][0], Value::Null);
+}
+
+#[test]
+fn integer_and_float_division() {
+    let db = setup();
+    let r = q(&db, "SELECT 7 / 2, 7.0 / 2 FROM item WHERE i_id = 1");
+    assert_eq!(r.rows()[0][0], Value::Int(3));
+    assert_eq!(r.rows()[0][1], Value::Float(3.5));
+}
+
+#[test]
+fn text_predicates() {
+    let db = setup();
+    let r = q(&db, "SELECT i_id FROM item WHERE i_title = 'beta'");
+    assert_eq!(r.rows()[0][0], Value::Int(2));
+    let r = q(&db, "SELECT i_id FROM item WHERE i_title > 'b' ORDER BY i_title");
+    assert_eq!(r.rows().len(), 3); // beta, delta, gamma
+}

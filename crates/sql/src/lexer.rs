@@ -1,0 +1,288 @@
+//! SQL tokenizer.
+//!
+//! Keywords are case-insensitive; identifiers are lower-cased (PostgreSQL
+//! folding). String literals use single quotes with `''` as the escape.
+
+use sirep_common::DbError;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier, lower-cased.
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(Sym),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::Sym(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Sym(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Sym(Sym::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Sym(Sym::Semicolon));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Sym(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Sym(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                // `--` line comment
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Sym(Sym::Minus));
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Sym(Sym::Slash));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Sym(Sym::Eq));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(Sym::Neq));
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse("unexpected '!'".into()));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Sym(Sym::Le));
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token::Sym(Sym::Neq));
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Sym(Sym::Lt));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(Sym::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(DbError::Parse("unterminated string".into())),
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Multi-byte UTF-8: copy the full char.
+                            let ch_len = utf8_len(b);
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len])
+                                    .map_err(|_| DbError::Parse("bad utf8".into()))?,
+                            );
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '0'..='9' => i += 1,
+                        '.' if !is_float => {
+                            is_float = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad number: {text}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad number: {text}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Word(sql[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(DbError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let toks = tokenize("SELECT * FROM item WHERE i_id = 3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("select".into()),
+                Token::Sym(Sym::Star),
+                Token::Word("from".into()),
+                Token::Word("item".into()),
+                Token::Word("where".into()),
+                Token::Word("i_id".into()),
+                Token::Sym(Sym::Eq),
+                Token::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("1 2.5 .5").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Float(2.5), Token::Float(0.5)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("< <= > >= <> != =").unwrap();
+        let syms: Vec<Sym> = toks
+            .into_iter()
+            .map(|t| match t {
+                Token::Sym(s) => s,
+                other => panic!("not a symbol: {other:?}"),
+            })
+            .collect();
+        assert_eq!(syms, vec![Sym::Lt, Sym::Le, Sym::Gt, Sym::Ge, Sym::Neq, Sym::Neq, Sym::Eq]);
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        let toks = tokenize("select -- comment\n 1").unwrap();
+        assert_eq!(toks, vec![Token::Word("select".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn keywords_fold_to_lowercase() {
+        let toks = tokenize("SeLeCt FooBar").unwrap();
+        assert_eq!(toks, vec![Token::Word("select".into()), Token::Word("foobar".into())]);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'héllo — wörld'").unwrap();
+        assert_eq!(toks, vec![Token::Str("héllo — wörld".into())]);
+    }
+}

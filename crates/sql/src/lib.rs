@@ -1,0 +1,43 @@
+//! # sirep-sql
+//!
+//! A small SQL layer over [`sirep_storage`]: lexer, recursive-descent
+//! parser, a light planner (point reads when the primary key is pinned) and
+//! an executor.
+//!
+//! The paper's middleware is *transparent*: clients speak SQL over a
+//! standard JDBC interface, and the middleware "only sees the SQL statements
+//! but does not know the records which are going to be accessed before
+//! execution" (§1). That property is what makes optimistic, writeset-based
+//! concurrency control attractive — and it only holds if our client API
+//! really does accept SQL strings, hence this crate.
+//!
+//! ```
+//! use sirep_storage::Database;
+//! use sirep_sql::execute_sql;
+//!
+//! let db = Database::in_memory();
+//! let t = db.begin().unwrap();
+//! execute_sql(&db, &t, "CREATE TABLE item (i_id INT, i_cost FLOAT, PRIMARY KEY (i_id))").unwrap();
+//! execute_sql(&db, &t, "INSERT INTO item VALUES (1, 9.99)").unwrap();
+//! execute_sql(&db, &t, "UPDATE item SET i_cost = i_cost * 2 WHERE i_id = 1").unwrap();
+//! let r = execute_sql(&db, &t, "SELECT i_cost FROM item WHERE i_id = 1").unwrap();
+//! assert_eq!(r.rows()[0][0], sirep_storage::Value::Float(19.98));
+//! t.commit().unwrap();
+//! ```
+
+pub mod ast;
+pub mod display;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggArg, AggFunc, BinOp, Expr, OrderDir, Select, SelectItem, Statement};
+pub use exec::{execute, execute_sql, ExecResult};
+pub use parser::parse;
+
+#[cfg(test)]
+mod exec_tests;
+#[cfg(test)]
+mod index_tests;
+#[cfg(test)]
+mod proptests;

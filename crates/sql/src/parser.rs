@@ -1,0 +1,582 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Sym, Token};
+use sirep_common::DbError;
+use sirep_storage::{ColumnType, Value};
+
+/// Parse one SQL statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Statement, DbError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_sym(Sym::Semicolon); // optional
+    if !p.at_end() {
+        return Err(DbError::Parse(format!("trailing tokens after statement: {}", p.peek_desc())));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        match self.peek() {
+            Some(t) => t.to_string(),
+            None => "<end>".into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume `word` (already lower-case) if next; return whether consumed.
+    fn eat_word(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Word(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), DbError> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected '{word}', found {}", self.peek_desc())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sym) -> Result<(), DbError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!("expected {s:?}, found {}", self.peek_desc())))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Token::Word(w)) if !is_reserved(&w) => Ok(w),
+            Some(t) => Err(DbError::Parse(format!("expected identifier, found {t}"))),
+            None => Err(DbError::Parse("expected identifier, found end".into())),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, DbError> {
+        if self.eat_word("create") {
+            self.create_table()
+        } else if self.eat_word("insert") {
+            self.insert()
+        } else if self.eat_word("update") {
+            self.update()
+        } else if self.eat_word("delete") {
+            self.delete()
+        } else if self.eat_word("select") {
+            Ok(Statement::Select(self.select()?))
+        } else {
+            Err(DbError::Parse(format!("expected a statement, found {}", self.peek_desc())))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, DbError> {
+        if self.eat_word("index") {
+            self.expect_word("on")?;
+            let table = self.identifier()?;
+            self.expect_sym(Sym::LParen)?;
+            let column = self.identifier()?;
+            self.expect_sym(Sym::RParen)?;
+            return Ok(Statement::CreateIndex { table, column });
+        }
+        self.expect_word("table")?;
+        let name = self.identifier()?;
+        self.expect_sym(Sym::LParen)?;
+        let mut columns = Vec::new();
+        let mut pk = Vec::new();
+        loop {
+            if self.eat_word("primary") {
+                self.expect_word("key")?;
+                self.expect_sym(Sym::LParen)?;
+                loop {
+                    pk.push(self.identifier()?);
+                    if !self.eat_sym(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_sym(Sym::RParen)?;
+            } else {
+                let col = self.identifier()?;
+                let ty = match self.next() {
+                    Some(Token::Word(w)) => match w.as_str() {
+                        "int" | "integer" | "bigint" => ColumnType::Int,
+                        "float" | "real" | "double" | "numeric" | "decimal" => ColumnType::Float,
+                        "text" | "varchar" | "char" => ColumnType::Text,
+                        other => {
+                            return Err(DbError::Parse(format!("unknown type: {other}")));
+                        }
+                    },
+                    t => {
+                        return Err(DbError::Parse(format!("expected type, found {t:?}")));
+                    }
+                };
+                // Optional length like VARCHAR(40).
+                if self.eat_sym(Sym::LParen) {
+                    match self.next() {
+                        Some(Token::Int(_)) => {}
+                        t => return Err(DbError::Parse(format!("expected length, found {t:?}"))),
+                    }
+                    self.expect_sym(Sym::RParen)?;
+                }
+                columns.push((col, ty));
+            }
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_sym(Sym::RParen)?;
+        if pk.is_empty() {
+            return Err(DbError::Parse(format!("table {name} needs PRIMARY KEY (...)")));
+        }
+        Ok(Statement::CreateTable { name, columns, pk })
+    }
+
+    fn insert(&mut self) -> Result<Statement, DbError> {
+        self.expect_word("into")?;
+        let table = self.identifier()?;
+        let columns = if self.eat_sym(Sym::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.identifier()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_word("values")?;
+        self.expect_sym(Sym::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.expr()?);
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_sym(Sym::RParen)?;
+        Ok(Statement::Insert { table, columns, values })
+    }
+
+    fn update(&mut self) -> Result<Statement, DbError> {
+        let table = self.identifier()?;
+        self.expect_word("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_sym(Sym::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_word("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, sets, predicate })
+    }
+
+    fn delete(&mut self) -> Result<Statement, DbError> {
+        self.expect_word("from")?;
+        let table = self.identifier()?;
+        let predicate = if self.eat_word("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn select(&mut self) -> Result<Select, DbError> {
+        let mut projection = Vec::new();
+        loop {
+            projection.push(self.select_item()?);
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_word("from")?;
+        let table = self.identifier()?;
+        let predicate = if self.eat_word("where") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_word("order") {
+            self.expect_word("by")?;
+            loop {
+                let col = self.identifier()?;
+                let dir = if self.eat_word("desc") {
+                    OrderDir::Desc
+                } else {
+                    self.eat_word("asc");
+                    OrderDir::Asc
+                };
+                order_by.push((col, dir));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_word("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                t => return Err(DbError::Parse(format!("expected LIMIT count, found {t:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Select { projection, table, predicate, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, DbError> {
+        if self.eat_sym(Sym::Star) {
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate?
+        if let Some(Token::Word(w)) = self.peek() {
+            let func = match w.as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                "avg" => Some(AggFunc::Avg),
+                _ => None,
+            };
+            if let Some(func) = func {
+                // Only treat as aggregate when followed by '('.
+                if matches!(self.tokens.get(self.pos + 1), Some(Token::Sym(Sym::LParen))) {
+                    self.pos += 2; // word + lparen
+                    let arg = if self.eat_sym(Sym::Star) {
+                        AggArg::Star
+                    } else {
+                        AggArg::Column(self.identifier()?)
+                    };
+                    self.expect_sym(Sym::RParen)?;
+                    return Ok(SelectItem::Aggregate(func, arg));
+                }
+            }
+        }
+        Ok(SelectItem::Expr(self.expr()?))
+    }
+
+    // Expression grammar (precedence climbing):
+    //   expr     := or
+    //   or       := and (OR and)*
+    //   and      := not (AND not)*
+    //   not      := NOT not | cmp
+    //   cmp      := add ((=|<>|<|<=|>|>=) add)? | add IS [NOT] NULL
+    //   add      := mul ((+|-) mul)*
+    //   mul      := atom ((*|/) atom)*
+    //   atom     := literal | column | ( expr ) | - atom
+    fn expr(&mut self) -> Result<Expr, DbError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.and_expr()?;
+        while self.eat_word("or") {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.not_expr()?;
+        while self.eat_word("and") {
+            let right = self.not_expr()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, DbError> {
+        if self.eat_word("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, DbError> {
+        let left = self.add_expr()?;
+        if self.eat_word("is") {
+            let negated = self.eat_word("not");
+            self.expect_word("null")?;
+            return Ok(Expr::IsNull(Box::new(left), negated));
+        }
+        let op = match self.peek() {
+            Some(Token::Sym(Sym::Eq)) => Some(BinOp::Eq),
+            Some(Token::Sym(Sym::Neq)) => Some(BinOp::Neq),
+            Some(Token::Sym(Sym::Lt)) => Some(BinOp::Lt),
+            Some(Token::Sym(Sym::Le)) => Some(BinOp::Le),
+            Some(Token::Sym(Sym::Gt)) => Some(BinOp::Gt),
+            Some(Token::Sym(Sym::Ge)) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            Ok(Expr::bin(op, left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Plus)) => BinOp::Add,
+                Some(Token::Sym(Sym::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, DbError> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym(Sym::Star)) => BinOp::Mul,
+                Some(Token::Sym(Sym::Slash)) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.atom()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Expr, DbError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Sym(Sym::Minus)) => {
+                let inner = self.atom()?;
+                Ok(Expr::bin(BinOp::Sub, Expr::lit(0), inner))
+            }
+            Some(Token::Sym(Sym::LParen)) => {
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) if w == "null" => Ok(Expr::Literal(Value::Null)),
+            Some(Token::Word(w)) if !is_reserved(&w) => Ok(Expr::Column(w)),
+            t => Err(DbError::Parse(format!("expected expression, found {t:?}"))),
+        }
+    }
+}
+
+fn is_reserved(w: &str) -> bool {
+    matches!(
+        w,
+        "select"
+            | "insert"
+            | "update"
+            | "delete"
+            | "create"
+            | "table"
+            | "from"
+            | "where"
+            | "set"
+            | "into"
+            | "values"
+            | "and"
+            | "or"
+            | "not"
+            | "order"
+            | "by"
+            | "limit"
+            | "primary"
+            | "key"
+            | "is"
+            | "null"
+            | "index"
+            | "on"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let s = parse(
+            "CREATE TABLE item (i_id INT, i_title VARCHAR(60), i_cost FLOAT, PRIMARY KEY (i_id))",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable { name, columns, pk } => {
+                assert_eq!(name, "item");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[1], ("i_title".into(), ColumnType::Text));
+                assert_eq!(pk, vec!["i_id"]);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_composite_pk() {
+        let s = parse("CREATE TABLE ol (a INT, b INT, q INT, PRIMARY KEY (a, b))").unwrap();
+        match s {
+            Statement::CreateTable { pk, .. } => assert_eq!(pk, vec!["a", "b"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_positional_and_named() {
+        let s = parse("INSERT INTO t VALUES (1, 'x', 2.5)").unwrap();
+        match s {
+            Statement::Insert { columns, values, .. } => {
+                assert!(columns.is_none());
+                assert_eq!(values.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("INSERT INTO t (a, c) VALUES (1, 'x')").unwrap();
+        match s {
+            Statement::Insert { columns, .. } => {
+                assert_eq!(columns.unwrap(), vec!["a", "c"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_with_arithmetic() {
+        let s = parse("UPDATE stock SET qty = qty - 3, price = price * 1.1 WHERE id = 7").unwrap();
+        match s {
+            Statement::Update { table, sets, predicate } => {
+                assert_eq!(table, "stock");
+                assert_eq!(sets.len(), 2);
+                assert!(predicate.unwrap().as_column_eq_literal().is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_full() {
+        let s = parse(
+            "SELECT i_id, i_cost FROM item WHERE i_cost > 5 AND i_id <> 3 ORDER BY i_cost DESC, i_id LIMIT 10",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projection.len(), 2);
+                assert_eq!(sel.order_by.len(), 2);
+                assert_eq!(sel.order_by[0].1, OrderDir::Desc);
+                assert_eq!(sel.order_by[1].1, OrderDir::Asc);
+                assert_eq!(sel.limit, Some(10));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_aggregates() {
+        let s = parse("SELECT COUNT(*), SUM(qty), AVG(price) FROM stock WHERE qty > 0").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projection.len(), 3);
+                assert!(matches!(sel.projection[0], SelectItem::Aggregate(AggFunc::Count, AggArg::Star)));
+                assert!(matches!(
+                    sel.projection[1],
+                    SelectItem::Aggregate(AggFunc::Sum, AggArg::Column(_))
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_is_null_and_not() {
+        let s = parse("SELECT * FROM t WHERE a IS NOT NULL AND NOT b = 2").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let conj = sel.predicate.as_ref().unwrap().conjuncts().len();
+                assert_eq!(conj, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_or_precedence() {
+        // a = 1 OR b = 2 AND c = 3  →  a=1 OR (b=2 AND c=3)
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match s {
+            Statement::Select(sel) => match sel.predicate.unwrap() {
+                Expr::Binary { op: BinOp::Or, right, .. } => {
+                    assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let s = parse("INSERT INTO t VALUES (-5)").unwrap();
+        match s {
+            Statement::Insert { values, .. } => {
+                assert!(matches!(&values[0], Expr::Binary { op: BinOp::Sub, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_parse_errors() {
+        assert!(matches!(parse("SELEC * FROM t"), Err(DbError::Parse(_))));
+        assert!(matches!(parse("SELECT * FROM t WHERE"), Err(DbError::Parse(_))));
+        assert!(matches!(parse("SELECT * FROM t extra junk"), Err(DbError::Parse(_))));
+        assert!(matches!(parse("CREATE TABLE t (a INT)"), Err(DbError::Parse(_))));
+        assert!(matches!(parse("DELETE t"), Err(DbError::Parse(_))));
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("DELETE FROM t;").is_ok());
+    }
+}

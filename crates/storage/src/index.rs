@@ -1,0 +1,128 @@
+//! Secondary (non-unique) equality indexes.
+//!
+//! The paper ran its large-database experiment **without** indexes and
+//! notes the resulting PostgreSQL performance "is rather limited" (§6.2) —
+//! queries there are full scans, which is exactly what makes the
+//! centralized system saturate at ~4 tps. This module supplies the thing
+//! being withheld, so the ablation bench can show the gap.
+//!
+//! Design: a multi-version-safe *candidate* index. The index maps a column
+//! value to the set of primary keys that have carried that value in any
+//! version that might still be visible. Lookups therefore **recheck**: the
+//! caller fetches each candidate row through normal snapshot visibility and
+//! re-applies the predicate (the same heap-recheck discipline PostgreSQL
+//! uses). Stale entries — keys whose visible row no longer matches — are
+//! skipped by the recheck and physically removed when the engine prunes
+//! their versions away.
+//!
+//! Maintenance happens at commit install time (committed data only;
+//! uncommitted writes live in the transaction's buffer, which readers merge
+//! separately), so the index never exposes dirty data and needs no locks
+//! beyond the table's.
+
+use crate::value::{Key, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// One secondary index over a single column.
+#[derive(Debug, Default)]
+pub struct SecondaryIndex {
+    /// Column position in the table schema.
+    pub column: usize,
+    /// value → candidate primary keys (superset of the truth; recheck!).
+    entries: HashMap<Value, BTreeSet<Key>>,
+}
+
+impl SecondaryIndex {
+    pub fn new(column: usize) -> SecondaryIndex {
+        SecondaryIndex { column, entries: HashMap::new() }
+    }
+
+    /// Record that `key`'s row carries `value` in some (new) version.
+    pub fn insert(&mut self, value: Value, key: Key) {
+        if value.is_null() {
+            return; // NULL never matches an equality predicate
+        }
+        self.entries.entry(value).or_default().insert(key);
+    }
+
+    /// Candidate keys for `value` (must be rechecked against visibility).
+    pub fn candidates(&self, value: &Value) -> impl Iterator<Item = &Key> + '_ {
+        self.entries.get(value).into_iter().flatten()
+    }
+
+    /// Drop a key from every posting it appears in whose value is in
+    /// `stale_values` (called when version pruning discards old images).
+    pub fn remove_stale(&mut self, stale_values: &[Value], key: &Key) {
+        for v in stale_values {
+            if let Some(set) = self.entries.get_mut(v) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.entries.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Total candidate entries (tests / introspection).
+    pub fn len(&self) -> usize {
+        self.entries.values().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(n: i64) -> Key {
+        Key::single(n)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut idx = SecondaryIndex::new(1);
+        idx.insert(Value::Int(5), k(1));
+        idx.insert(Value::Int(5), k(2));
+        idx.insert(Value::Int(7), k(3));
+        let got: Vec<&Key> = idx.candidates(&Value::Int(5)).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(idx.candidates(&Value::Int(9)).count(), 0);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let mut idx = SecondaryIndex::new(0);
+        idx.insert(Value::Null, k(1));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let mut idx = SecondaryIndex::new(0);
+        idx.insert(Value::Int(5), k(1));
+        idx.insert(Value::Int(5), k(1));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn stale_removal() {
+        let mut idx = SecondaryIndex::new(0);
+        idx.insert(Value::Int(5), k(1));
+        idx.insert(Value::Int(6), k(1));
+        idx.remove_stale(&[Value::Int(5)], &k(1));
+        assert_eq!(idx.candidates(&Value::Int(5)).count(), 0);
+        assert_eq!(idx.candidates(&Value::Int(6)).count(), 1);
+    }
+
+    #[test]
+    fn int_float_equality_unifies_postings() {
+        // Key-side Int(5) and query-side Float(5.0) hash/compare equal.
+        let mut idx = SecondaryIndex::new(0);
+        idx.insert(Value::Int(5), k(1));
+        assert_eq!(idx.candidates(&Value::Float(5.0)).count(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the storage engine.
+//!
+//! The main property is **model conformance**: a random sequence of
+//! committed transactions applied to the engine must leave exactly the
+//! state that the same sequence leaves in a trivial `BTreeMap` model. A
+//! second group checks writeset extraction/application: replaying a
+//! transaction's writeset on a second database must reproduce the state —
+//! the foundation the whole replication protocol rests on.
+
+use crate::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+}
+
+fn op() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        (0i64..20, 0i64..100).prop_map(|(k, v)| ModelOp::Insert(k, v)),
+        (0i64..20, 0i64..100).prop_map(|(k, v)| ModelOp::Update(k, v)),
+        (0i64..20).prop_map(ModelOp::Delete),
+    ]
+}
+
+fn kv_db() -> Database {
+    let db = Database::in_memory();
+    db.create_table(
+        TableSchema::new(
+            "kv",
+            vec![Column::new("k", ColumnType::Int), Column::new("v", ColumnType::Int)],
+            &["k"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+/// Apply one op to both engine txn and model; returns false when the engine
+/// (rightly) rejected it (duplicate insert), in which case the whole
+/// transaction is considered failed and the model txn is discarded.
+fn apply(txn: &TxnHandle, model: &mut BTreeMap<i64, i64>, op: &ModelOp) -> bool {
+    match op {
+        ModelOp::Insert(k, v) => {
+            let expect_dup = model.contains_key(k);
+            match txn.insert("kv", vec![Value::Int(*k), Value::Int(*v)]) {
+                Ok(()) => {
+                    assert!(!expect_dup, "engine accepted duplicate insert of {k}");
+                    model.insert(*k, *v);
+                    true
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e, sirep_common::DbError::DuplicateKey(_)),
+                        "unexpected insert error: {e}"
+                    );
+                    assert!(expect_dup, "engine rejected non-duplicate insert of {k}");
+                    false
+                }
+            }
+        }
+        ModelOp::Update(k, v) => {
+            txn.update_key("kv", Key::single(*k), vec![Value::Int(*k), Value::Int(*v)])
+                .unwrap();
+            model.insert(*k, *v);
+            true
+        }
+        ModelOp::Delete(k) => {
+            txn.delete_key("kv", Key::single(*k)).unwrap();
+            model.remove(k);
+            true
+        }
+    }
+}
+
+fn engine_state(db: &Database) -> BTreeMap<i64, i64> {
+    let t = db.begin().unwrap();
+    let out = t
+        .scan("kv", |_| true)
+        .unwrap()
+        .into_iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    t.commit().unwrap();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Sequential committed transactions leave exactly the model state.
+    #[test]
+    fn engine_matches_map_model(txns in prop::collection::vec(prop::collection::vec(op(), 1..6), 1..12)) {
+        let db = kv_db();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for ops in &txns {
+            let mut scratch = model.clone();
+            let txn = db.begin().unwrap();
+            let mut ok = true;
+            for o in ops {
+                if !apply(&txn, &mut scratch, o) {
+                    ok = false;
+                    break; // txn is doomed (duplicate key)
+                }
+            }
+            if ok {
+                txn.commit().unwrap();
+                model = scratch;
+            }
+            // else: txn already terminated by the engine; model unchanged.
+        }
+        prop_assert_eq!(engine_state(&db), model);
+    }
+
+    /// Replaying extracted writesets reproduces the primary's state on a
+    /// replica, transaction by transaction.
+    #[test]
+    fn writeset_replay_replicates_state(txns in prop::collection::vec(prop::collection::vec(op(), 1..6), 1..10)) {
+        let primary = kv_db();
+        let replica = kv_db();
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for ops in &txns {
+            let mut scratch = model.clone();
+            let txn = primary.begin().unwrap();
+            let mut ok = true;
+            for o in ops {
+                if !apply(&txn, &mut scratch, o) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let ws = txn.writeset();
+            txn.commit().unwrap();
+            model = scratch;
+            let r = replica.begin().unwrap();
+            r.apply_writeset(&ws).unwrap();
+            r.commit().unwrap();
+        }
+        prop_assert_eq!(engine_state(&primary), engine_state(&replica));
+        prop_assert_eq!(engine_state(&primary), model);
+    }
+
+    /// Writeset intersection agrees with the brute-force definition.
+    #[test]
+    fn writeset_intersection_is_exact(
+        a in prop::collection::vec((0usize..3, 0i64..30), 0..12),
+        b in prop::collection::vec((0usize..3, 0i64..30), 0..12),
+    ) {
+        let tables = ["t0", "t1", "t2"];
+        let build = |pairs: &[(usize, i64)]| {
+            let mut ws = WriteSet::new();
+            for (t, k) in pairs {
+                ws.push(std::sync::Arc::from(tables[*t]), Key::single(*k), WsOp::Delete);
+            }
+            ws
+        };
+        let wa = build(&a);
+        let wb = build(&b);
+        let brute = a.iter().any(|x| b.contains(x));
+        prop_assert_eq!(wa.intersects(&wb), brute);
+        prop_assert_eq!(wb.intersects(&wa), brute);
+    }
+
+    /// Snapshot stability: a reader opened before a batch of writers sees
+    /// none of their effects, regardless of interleaving.
+    #[test]
+    fn snapshot_is_stable_under_later_commits(writes in prop::collection::vec((0i64..10, 0i64..100), 1..20)) {
+        let db = kv_db();
+        {
+            let t = db.begin().unwrap();
+            for k in 0..10 {
+                t.insert("kv", vec![Value::Int(k), Value::Int(-1)]).unwrap();
+            }
+            t.commit().unwrap();
+        }
+        let reader = db.begin().unwrap();
+        for (k, v) in &writes {
+            let w = db.begin().unwrap();
+            w.update_key("kv", Key::single(*k), vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+            w.commit().unwrap();
+        }
+        let seen = reader.scan("kv", |_| true).unwrap();
+        prop_assert_eq!(seen.len(), 10);
+        for r in &seen {
+            prop_assert_eq!(r[1].as_int().unwrap(), -1, "reader saw a later write");
+        }
+        reader.commit().unwrap();
+    }
+}

@@ -1,0 +1,202 @@
+//! Tuple version chains.
+//!
+//! Every committed write creates a new [`Version`] of its tuple, stamped
+//! with the commit timestamp of the creating transaction. A transaction
+//! with snapshot `s` sees the newest version with `commit_ts <= s` — the
+//! paper's *"Ti reads the version created by transaction Tj such that Tj
+//! executes before Ti, and there is no other transaction Tk that also wrote
+//! x, executes before Ti and commits after Tj"*.
+
+use crate::value::Row;
+use std::sync::Arc;
+
+/// A database-replica-local commit timestamp. Commits are serialized per
+/// replica, so these are dense: the n-th committing update transaction gets
+/// timestamp n. Snapshot `s` sees exactly commits 1..=s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommitTs(pub u64);
+
+impl CommitTs {
+    /// Before any commit.
+    pub const ZERO: CommitTs = CommitTs(0);
+
+    #[must_use]
+    pub fn next(self) -> CommitTs {
+        CommitTs(self.0 + 1)
+    }
+}
+
+/// One committed version of a tuple. `row == None` is a deletion tombstone.
+#[derive(Debug, Clone)]
+pub struct Version {
+    pub commit_ts: CommitTs,
+    pub row: Option<Arc<Row>>,
+}
+
+/// All committed versions of one tuple, oldest first.
+#[derive(Debug, Clone, Default)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    pub fn new() -> VersionChain {
+        VersionChain::default()
+    }
+
+    /// Append a committed version. Commit timestamps must be installed in
+    /// increasing order (commits are serialized by the engine).
+    pub fn install(&mut self, v: Version) {
+        if let Some(last) = self.versions.last() {
+            debug_assert!(
+                v.commit_ts > last.commit_ts,
+                "versions must be installed in commit order"
+            );
+        }
+        self.versions.push(v);
+    }
+
+    /// The newest committed version, regardless of visibility. This is what
+    /// the write-time version check compares against (first-updater-wins).
+    pub fn newest(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+
+    /// The version a transaction with snapshot `s` reads: the newest with
+    /// `commit_ts <= s`. Returns `None` when the tuple did not exist (or
+    /// only versions newer than `s` exist). A tombstone yields
+    /// `Some(version)` with `row == None`.
+    pub fn visible(&self, s: CommitTs) -> Option<&Version> {
+        // Chains are short (GC keeps them pruned); scan from the newest end.
+        self.versions.iter().rev().find(|v| v.commit_ts <= s)
+    }
+
+    /// The visible *live* row for snapshot `s` (`None` for absent/deleted).
+    pub fn visible_row(&self, s: CommitTs) -> Option<&Arc<Row>> {
+        self.visible(s).and_then(|v| v.row.as_ref())
+    }
+
+    /// Drop versions no active snapshot can see: everything strictly older
+    /// than the newest version with `commit_ts <= min_active_snapshot`.
+    /// Returns the dropped versions (secondary-index maintenance needs
+    /// their values).
+    pub fn prune(&mut self, min_active_snapshot: CommitTs) -> Vec<Version> {
+        let keep_from = self
+            .versions
+            .iter()
+            .rposition(|v| v.commit_ts <= min_active_snapshot)
+            .unwrap_or(0);
+        if keep_from == 0 {
+            return Vec::new();
+        }
+        self.versions.drain(..keep_from).collect()
+    }
+
+    /// All retained versions, oldest first.
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    /// Whether the whole chain is a dead tombstone no snapshot can resurrect
+    /// (single tombstone version older than every active snapshot) — such
+    /// entries can be removed from the table map entirely.
+    pub fn is_garbage(&self, min_active_snapshot: CommitTs) -> bool {
+        self.versions.len() == 1
+            && self.versions[0].row.is_none()
+            && self.versions[0].commit_ts <= min_active_snapshot
+    }
+
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(v: i64) -> Option<Arc<Row>> {
+        Some(Arc::new(vec![Value::Int(v)]))
+    }
+
+    fn chain(specs: &[(u64, Option<i64>)]) -> VersionChain {
+        let mut c = VersionChain::new();
+        for &(ts, val) in specs {
+            c.install(Version {
+                commit_ts: CommitTs(ts),
+                row: val.map(|v| Arc::new(vec![Value::Int(v)])),
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn visibility_picks_newest_not_after_snapshot() {
+        let c = chain(&[(1, Some(10)), (3, Some(30)), (5, Some(50))]);
+        assert!(c.visible(CommitTs(0)).is_none());
+        assert_eq!(c.visible_row(CommitTs(1)).unwrap()[0], Value::Int(10));
+        assert_eq!(c.visible_row(CommitTs(2)).unwrap()[0], Value::Int(10));
+        assert_eq!(c.visible_row(CommitTs(3)).unwrap()[0], Value::Int(30));
+        assert_eq!(c.visible_row(CommitTs(4)).unwrap()[0], Value::Int(30));
+        assert_eq!(c.visible_row(CommitTs(99)).unwrap()[0], Value::Int(50));
+    }
+
+    #[test]
+    fn tombstone_hides_row() {
+        let c = chain(&[(1, Some(10)), (2, None)]);
+        assert!(c.visible_row(CommitTs(2)).is_none());
+        // But the tombstone itself is a visible version (needed so readers
+        // distinguish "deleted" from "never existed").
+        assert!(c.visible(CommitTs(2)).is_some());
+        assert_eq!(c.visible_row(CommitTs(1)).unwrap()[0], Value::Int(10));
+    }
+
+    #[test]
+    fn newest_ignores_snapshot() {
+        let c = chain(&[(1, Some(10)), (7, Some(70))]);
+        assert_eq!(c.newest().unwrap().commit_ts, CommitTs(7));
+    }
+
+    #[test]
+    fn prune_keeps_visibility_for_min_snapshot() {
+        let mut c = chain(&[(1, Some(10)), (3, Some(30)), (5, Some(50))]);
+        let dropped = c.prune(CommitTs(4));
+        assert_eq!(dropped.len(), 1); // version@1 is unreachable once min snapshot is 4
+        assert_eq!(dropped[0].commit_ts, CommitTs(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.visible_row(CommitTs(4)).unwrap()[0], Value::Int(30));
+        assert_eq!(c.visible_row(CommitTs(5)).unwrap()[0], Value::Int(50));
+    }
+
+    #[test]
+    fn prune_noop_when_everything_needed() {
+        let mut c = chain(&[(3, Some(30)), (5, Some(50))]);
+        assert!(c.prune(CommitTs(2)).is_empty());
+        assert!(c.prune(CommitTs(3)).is_empty());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn garbage_detection() {
+        let mut c = chain(&[(1, Some(10)), (2, None)]);
+        assert!(!c.is_garbage(CommitTs(5)));
+        c.prune(CommitTs(5));
+        assert!(c.is_garbage(CommitTs(5)));
+        assert!(!c.is_garbage(CommitTs(1)));
+        let live = chain(&[(1, Some(10))]);
+        assert!(!live.is_garbage(CommitTs(5)));
+    }
+
+    #[test]
+    fn row_data_is_shared_not_cloned() {
+        let r = row(1).unwrap();
+        let mut c = VersionChain::new();
+        c.install(Version { commit_ts: CommitTs(1), row: Some(Arc::clone(&r)) });
+        assert_eq!(Arc::strong_count(&r), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Writesets: the unit of replication.
+//!
+//! The paper (§3): *"Writesets contain the changed objects and their
+//! identifiers."* A [`WriteSet`] is extracted from a transaction **before
+//! commit** (the paper's patched PostgreSQL exports modified tuples
+//! pre-commit) and applied at remote replicas through the normal write path,
+//! so remote application exhibits the same blocking/abort behaviour as local
+//! execution.
+//!
+//! The middleware's validation step is a writeset **intersection test**
+//! (`WS_i ∩ WS_j ≠ ∅`); it is the hot path of certification, so each
+//! writeset carries a pre-built hash set of its (table, key) pairs.
+
+use crate::value::{Key, Row};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The new state of one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WsOp {
+    /// Insert-or-update with the full new row image.
+    Put(Row),
+    /// Tuple deletion.
+    Delete,
+}
+
+/// One modified tuple: identifier + after-image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WsEntry {
+    pub table: Arc<str>,
+    pub key: Key,
+    pub op: WsOp,
+}
+
+/// The set of tuples a transaction wrote, in statement order (last write per
+/// tuple wins; earlier writes to the same tuple are collapsed).
+#[derive(Debug, Clone, Default)]
+pub struct WriteSet {
+    entries: Vec<WsEntry>,
+    /// (table, key) → index into `entries`, for O(1) probes.
+    index: HashMap<(Arc<str>, Key), usize>,
+}
+
+impl WriteSet {
+    pub fn new() -> WriteSet {
+        WriteSet::default()
+    }
+
+    /// Record a write. A later write to the same tuple replaces the earlier
+    /// after-image but keeps its original position (the paper's simplifying
+    /// "writes each object at most once" assumption is *not* imposed, per
+    /// its footnote 1).
+    pub fn push(&mut self, table: Arc<str>, key: Key, op: WsOp) {
+        let id = (table.clone(), key.clone());
+        if let Some(&i) = self.index.get(&id) {
+            self.entries[i].op = op;
+        } else {
+            self.index.insert(id, self.entries.len());
+            self.entries.push(WsEntry { table, key, op });
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn entries(&self) -> &[WsEntry] {
+        &self.entries
+    }
+
+    pub fn contains(&self, table: &str, key: &Key) -> bool {
+        self.get(table, key).is_some()
+    }
+
+    /// Look up the after-image this writeset holds for a tuple, if any.
+    /// Used for read-your-writes inside the engine.
+    pub fn get(&self, table: &str, key: &Key) -> Option<&WsOp> {
+        // Probe without allocating: the index is small enough that a scan of
+        // its keys would work, but a hash probe needs an owned key; instead
+        // scan entries when small, probe when large.
+        if self.entries.len() <= 8 {
+            self.entries
+                .iter()
+                .find(|e| &*e.table == table && &e.key == key)
+                .map(|e| &e.op)
+        } else {
+            let id = (Arc::from(table), key.clone());
+            self.index.get(&id).map(|&i| &self.entries[i].op)
+        }
+    }
+
+    /// The certification test: do two writesets touch a common tuple?
+    /// Iterates the smaller set, probes the larger — O(min(|a|, |b|)).
+    pub fn intersects(&self, other: &WriteSet) -> bool {
+        let (small, large) =
+            if self.index.len() <= other.index.len() { (self, other) } else { (other, self) };
+        small.index.keys().any(|id| large.index.contains_key(id))
+    }
+}
+
+impl fmt::Display for WriteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let op = match e.op {
+                WsOp::Put(_) => "put",
+                WsOp::Delete => "del",
+            };
+            write!(f, "{}:{}{}", e.table, e.key, if op == "del" { "†" } else { "" })?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(name: &str) -> Arc<str> {
+        Arc::from(name)
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut ws = WriteSet::new();
+        assert!(ws.is_empty());
+        ws.push(t("a"), Key::single(1), WsOp::Put(vec![Value::Int(1)]));
+        ws.push(t("a"), Key::single(2), WsOp::Delete);
+        assert_eq!(ws.len(), 2);
+        assert!(ws.contains("a", &Key::single(1)));
+        assert!(!ws.contains("b", &Key::single(1)));
+    }
+
+    #[test]
+    fn rewrite_same_tuple_collapses() {
+        let mut ws = WriteSet::new();
+        ws.push(t("a"), Key::single(1), WsOp::Put(vec![Value::Int(1)]));
+        ws.push(t("a"), Key::single(1), WsOp::Put(vec![Value::Int(2)]));
+        assert_eq!(ws.len(), 1);
+        match &ws.entries()[0].op {
+            WsOp::Put(row) => assert_eq!(row[0], Value::Int(2)),
+            WsOp::Delete => panic!("expected put"),
+        }
+    }
+
+    #[test]
+    fn delete_after_put_keeps_delete() {
+        let mut ws = WriteSet::new();
+        ws.push(t("a"), Key::single(1), WsOp::Put(vec![Value::Int(1)]));
+        ws.push(t("a"), Key::single(1), WsOp::Delete);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.entries()[0].op, WsOp::Delete);
+    }
+
+    #[test]
+    fn intersection_requires_same_table_and_key() {
+        let mut a = WriteSet::new();
+        a.push(t("x"), Key::single(1), WsOp::Delete);
+        let mut b = WriteSet::new();
+        b.push(t("y"), Key::single(1), WsOp::Delete);
+        assert!(!a.intersects(&b));
+        b.push(t("x"), Key::single(1), WsOp::Delete);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    fn empty_writesets_never_intersect() {
+        let a = WriteSet::new();
+        let mut b = WriteSet::new();
+        b.push(t("x"), Key::single(1), WsOp::Delete);
+        assert!(!a.intersects(&b));
+        assert!(!a.intersects(&WriteSet::new()));
+    }
+
+    #[test]
+    fn display_lists_tuples() {
+        let mut ws = WriteSet::new();
+        ws.push(t("stock"), Key::single(3), WsOp::Put(vec![]));
+        assert!(ws.to_string().contains("stock:(3)"));
+    }
+}

@@ -1,0 +1,143 @@
+//! The update-intensive stress workload of §6.3.
+//!
+//! Paper parameters: a very small database (14 MB, 10 tables), **only**
+//! update transactions, each performing 10 simple updates; for the [20]
+//! comparison each transaction accesses three different tables ("a bit less
+//! than the number of tables accessed by a typical transaction in TPC-W").
+
+use crate::Workload;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sirep_common::DbError;
+use sirep_core::TxnTemplate;
+use sirep_storage::Database;
+
+#[derive(Debug, Clone)]
+pub struct UpdateIntensive {
+    pub tables: usize,
+    pub rows_per_table: i64,
+    /// Distinct tables per transaction (paper: 3).
+    pub tables_per_txn: usize,
+    /// Updates per transaction (paper: 10).
+    pub updates_per_txn: usize,
+}
+
+impl Default for UpdateIntensive {
+    fn default() -> Self {
+        UpdateIntensive { tables: 10, rows_per_table: 1_000, tables_per_txn: 3, updates_per_txn: 10 }
+    }
+}
+
+impl UpdateIntensive {
+    fn table_name(&self, t: usize) -> String {
+        format!("upd{t}")
+    }
+}
+
+impl Workload for UpdateIntensive {
+    fn name(&self) -> &'static str {
+        "update-intensive"
+    }
+
+    fn ddl(&self) -> Vec<String> {
+        (0..self.tables)
+            .map(|t| {
+                format!(
+                    "CREATE TABLE {} (id INT, counter INT, val FLOAT, PRIMARY KEY (id))",
+                    self.table_name(t)
+                )
+            })
+            .collect()
+    }
+
+    fn populate(&self, db: &Database) -> Result<(), DbError> {
+        for t in 0..self.tables {
+            let name = self.table_name(t);
+            let mut id = 1;
+            while id <= self.rows_per_table {
+                let txn = db.begin()?;
+                let chunk_end = (id + 499).min(self.rows_per_table);
+                for i in id..=chunk_end {
+                    sirep_sql::execute_sql(
+                        db,
+                        &txn,
+                        &format!("INSERT INTO {name} VALUES ({i}, 0, 0.0)"),
+                    )?;
+                }
+                txn.commit()?;
+                id = chunk_end + 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&self, rng: &mut SmallRng, _client: usize) -> TxnTemplate {
+        // Pick `tables_per_txn` distinct tables, spread the updates over
+        // them round-robin.
+        let mut chosen: Vec<usize> = Vec::with_capacity(self.tables_per_txn);
+        while chosen.len() < self.tables_per_txn.min(self.tables) {
+            let t = rng.gen_range(0..self.tables);
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        let mut statements = Vec::with_capacity(self.updates_per_txn);
+        for u in 0..self.updates_per_txn {
+            let t = chosen[u % chosen.len()];
+            let id = rng.gen_range(1..=self.rows_per_table);
+            statements.push(format!(
+                "UPDATE {} SET counter = counter + 1 WHERE id = {id}",
+                self.table_name(t)
+            ));
+        }
+        TxnTemplate {
+            statements,
+            tables: chosen.iter().map(|&t| self.table_name(t)).collect(),
+            readonly: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn everything_is_an_update() {
+        let w = UpdateIntensive::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let t = w.next(&mut rng, 0);
+            assert!(!t.readonly);
+            assert_eq!(t.statements.len(), 10);
+            assert_eq!(t.tables.len(), 3);
+        }
+    }
+
+    #[test]
+    fn populate_and_execute() {
+        let w = UpdateIntensive {
+            tables: 3,
+            rows_per_table: 50,
+            tables_per_txn: 2,
+            updates_per_txn: 4,
+        };
+        let db = Database::in_memory();
+        for ddl in w.ddl() {
+            let t = db.begin().unwrap();
+            sirep_sql::execute_sql(&db, &t, &ddl).unwrap();
+            t.commit().unwrap();
+        }
+        w.populate(&db).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let tmpl = w.next(&mut rng, 0);
+            let t = db.begin().unwrap();
+            for sql in &tmpl.statements {
+                sirep_sql::execute_sql(&db, &t, sql).unwrap();
+            }
+            t.commit().unwrap();
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # si-rep
+//!
+//! Umbrella crate for the SI-Rep reproduction — middleware-based data
+//! replication providing 1-copy snapshot isolation (Lin, Kemme,
+//! Patiño-Martínez, Jiménez-Peris; SIGMOD 2005).
+//!
+//! Re-exports the workspace crates under stable module names so examples,
+//! integration tests and downstream users have a single dependency:
+//!
+//! - [`storage`] — MVCC snapshot-isolation engine (PostgreSQL-style
+//!   first-updater-wins write conflicts, writeset extraction/application);
+//! - [`sql`] — the SQL subset clients speak;
+//! - [`gcs`] — uniform reliable total-order multicast + membership;
+//! - [`core`] — the replication protocols: SRCA, SRCA-Rep, SRCA-Opt, the
+//!   table-level-locking baseline, and the 1-copy-SI formal model;
+//! - [`driver`] — the JDBC-analogue client driver with transparent
+//!   failover;
+//! - [`workloads`] — TPC-W ordering mix, large-DB and update-intensive
+//!   workloads plus the closed-loop load generator;
+//! - [`common`] — ids, clocks, statistics.
+
+pub use sirep_common as common;
+pub use sirep_core as core;
+pub use sirep_driver as driver;
+pub use sirep_gcs as gcs;
+pub use sirep_sql as sql;
+pub use sirep_storage as storage;
+pub use sirep_workloads as workloads;

@@ -1,0 +1,119 @@
+//! End-to-end failover tests for the §5.4 connection states, through the
+//! public driver API.
+
+use si_rep::common::{AbortReason, DbError};
+use si_rep::core::{Cluster, ClusterConfig, Connection, InDoubt, Outcome};
+use si_rep::driver::{Driver, DriverConfig, Policy};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cluster(n: usize) -> Arc<Cluster> {
+    let c = Arc::new(Cluster::new(ClusterConfig::test(n)));
+    c.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
+    c
+}
+
+#[test]
+fn case3_commit_submitted_resolved_as_committed() {
+    // The commit reached the middleware, was multicast (uniform delivery!),
+    // and the replica crashed before answering the client. The driver must
+    // resolve the in-doubt transaction to COMMITTED at the new replica —
+    // the fully transparent case the paper highlights.
+    let c = cluster(3);
+    // Use a session directly so we can control the crash point: commit,
+    // let the writeset replicate, then crash before the client "hears" it.
+    let mut s = c.session(0);
+    s.execute("INSERT INTO kv VALUES (1, 1)").unwrap();
+    let xact = s.xact_id().unwrap();
+    s.commit().unwrap(); // writeset delivered everywhere
+    assert!(c.quiesce(Duration::from_secs(5)));
+    c.crash(0);
+    // A failed-over driver would now inquire; do what it does.
+    let outcome = c.node(1).inquire(xact).unwrap();
+    assert_eq!(outcome, InDoubt::Known(Outcome::Committed));
+    // And the data is there.
+    let mut s1 = c.session(1);
+    let r = s1.execute("SELECT v FROM kv WHERE k = 1").unwrap();
+    assert_eq!(r.rows().len(), 1);
+    s1.commit().unwrap();
+}
+
+#[test]
+fn case3_never_received_resolved_as_aborted() {
+    let c = cluster(2);
+    let mut s = c.session(0);
+    s.execute("INSERT INTO kv VALUES (2, 2)").unwrap();
+    let xact = s.xact_id().unwrap();
+    // Crash before the commit request: no writeset ever multicast.
+    c.crash(0);
+    assert!(matches!(s.commit(), Err(DbError::Aborted(_))));
+    assert_eq!(c.node(1).inquire(xact).unwrap(), InDoubt::NeverReceived);
+    // Nothing leaked to the survivor.
+    let mut s1 = c.session(1);
+    let r = s1.execute("SELECT v FROM kv WHERE k = 2").unwrap();
+    assert!(r.rows().is_empty());
+    s1.commit().unwrap();
+}
+
+#[test]
+fn driver_masks_crash_between_transactions() {
+    let c = cluster(3);
+    let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::Primary));
+    let mut conn = d.connect().unwrap();
+    conn.execute("INSERT INTO kv VALUES (10, 1)").unwrap();
+    conn.commit().unwrap();
+    assert!(c.quiesce(Duration::from_secs(5)));
+    let before = conn.replica();
+    c.crash(before.index());
+    // §5.4 case 1: between transactions the failover is invisible.
+    let r = conn.execute("SELECT v FROM kv WHERE k = 10").unwrap();
+    assert_eq!(r.rows().len(), 1);
+    conn.commit().unwrap();
+    assert_ne!(conn.replica(), before);
+}
+
+#[test]
+fn driver_reports_lost_transaction_and_recovers() {
+    let c = cluster(3);
+    let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::Primary));
+    let mut conn = d.connect().unwrap();
+    conn.execute("INSERT INTO kv VALUES (20, 1)").unwrap(); // txn open
+    c.crash(conn.replica().index());
+    // §5.4 case 2: the open transaction is lost; the error is retryable.
+    let err = conn.execute("INSERT INTO kv VALUES (21, 1)").unwrap_err();
+    match err {
+        DbError::Aborted(reason) => assert!(reason.is_retryable()),
+        other => panic!("unexpected: {other:?}"),
+    }
+    // Retry the whole transaction on the failed-over connection.
+    conn.execute("INSERT INTO kv VALUES (20, 1)").unwrap();
+    conn.execute("INSERT INTO kv VALUES (21, 1)").unwrap();
+    conn.commit().unwrap();
+    assert!(c.quiesce(Duration::from_secs(5)));
+    for k in c.alive() {
+        assert_eq!(k.database().table_len("kv"), 2);
+    }
+}
+
+#[test]
+fn sequential_crashes_until_one_replica_left() {
+    let c = cluster(3);
+    let d = Driver::new(Arc::clone(&c), DriverConfig::default());
+    let mut conn = d.connect().unwrap();
+    for round in 0..2 {
+        conn.execute(&format!("INSERT INTO kv VALUES ({round}, 0)"))
+            .or_else(|e| {
+                assert!(matches!(e, DbError::Aborted(AbortReason::ReplicaCrashed)));
+                conn.execute(&format!("INSERT INTO kv VALUES ({round}, 0)"))
+            })
+            .unwrap();
+        conn.commit().unwrap();
+        assert!(c.quiesce(Duration::from_secs(5)));
+        let victim = conn.replica();
+        c.crash(victim.index());
+    }
+    // One replica left; it has everything.
+    let survivors = c.alive();
+    assert_eq!(survivors.len(), 1);
+    assert_eq!(survivors[0].database().table_len("kv"), 2);
+}
