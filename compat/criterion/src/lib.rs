@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`: `bench_function`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Unlike the statistical upstream, this measures with a simple
+//! calibrate-then-sample scheme — but the timing is real wall-clock time,
+//! so relative comparisons (e.g. tracing on vs. off) remain meaningful.
+//! Results print as `name  time: [min mean max]` per iteration.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = match size {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        };
+        let mut total = Duration::ZERO;
+        let mut done = 0u64;
+        while done < self.iters {
+            let n = (self.iters - done).min(batch);
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            total += start.elapsed();
+            done += n;
+        }
+        self.elapsed = total;
+    }
+}
+
+pub struct Criterion {
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 15, target_sample_time: Duration::from_millis(40) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_sample_time = t / self.sample_count.max(1) as u32;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibrate: grow the iteration count until one sample takes at
+        // least ~target_sample_time (or a hard cap is reached).
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= self.target_sample_time || iters >= 1 << 24 {
+                break;
+            }
+            // Aim directly at the target, at least doubling each round.
+            let elapsed = b.elapsed.max(Duration::from_nanos(1));
+            let scale = self.target_sample_time.as_nanos() / elapsed.as_nanos().max(1);
+            iters = (iters * 2).max(iters.saturating_mul(scale as u64 + 1)).min(1 << 24);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let max = per_iter.last().copied().unwrap_or(0.0);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            iters,
+            per_iter.len()
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default().sample_size(3);
+        c.target_sample_time = Duration::from_millis(2);
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        let mut made = 0;
+        let mut used = 0;
+        b.iter_batched(
+            || {
+                made += 1;
+                vec![1, 2, 3]
+            },
+            |v| used += v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(made, 10);
+        assert_eq!(used, 30);
+        assert!(b.elapsed > Duration::ZERO || used > 0);
+    }
+}

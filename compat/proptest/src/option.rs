@@ -1,0 +1,25 @@
+//! `prop::option::of` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Match upstream's default: Some three times out of four.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.gen_value(rng))
+        }
+    }
+}

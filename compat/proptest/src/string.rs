@@ -1,0 +1,190 @@
+//! String strategies from regex-like patterns — `"[a-e][a-z0-9_]{0,6}"`
+//! used directly as a `Strategy<Value = String>`, as in upstream proptest.
+//!
+//! Supported syntax: literal characters, character classes `[...]` with
+//! ranges, escapes (`\d`, `\w`, `\\` etc.), and the quantifiers `{n}`,
+//! `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern `{pattern}`")
+                    });
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            set.extend(lo..=hi);
+                        }
+                        '\\' => {
+                            if let Some(p) = prev.take() {
+                                set.push(p);
+                            }
+                            let esc = chars.next().expect("escape in class");
+                            set.extend(escape_class(esc, pattern));
+                            // Escapes can't start a range here.
+                        }
+                        other => {
+                            if let Some(p) = prev.take() {
+                                set.push(p);
+                            }
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty character class in pattern `{pattern}`");
+                set
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`"));
+                escape_class(esc, pattern)
+            }
+            '.' => (' '..='~').collect(),
+            other => vec![other],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern `{pattern}`");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn escape_class(esc: char, pattern: &str) -> Vec<char> {
+    match esc {
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+        's' => vec![' ', '\t'],
+        'n' => vec!['\n'],
+        't' => vec!['\t'],
+        '\\' | '.' | '[' | ']' | '{' | '}' | '?' | '*' | '+' | '(' | ')' | '-' | '|' => vec![esc],
+        other => panic!("unsupported escape `\\{other}` in pattern `{pattern}`"),
+    }
+}
+
+fn gen_from_atoms(atoms: &[Atom], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in atoms {
+        let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        // Patterns in the workspace are short and generation is per-case;
+        // re-parsing each time keeps this dependency-free and is cheap.
+        gen_from_atoms(&parse_pattern(self), rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_atoms(&parse_pattern(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ident_like_pattern() {
+        let s = "[a-e][a-z0-9_]{0,6}";
+        let mut r = TestRng::from_seed(5);
+        for _ in 0..500 {
+            let v = s.gen_value(&mut r);
+            assert!((1..=7).contains(&v.len()), "`{v}`");
+            let mut cs = v.chars();
+            assert!(('a'..='e').contains(&cs.next().unwrap()), "`{v}`");
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'), "`{v}`");
+        }
+    }
+
+    #[test]
+    fn class_with_space() {
+        let s = "[a-z ]{0,6}";
+        let mut r = TestRng::from_seed(6);
+        let mut saw_space = false;
+        for _ in 0..500 {
+            let v = s.gen_value(&mut r);
+            assert!(v.len() <= 6);
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c == ' '), "`{v}`");
+            saw_space |= v.contains(' ');
+        }
+        assert!(saw_space);
+    }
+
+    #[test]
+    fn fixed_and_open_quantifiers() {
+        let mut r = TestRng::from_seed(7);
+        assert_eq!("x{3}".gen_value(&mut r), "xxx");
+        for _ in 0..100 {
+            let v = r#"\d+"#.gen_value(&mut r);
+            assert!((1..=8).contains(&v.len()));
+            assert!(v.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Config, RNG and the per-test driver used by the `proptest!` macro.
+
+use std::error::Error;
+use std::fmt;
+
+/// Subset of upstream `ProptestConfig`. Construct with functional-record
+/// update over `default()`, exactly as with the real crate.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; ignored.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 1024, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for TestCaseError {}
+
+/// xoshiro256++ with a splitmix64 seeder; good enough statistically for
+/// test-input generation and cheap to fork.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub(crate) fn from_seed(mut seed: u64) -> Self {
+        let s = [
+            splitmix64(&mut seed),
+            splitmix64(&mut seed),
+            splitmix64(&mut seed),
+            splitmix64(&mut seed),
+        ];
+        TestRng { s }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`).
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    pub(crate) fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Independent child generator (used by `prop_perturb`, which hands the
+    /// rng to user code by value).
+    pub(crate) fn fork(&mut self) -> TestRng {
+        TestRng::from_seed(self.next_u64())
+    }
+
+    /// Upstream's `rng.random::<T>()` (rand 0.9 naming, used by
+    /// `prop_perturb` callbacks).
+    pub fn random<T: RandomValue>(&mut self) -> T {
+        T::random_from(self)
+    }
+}
+
+/// Types drawable via [`TestRng::random`].
+pub trait RandomValue {
+    fn random_from(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! random_ints {
+    ($($t:ty),*) => {$(
+        impl RandomValue for $t {
+            fn random_from(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+random_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RandomValue for bool {
+    fn random_from(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Drives one property: owns the RNG handed to strategies.
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(_config: &ProptestConfig) -> Self {
+        // Fresh entropy per run (wall clock + a heap address) so repeated
+        // invocations explore different inputs, like the upstream default.
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let here = &t as *const u64 as u64;
+        TestRunner { rng: TestRng::from_seed(t ^ here.rotate_left(32)) }
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

@@ -39,15 +39,15 @@ fn main() {
 
     // --- applier concurrency ---------------------------------------------
     for appliers in [1usize, 2, 6] {
-        let cluster = Cluster::new(ClusterConfig {
-            replicas: 5,
-            mode: ReplicationMode::SrcaRep,
-            cost: bench::updint_cost(scale),
-            gcs: bench::lan(scale),
-            appliers,
-            track_history: false,
-            outcome_cap: 1 << 16,
-        });
+        let cluster = Cluster::new(
+            ClusterConfig::builder()
+                .replicas(5)
+                .mode(ReplicationMode::SrcaRep)
+                .cost(bench::updint_cost(scale))
+                .gcs(bench::lan(scale))
+                .appliers(appliers)
+                .build(),
+        );
         setup_cluster(&cluster, &workload).expect("setup");
         let mut r = run(&cluster, &workload, &point(load, scale));
         r.system = format!("SRCA-Rep appliers={appliers}");
@@ -63,15 +63,15 @@ fn main() {
             detection_delay_ms: 1000.0,
             scale,
         };
-        let cluster = Cluster::new(ClusterConfig {
-            replicas: 5,
-            mode: ReplicationMode::SrcaRep,
-            cost: bench::updint_cost(scale),
-            gcs,
-            appliers: 6,
-            track_history: false,
-            outcome_cap: 1 << 16,
-        });
+        let cluster = Cluster::new(
+            ClusterConfig::builder()
+                .replicas(5)
+                .mode(ReplicationMode::SrcaRep)
+                .cost(bench::updint_cost(scale))
+                .gcs(gcs)
+                .appliers(6)
+                .build(),
+        );
         setup_cluster(&cluster, &workload).expect("setup");
         let mut r = run(&cluster, &workload, &point(load, scale));
         r.system = format!("SRCA-Rep gcs={delay_ms}ms");
@@ -81,15 +81,15 @@ fn main() {
 
     // --- hole synchronization (one point; the sweep is Fig. 7) --------------
     for mode in [ReplicationMode::SrcaRep, ReplicationMode::SrcaOpt] {
-        let cluster = Cluster::new(ClusterConfig {
-            replicas: 5,
-            mode,
-            cost: bench::updint_cost(scale),
-            gcs: bench::lan(scale),
-            appliers: 6,
-            track_history: false,
-            outcome_cap: 1 << 16,
-        });
+        let cluster = Cluster::new(
+            ClusterConfig::builder()
+                .replicas(5)
+                .mode(mode)
+                .cost(bench::updint_cost(scale))
+                .gcs(bench::lan(scale))
+                .appliers(6)
+                .build(),
+        );
         setup_cluster(&cluster, &workload).expect("setup");
         let hi = load * 1.5;
         let mut r = run(&cluster, &workload, &point(hi, scale));

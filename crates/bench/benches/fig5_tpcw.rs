@@ -22,15 +22,15 @@ fn main() {
     let mut results = Vec::new();
 
     // --- 5-replica SRCA-Rep -------------------------------------------------
-    let cluster = Cluster::new(ClusterConfig {
-        replicas: 5,
-        mode: ReplicationMode::SrcaRep,
-        cost: bench::tpcw_cost(scale),
-        gcs: bench::lan(scale),
-        appliers: 4,
-        track_history: false,
-        outcome_cap: 1 << 16,
-    });
+    let cluster = Cluster::new(
+        ClusterConfig::builder()
+            .replicas(5)
+            .mode(ReplicationMode::SrcaRep)
+            .cost(bench::tpcw_cost(scale))
+            .gcs(bench::lan(scale))
+            .appliers(4)
+            .build(),
+    );
     setup_cluster(&cluster, &workload).expect("setup cluster");
     for &load in &loads {
         let cfg = RunConfig {
@@ -50,7 +50,13 @@ fn main() {
     }
     let m = cluster.metrics();
     eprintln!("SRCA-Rep metrics: {}", m.summary());
-    let abort_rate = m.abort_rate();
+    eprintln!("SRCA-Rep rates: {}", m.rates());
+    println!(
+        "\nSRCA-Rep per-stage latency breakdown (wall ms; 1 wall ms = {:.1} model ms):",
+        scale.model_ms(std::time::Duration::from_millis(1))
+    );
+    print!("{}", m.breakdown_table());
+    let abort_rate = m.rates().abort_rate;
     drop(cluster);
 
     // --- centralized ---------------------------------------------------------

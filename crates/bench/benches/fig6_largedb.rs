@@ -21,15 +21,15 @@ fn main() {
     let mut results = Vec::new();
 
     for &replicas in &[5usize, 10] {
-        let cluster = Cluster::new(ClusterConfig {
-            replicas,
-            mode: ReplicationMode::SrcaRep,
-            cost: bench::largedb_cost(scale),
-            gcs: bench::lan(scale),
-            appliers: 4,
-            track_history: false,
-            outcome_cap: 1 << 16,
-        });
+        let cluster = Cluster::new(
+            ClusterConfig::builder()
+                .replicas(replicas)
+                .mode(ReplicationMode::SrcaRep)
+                .cost(bench::largedb_cost(scale))
+                .gcs(bench::lan(scale))
+                .appliers(4)
+                .build(),
+        );
         setup_cluster(&cluster, &workload).expect("setup");
         for &load in &loads {
             let cfg = RunConfig {
@@ -48,6 +48,13 @@ fn main() {
             eprintln!("  [SRCA-Rep x{replicas}] {load} tps done ({} committed)", r.committed);
             results.push(r);
         }
+        let m = cluster.metrics();
+        println!(
+            "\nSRCA-Rep x{replicas} per-stage latency breakdown \
+             (wall ms; 1 wall ms = {:.1} model ms):",
+            scale.model_ms(std::time::Duration::from_millis(1))
+        );
+        print!("{}", m.breakdown_table());
     }
 
     // Text claim: "the maximum achievable throughput [centralized] is
@@ -71,6 +78,9 @@ fn main() {
         results.push(r);
     }
 
-    bench::print_table("Figure 6: large I/O-bound DB, 5 vs 10 replicas (+centralized text claim)", &results);
+    bench::print_table(
+        "Figure 6: large I/O-bound DB, 5 vs 10 replicas (+centralized text claim)",
+        &results,
+    );
     bench::write_csv("fig6_largedb", &results).expect("write csv");
 }

@@ -47,15 +47,15 @@ fn main() {
 
     // --- SRCA-Rep and SRCA-Opt ----------------------------------------------
     for mode in [ReplicationMode::SrcaRep, ReplicationMode::SrcaOpt] {
-        let cluster = Cluster::new(ClusterConfig {
-            replicas: 5,
-            mode,
-            cost: bench::updint_cost(scale),
-            gcs: bench::lan(scale),
-            appliers: 6,
-            track_history: false,
-            outcome_cap: 1 << 16,
-        });
+        let cluster = Cluster::new(
+            ClusterConfig::builder()
+                .replicas(5)
+                .mode(mode)
+                .cost(bench::updint_cost(scale))
+                .gcs(bench::lan(scale))
+                .appliers(6)
+                .build(),
+        );
         setup_cluster(&cluster, &workload).expect("setup");
         let mut prev = (0u64, 0u64);
         for &load in &loads {
@@ -72,7 +72,15 @@ fn main() {
             }
             results.push(r);
         }
-        eprintln!("{:?} metrics: {}", mode, cluster.metrics().summary());
+        let m = cluster.metrics();
+        eprintln!("{:?} metrics: {}", mode, m.summary());
+        eprintln!("{:?} rates: {}", mode, m.rates());
+        println!(
+            "\n{:?} per-stage latency breakdown (wall ms; 1 wall ms = {:.1} model ms):",
+            mode,
+            scale.model_ms(std::time::Duration::from_millis(1))
+        );
+        print!("{}", m.breakdown_table());
     }
 
     // --- centralized ----------------------------------------------------------

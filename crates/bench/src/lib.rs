@@ -39,10 +39,8 @@ pub fn quick() -> bool {
 /// ≥100 µs wall for the *mean* to stay faithful. Raise this only on
 /// machines with many cores and a high-resolution tick.
 pub fn scale() -> TimeScale {
-    let factor = std::env::var("SIREP_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(2.5);
+    let factor =
+        std::env::var("SIREP_SCALE").ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(2.5);
     TimeScale::compressed(factor)
 }
 

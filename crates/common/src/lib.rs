@@ -14,6 +14,9 @@
 //! - [`histogram`]: log-bucketed latency histograms.
 //! - [`metrics`]: cheap atomic counters for protocol events (commits, aborts
 //!   by reason, commit-order holes, ...).
+//! - [`trace`]: transaction-lifecycle tracing — per-stage latency
+//!   breakdowns across the replication pipeline (compiled out when the
+//!   `trace` cargo feature is disabled).
 
 pub mod clock;
 pub mod error;
@@ -22,11 +25,13 @@ pub mod ids;
 pub mod metrics;
 pub mod stats;
 pub mod sync;
+pub mod trace;
 
 pub use clock::{precise_sleep, TimeScale};
 pub use error::{AbortReason, DbError};
 pub use histogram::Histogram;
 pub use ids::{ClientId, GlobalTid, MemberId, ReplicaId, SessionId, TxnId};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, Rates};
 pub use stats::{ConfidenceInterval, OnlineStats};
 pub use sync::Semaphore;
+pub use trace::{Stage, StageSnapshot, StageStats, TxTrace, STAGE_COUNT};

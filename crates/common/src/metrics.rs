@@ -88,6 +88,23 @@ impl Metrics {
         Self::get(&self.begins_delayed_by_holes) as f64 / Self::get(&self.begins_total) as f64
     }
 
+    /// Fraction of delivered writesets discarded at global validation.
+    pub fn ws_discard_rate(&self) -> f64 {
+        Self::get(&self.ws_discarded) as f64 / Self::get(&self.ws_delivered) as f64
+    }
+
+    /// The derived event rates the evaluation section quotes, in one
+    /// [`Copy`] bundle — what the fig5/fig7 harnesses print next to the
+    /// latency curves. Each rate is in [0, 1], or NaN when its denominator
+    /// is zero.
+    pub fn rates(&self) -> Rates {
+        Rates {
+            abort_rate: self.abort_rate(),
+            hole_rate: self.hole_rate(),
+            ws_discard_rate: self.ws_discard_rate(),
+        }
+    }
+
     /// Fold another replica's counters into this one (fleet-wide totals).
     pub fn merge(&self, other: &Metrics) {
         macro_rules! fold {
@@ -130,6 +147,30 @@ impl Metrics {
     }
 }
 
+/// Derived protocol event rates (see [`Metrics::rates`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Rates {
+    /// Forced aborts over completed transactions ("far below 1 %", §6.1).
+    pub abort_rate: f64,
+    /// Begins delayed by commit-order holes ("around 4–8 %", §6.3).
+    pub hole_rate: f64,
+    /// Delivered writesets discarded at global validation.
+    pub ws_discard_rate: f64,
+}
+
+impl std::fmt::Display for Rates {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pct = |r: f64| if r.is_nan() { 0.0 } else { 100.0 * r };
+        write!(
+            f,
+            "abort={:.2}% holes={:.2}% ws-discard={:.2}%",
+            pct(self.abort_rate),
+            pct(self.hole_rate),
+            pct(self.ws_discard_rate)
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +198,26 @@ mod tests {
             Metrics::inc(&m.begins_delayed_by_holes);
         }
         assert!((m.hole_rate() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_bundle_matches_scalar_helpers() {
+        let m = Metrics::new();
+        for _ in 0..50 {
+            Metrics::inc(&m.commits_update);
+            Metrics::inc(&m.begins_total);
+            Metrics::inc(&m.ws_delivered);
+        }
+        Metrics::inc(&m.begins_delayed_by_holes);
+        Metrics::inc(&m.ws_discarded);
+        Metrics::inc(&m.aborts_validation);
+        let r = m.rates();
+        assert_eq!(r.abort_rate, m.abort_rate());
+        assert_eq!(r.hole_rate, m.hole_rate());
+        assert_eq!(r.ws_discard_rate, m.ws_discard_rate());
+        assert!((r.ws_discard_rate - 0.02).abs() < 1e-12);
+        let s = format!("{r}");
+        assert!(s.contains("abort=") && s.contains("holes=") && s.contains("ws-discard="));
     }
 
     #[test]

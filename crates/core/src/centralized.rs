@@ -69,9 +69,7 @@ impl Connection for CentralConn {
                             AbortReason::SerializationFailure => {
                                 Metrics::inc(&self.metrics.aborts_serialization)
                             }
-                            AbortReason::Deadlock => {
-                                Metrics::inc(&self.metrics.aborts_deadlock)
-                            }
+                            AbortReason::Deadlock => Metrics::inc(&self.metrics.aborts_deadlock),
                             _ => {}
                         }
                     }
@@ -115,8 +113,7 @@ mod tests {
         let sys = Centralized::new(CostModel::free());
         {
             let t = sys.db.begin().unwrap();
-            sirep_sql::execute_sql(&sys.db, &t, "CREATE TABLE t (a INT, PRIMARY KEY (a))")
-                .unwrap();
+            sirep_sql::execute_sql(&sys.db, &t, "CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap();
             t.commit().unwrap();
         }
         let mut c = sys.connect().unwrap();
@@ -134,8 +131,7 @@ mod tests {
         let sys = Centralized::new(CostModel::free());
         {
             let t = sys.db.begin().unwrap();
-            sirep_sql::execute_sql(&sys.db, &t, "CREATE TABLE t (a INT, PRIMARY KEY (a))")
-                .unwrap();
+            sirep_sql::execute_sql(&sys.db, &t, "CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap();
             t.commit().unwrap();
         }
         let mut c = sys.connect().unwrap();

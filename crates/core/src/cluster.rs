@@ -2,10 +2,10 @@
 
 use crate::model::{ReplicatedExecution, TxSpec};
 use crate::msg::{ReplMsg, XactId};
-use crate::node::{MemberRegistry, ReplicaNode, ReplicationMode};
+use crate::node::{MemberRegistry, NodeStatus, ReplicaNode, ReplicationMode};
 use crate::session::Session;
 use parking_lot::{Mutex, RwLock};
-use sirep_common::{DbError, MemberId, Metrics, ReplicaId};
+use sirep_common::{DbError, MemberId, Metrics, ReplicaId, StageSnapshot};
 use sirep_gcs::{Group, GroupConfig};
 use sirep_storage::{CostModel, Database};
 use std::collections::{BTreeMap, HashMap};
@@ -31,10 +31,23 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// Start building a configuration. Defaults match [`Default`]: one
+    /// replica, full SRCA-Rep, instantaneous cost/GCS models.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder { cfg: ClusterConfig::default() }
+    }
+
     /// Test defaults: everything instantaneous, full SRCA-Rep.
+    #[deprecated(note = "use ClusterConfig::builder().replicas(n).build()")]
     pub fn test(replicas: usize) -> ClusterConfig {
+        ClusterConfig::builder().replicas(replicas).build()
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
         ClusterConfig {
-            replicas,
+            replicas: 1,
             mode: ReplicationMode::SrcaRep,
             cost: CostModel::free(),
             gcs: GroupConfig::instant(),
@@ -42,6 +55,99 @@ impl ClusterConfig {
             track_history: false,
             outcome_cap: 1 << 16,
         }
+    }
+}
+
+/// Fluent construction for [`ClusterConfig`]:
+///
+/// ```
+/// use sirep_core::{ClusterConfig, ReplicationMode};
+///
+/// let cfg = ClusterConfig::builder()
+///     .replicas(5)
+///     .mode(ReplicationMode::SrcaRep)
+///     .appliers(4)
+///     .build();
+/// assert_eq!(cfg.replicas, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.cfg.replicas = n;
+        self
+    }
+
+    pub fn mode(mut self, mode: ReplicationMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Database service-time model shared by all replicas.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Group communication latency model.
+    pub fn gcs(mut self, gcs: GroupConfig) -> Self {
+        self.cfg.gcs = gcs;
+        self
+    }
+
+    /// Applier threads per replica (step III concurrency).
+    pub fn appliers(mut self, n: usize) -> Self {
+        self.cfg.appliers = n;
+        self
+    }
+
+    /// Record begin/commit histories and readsets for 1-copy-SI checking.
+    pub fn track_history(mut self, on: bool) -> Self {
+        self.cfg.track_history = on;
+        self
+    }
+
+    /// Outcome-log capacity for in-doubt resolution.
+    pub fn outcome_cap(mut self, cap: usize) -> Self {
+        self.cfg.outcome_cap = cap;
+        self
+    }
+
+    pub fn build(self) -> ClusterConfig {
+        self.cfg
+    }
+}
+
+/// What [`Cluster::metrics`] returns: cluster-wide counter totals, merged
+/// per-stage latency histograms, and a per-replica status breakdown.
+///
+/// Derefs to [`Metrics`], so existing counter reads
+/// (`cluster.metrics().commits()`, `...summary()`) keep working unchanged.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Counters summed over all replicas (alive and crashed).
+    pub metrics: Metrics,
+    /// Per-stage latency histograms merged over all replicas.
+    pub stages: StageSnapshot,
+    /// One status snapshot per replica, in replica-id order.
+    pub per_node: Vec<NodeStatus>,
+}
+
+impl std::ops::Deref for ClusterReport {
+    type Target = Metrics;
+    fn deref(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+impl ClusterReport {
+    /// The per-stage p50/p95/p99 breakdown table
+    /// ([`StageSnapshot::breakdown_table`]).
+    pub fn breakdown_table(&self) -> String {
+        self.stages.breakdown_table()
     }
 }
 
@@ -258,25 +364,28 @@ impl Cluster {
 
     fn view_replicas(&self) -> Vec<ReplicaId> {
         let reg = self.registry.lock();
-        let mut v: Vec<ReplicaId> = self
-            .group
-            .view()
-            .members
-            .iter()
-            .filter_map(|m| reg.get(&m.raw()).copied())
-            .collect();
+        let mut v: Vec<ReplicaId> =
+            self.group.view().members.iter().filter_map(|m| reg.get(&m.raw()).copied()).collect();
         v.sort();
         v.dedup();
         v
     }
 
-    /// Aggregated metrics across replicas.
-    pub fn metrics(&self) -> Metrics {
-        let total = Metrics::new();
-        for n in self.nodes.read().iter() {
-            total.merge(&n.metrics);
+    /// Aggregated observability report: cluster-wide counters, merged
+    /// stage-latency histograms, and per-replica status snapshots. Derefs
+    /// to [`Metrics`] for counter access.
+    pub fn metrics(&self) -> ClusterReport {
+        let nodes = self.nodes.read().clone();
+        let metrics = Metrics::new();
+        let mut stages = StageSnapshot::default();
+        let mut per_node = Vec::with_capacity(nodes.len());
+        for n in &nodes {
+            let status = n.status();
+            metrics.merge(&status.metrics);
+            stages.merge(&status.stages);
+            per_node.push(status);
         }
-        total
+        ClusterReport { metrics, stages, per_node }
     }
 
     /// Wait until all in-flight replication work has drained (queues empty,
@@ -292,9 +401,8 @@ impl Cluster {
                 alive.iter().map(|n| n.queue_len()).sum::<usize>(),
                 alive.iter().map(|n| n.pending_len()).sum::<usize>(),
             );
-            let idle = fp.1 == 0
-                && fp.2 == 0
-                && alive.iter().all(|n| n.last_validated().raw() == fp.0);
+            let idle =
+                fp.1 == 0 && fp.2 == 0 && alive.iter().all(|n| n.last_validated().raw() == fp.0);
             if idle && fp == last_fingerprint {
                 stable_rounds += 1;
                 if stable_rounds >= 3 {

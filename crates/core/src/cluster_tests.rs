@@ -12,7 +12,7 @@ use std::time::Duration;
 const Q: Duration = Duration::from_secs(10);
 
 fn kv_cluster(n: usize) -> Cluster {
-    let c = Cluster::new(ClusterConfig::test(n));
+    let c = Cluster::new(ClusterConfig::builder().replicas(n).build());
     c.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
     c
 }
@@ -177,9 +177,7 @@ fn contended_counter_full_cluster() {
             let mut s = c2.session(node);
             let mut done = 0;
             while done < 20 {
-                let r = s
-                    .execute("UPDATE kv SET v = v + 1 WHERE k = 1")
-                    .and_then(|_| s.commit());
+                let r = s.execute("UPDATE kv SET v = v + 1 WHERE k = 1").and_then(|_| s.commit());
                 if r.is_ok() {
                     done += 1;
                 }
@@ -273,8 +271,7 @@ fn validation_failure_reported_as_retryable() {
 
 #[test]
 fn srca_opt_mode_still_replicates() {
-    let mut cfg = ClusterConfig::test(3);
-    cfg.mode = ReplicationMode::SrcaOpt;
+    let cfg = ClusterConfig::builder().replicas(3).mode(ReplicationMode::SrcaOpt).build();
     let c = Cluster::new(cfg);
     c.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
     let mut s = c.session(2);
@@ -288,8 +285,7 @@ fn srca_opt_mode_still_replicates() {
 
 #[test]
 fn history_checker_passes_on_real_execution() {
-    let mut cfg = ClusterConfig::test(3);
-    cfg.track_history = true;
+    let cfg = ClusterConfig::builder().replicas(3).track_history(true).build();
     let c = std::sync::Arc::new(Cluster::new(cfg));
     c.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
     {

@@ -105,10 +105,7 @@ impl HoleTracker {
             return false;
         }
         self.pending
-            .range((
-                std::ops::Bound::Excluded(self.max_committed),
-                std::ops::Bound::Excluded(tid),
-            ))
+            .range((std::ops::Bound::Excluded(self.max_committed), std::ops::Bound::Excluded(tid)))
             .next()
             .is_some()
     }
@@ -206,8 +203,8 @@ mod tests {
         h.on_validated(t(2));
         h.on_validated(t(3));
         h.on_committed(t(2)); // 1 is now a hole
-        // Committing 3 does not create a NEW hole (1 is already one, and
-        // nothing pending falls between max_committed=2 and 3).
+                              // Committing 3 does not create a NEW hole (1 is already one, and
+                              // nothing pending falls between max_committed=2 and 3).
         assert!(!h.creates_new_hole(t(3)));
         // With 4 and 5 also pending, committing 5 would make 3 and 4 new
         // holes, and committing 4 would make 3 one.

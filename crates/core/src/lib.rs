@@ -22,7 +22,7 @@
 //! ```
 //! use sirep_core::{Cluster, ClusterConfig, Connection};
 //!
-//! let cluster = Cluster::new(ClusterConfig::test(3));
+//! let cluster = Cluster::new(ClusterConfig::builder().replicas(3).build());
 //! cluster.execute_ddl("CREATE TABLE acc (id INT, bal INT, PRIMARY KEY (id))").unwrap();
 //!
 //! let mut s = cluster.session(0);
@@ -49,7 +49,7 @@ pub mod tablelock;
 pub mod validation;
 
 pub use centralized::Centralized;
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ClusterReport};
 pub use holes::HoleTracker;
 pub use model::{
     check_one_copy_si, is_conflict_serializable, is_si_schedule, si_equivalent, Op,

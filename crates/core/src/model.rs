@@ -342,9 +342,7 @@ where
             }
             // u is an update txn (it writes something t reads) → it ran at k.
             let Some(&c_u_pos) = events.get(&Op::Commit(u)) else {
-                return Err(Violation::NotRowa(format!(
-                    "update txn {u:?} missing at replica {k}"
-                )));
+                return Err(Violation::NotRowa(format!("update txn {u:?} missing at replica {k}")));
             };
             let (ti, ui) = (idx[&t], idx[&u]);
             if c_u_pos < b_t_pos {
@@ -428,8 +426,7 @@ where
     T: Copy + Ord + fmt::Debug,
 {
     is_si_schedule(txs, s)?;
-    let pos: BTreeMap<Op<T>, usize> =
-        s.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+    let pos: BTreeMap<Op<T>, usize> = s.iter().enumerate().map(|(i, &op)| (op, i)).collect();
     let ids: Vec<T> = txs.keys().copied().collect();
     let idx: BTreeMap<T, usize> = ids.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let n = ids.len();
@@ -523,20 +520,11 @@ mod tests {
     #[test]
     fn malformed_schedules_rejected() {
         let s = vec![B(1), C(1), B(2), C(2)]; // missing T3
-        assert!(matches!(
-            is_si_schedule(&txs3(), &s),
-            Err(Violation::MalformedSchedule(_))
-        ));
+        assert!(matches!(is_si_schedule(&txs3(), &s), Err(Violation::MalformedSchedule(_))));
         let s = vec![C(1), B(1), B(2), C(2), B(3), C(3)]; // commit before begin
-        assert!(matches!(
-            is_si_schedule(&txs3(), &s),
-            Err(Violation::MalformedSchedule(_))
-        ));
+        assert!(matches!(is_si_schedule(&txs3(), &s), Err(Violation::MalformedSchedule(_))));
         let s = vec![B(1), B(1), C(1), B(2), C(2), B(3), C(3)]; // dup begin
-        assert!(matches!(
-            is_si_schedule(&txs3(), &s),
-            Err(Violation::MalformedSchedule(_))
-        ));
+        assert!(matches!(is_si_schedule(&txs3(), &s), Err(Violation::MalformedSchedule(_))));
     }
 
     #[test]

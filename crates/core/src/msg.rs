@@ -85,14 +85,19 @@ pub enum ReplMsg {
     /// Progress report used to garbage-collect `ws_list`: the sender
     /// promises every future writeset it multicasts carries
     /// `cert >= lastvalidated`.
-    Progress { from: ReplicaId, lastvalidated: GlobalTid },
+    Progress {
+        from: ReplicaId,
+        lastvalidated: GlobalTid,
+    },
     /// Recovery barrier (total order): once a replica has processed a
     /// marker, it has processed every message sequenced before it. The
     /// recovery protocol multicasts one through the *joiner's* fresh
     /// membership and waits for the donor to see it — only then is the
     /// donor's state guaranteed to cover everything the joiner's delivery
     /// buffer does not.
-    Marker { token: u64 },
+    Marker {
+        token: u64,
+    },
 }
 
 #[cfg(test)]

@@ -39,13 +39,15 @@ use crate::recorder::Recorder;
 use crate::validation::WsList;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Condvar, Mutex};
-use sirep_common::{AbortReason, DbError, GlobalTid, Metrics, ReplicaId};
+use sirep_common::{
+    AbortReason, DbError, GlobalTid, Metrics, ReplicaId, Stage, StageSnapshot, StageStats, TxTrace,
+};
 use sirep_gcs::{Delivery, GcsError, GcsHandle, Member};
 use sirep_storage::{Database, TxnHandle, WriteSet};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which variant of the protocol a cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +70,9 @@ struct QEntry {
     origin: ReplicaId,
     /// An applier has picked this entry (is applying / committing it).
     running: bool,
+    /// Stage timeline for remote entries, originating at delivery time
+    /// (local entries carry their own trace on the session thread).
+    trace: TxTrace,
 }
 
 /// A local transaction that has been multicast and awaits its fate. On
@@ -84,6 +89,8 @@ struct PendingLocal {
     /// Keeps the transaction in the hole tracker's set B until it no
     /// longer holds database locks.
     guard: LocalGuard,
+    /// Stage timeline, handed back to the session thread with the job.
+    trace: TxTrace,
 }
 
 /// Handed from the delivery thread back to the session thread on
@@ -92,6 +99,7 @@ struct LocalCommitJob {
     tid: GlobalTid,
     txn: TxnHandle,
     _guard: LocalGuard,
+    trace: TxTrace,
 }
 
 /// RAII membership in the hole tracker's set B (running local
@@ -162,6 +170,19 @@ pub struct NodeStatus {
     pub waiting_to_start: usize,
     /// Live replicas as processed by this node's delivery thread.
     pub view: Vec<ReplicaId>,
+    /// Snapshot of this replica's protocol event counters.
+    pub metrics: Metrics,
+    /// Snapshot of this replica's per-stage latency histograms (empty when
+    /// the `trace` feature is disabled).
+    pub stages: StageSnapshot,
+}
+
+impl NodeStatus {
+    /// A coarse load figure for balancing decisions: work queued or in
+    /// flight at this replica.
+    pub fn load(&self) -> usize {
+        self.queued + self.pending_local + self.running_locals
+    }
 }
 
 /// The answer to an in-doubt inquiry.
@@ -218,6 +239,9 @@ pub struct ReplicaNode {
     incarnation: u64,
     registry: MemberRegistry,
     pub metrics: Arc<Metrics>,
+    /// Per-stage latency histograms fed by transaction traces (no-op when
+    /// the `trace` feature is disabled).
+    pub stages: Arc<StageStats>,
     pub recorder: Arc<Recorder>,
 }
 
@@ -239,6 +263,7 @@ pub struct ActiveTxn {
     pub xact: XactId,
     pub txn: TxnHandle,
     guard: LocalGuard,
+    trace: TxTrace,
 }
 
 impl ReplicaNode {
@@ -282,6 +307,7 @@ impl ReplicaNode {
                         ws,
                         origin,
                         running: false,
+                        trace: TxTrace::start(),
                     })
                     .collect();
                 NodeState {
@@ -310,6 +336,7 @@ impl ReplicaNode {
             incarnation,
             registry,
             metrics: Arc::new(Metrics::new()),
+            stages: Arc::new(StageStats::new()),
             recorder: Arc::new(Recorder::new(record_history)),
         })
     }
@@ -349,6 +376,8 @@ impl ReplicaNode {
             running_locals: st.holes.running_locals(),
             waiting_to_start: st.holes.waiting_to_start(),
             view: st.view.clone(),
+            metrics: Metrics::clone(&self.metrics),
+            stages: self.stages.snapshot(),
         }
     }
 
@@ -399,11 +428,8 @@ impl ReplicaNode {
     pub(crate) fn state_transfer(&self, cost: sirep_storage::CostModel) -> (Database, Bootstrap) {
         let st = self.state.lock();
         let db = self.db.fork_latest(cost);
-        let queue_entries = st
-            .queue
-            .iter()
-            .map(|e| (e.tid, e.xact, Arc::clone(&e.ws), e.origin))
-            .collect();
+        let queue_entries =
+            st.queue.iter().map(|e| (e.tid, e.xact, Arc::clone(&e.ws), e.origin)).collect();
         let boot = Bootstrap {
             wslist: st.wslist.clone(),
             queue_entries,
@@ -427,10 +453,8 @@ impl ReplicaNode {
         if !self.is_alive() {
             return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
         }
-        let xact = XactId {
-            origin: self.id,
-            seq: self.next_xact.fetch_add(1, Ordering::Relaxed),
-        };
+        let xact = XactId { origin: self.id, seq: self.next_xact.fetch_add(1, Ordering::Relaxed) };
+        let mut trace = TxTrace::start();
         Metrics::inc(&self.metrics.begins_total);
         match self.mode {
             ReplicationMode::SrcaRep => {
@@ -451,12 +475,13 @@ impl ReplicaNode {
                     if !self.is_alive() {
                         return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
                     }
+                    trace.mark(Stage::BeginWait);
                 }
                 let txn = self.db.begin()?;
                 st.holes.local_started();
                 self.recorder.on_begin(xact);
                 drop(st);
-                Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) } })
+                Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
             }
             ReplicationMode::SrcaOpt => {
                 // No synchronization: begin immediately (1-copy-SI may be
@@ -464,7 +489,7 @@ impl ReplicaNode {
                 let txn = self.db.begin()?;
                 self.state.lock().holes.local_started();
                 self.recorder.on_begin(xact);
-                Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) } })
+                Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
             }
         }
     }
@@ -473,7 +498,8 @@ impl ReplicaNode {
     /// local validation against the tocommit queue, multicast in total
     /// order, and block until the transaction's fate is decided.
     pub fn commit_local(self: &Arc<Self>, active: ActiveTxn) -> Result<(), DbError> {
-        let ActiveTxn { xact, txn, guard } = active;
+        let ActiveTxn { xact, txn, guard, mut trace } = active;
+        trace.mark(Stage::Execute);
         let ws = txn.writeset();
         if ws.is_empty() {
             // Read-only fast path (step I.2.c): commit locally, no
@@ -482,8 +508,11 @@ impl ReplicaNode {
             txn.commit()?;
             self.recorder.on_commit(xact);
             Metrics::inc(&self.metrics.commits_readonly);
+            trace.mark(Stage::Commit);
+            self.stages.absorb(&trace.finish());
             return Ok(());
         }
+        trace.mark(Stage::WsExtract);
         let (reply_tx, reply_rx) = bounded(1);
         let ws = Arc::new(ws);
         {
@@ -496,12 +525,17 @@ impl ReplicaNode {
                 return Err(DbError::Aborted(AbortReason::ValidationFailure));
             }
             let cert = st.wslist.last_tid();
-            st.pending_local
-                .insert(xact, PendingLocal { txn, responder: reply_tx, guard });
-            // Multicast outside the lock; cert was captured under it, so
-            // anything validated in between has tid > cert and global
-            // validation will see it.
-            drop(st);
+            st.pending_local.insert(xact, PendingLocal { txn, responder: reply_tx, guard, trace });
+            // Multicast while still holding the state lock, so that cert
+            // capture order equals total-order sequence order. The ws_list
+            // pruning protocol depends on this: every cert this replica puts
+            // on the wire is an implicit progress promise ("my future certs
+            // are ≥ this"), and the group-wide prune watermark is the
+            // minimum of those promises. If another session captured a
+            // higher cert and got sequenced first, the watermark could
+            // overtake this writeset's cert and prune a conflicting entry
+            // out of every replica's ws_list before this writeset validates
+            // — a silent lost update.
             let msg = ReplMsg::WriteSet(Arc::new(WsMsg {
                 origin: self.id,
                 xact,
@@ -518,8 +552,9 @@ impl ReplicaNode {
             Ok(Ok(job)) => {
                 // Adjustment 2: commit immediately on this (the client's)
                 // thread — never behind the applier pool.
-                let LocalCommitJob { tid, txn, _guard } = job;
-                self.finalize(tid, xact, &ws, txn, true);
+                let LocalCommitJob { tid, txn, _guard, mut trace } = job;
+                trace.mark(Stage::ValidateQueue);
+                self.finalize(tid, xact, &ws, txn, true, trace);
                 Metrics::inc(&self.metrics.commits_update);
                 Ok(())
             }
@@ -567,8 +602,8 @@ impl ReplicaNode {
                 return;
             }
             match member.recv_timeout(idle) {
-                Ok(Delivery::TotalOrder { msg: ReplMsg::WriteSet(m), .. }) => {
-                    self.handle_writeset(&m);
+                Ok(Delivery::TotalOrder { msg: ReplMsg::WriteSet(m), sequenced_at, .. }) => {
+                    self.handle_writeset(&m, sequenced_at);
                 }
                 Ok(
                     Delivery::TotalOrder { msg: ReplMsg::Progress { from, lastvalidated }, .. }
@@ -627,7 +662,16 @@ impl ReplicaNode {
         }
     }
 
-    fn handle_writeset(self: &Arc<Self>, m: &WsMsg) {
+    fn handle_writeset(self: &Arc<Self>, m: &WsMsg, sequenced_at: Instant) {
+        let delivered_at = Instant::now();
+        if m.origin != self.id {
+            // The origin's multicast latency lands on its own trace; remote
+            // replicas account it directly (they have no session trace).
+            self.stages.record_duration(
+                Stage::GcsDeliver,
+                delivered_at.saturating_duration_since(sequenced_at),
+            );
+        }
         let mut st = self.state.lock();
         Metrics::inc(&self.metrics.ws_delivered);
         if st.outcomes.get(m.xact).is_some() {
@@ -646,9 +690,11 @@ impl ReplicaNode {
             // A local entry with a waiting session commits on the session
             // thread (adjustment 2); mark it running so no applier picks it.
             let local_job = if m.origin == self.id {
-                st.pending_local
-                    .remove(&m.xact)
-                    .map(|p| (p.responder, LocalCommitJob { tid, txn: p.txn, _guard: p.guard }))
+                st.pending_local.remove(&m.xact).map(|p| {
+                    let mut trace = p.trace;
+                    trace.mark_at(Stage::GcsDeliver, delivered_at);
+                    (p.responder, LocalCommitJob { tid, txn: p.txn, _guard: p.guard, trace })
+                })
             } else {
                 None
             };
@@ -658,6 +704,7 @@ impl ReplicaNode {
                 ws: Arc::clone(&m.ws),
                 origin: m.origin,
                 running: local_job.is_some(),
+                trace: TxTrace::starting_at(delivered_at),
             });
             st.outcomes.record(m.xact, Outcome::Committed);
             drop(st);
@@ -673,9 +720,7 @@ impl ReplicaNode {
                     drop(st);
                     p.txn.abort(AbortReason::ValidationFailure);
                     Metrics::inc(&self.metrics.aborts_validation);
-                    let _ = p.responder.send(Err(DbError::Aborted(
-                        AbortReason::ValidationFailure,
-                    )));
+                    let _ = p.responder.send(Err(DbError::Aborted(AbortReason::ValidationFailure)));
                     self.cond.notify_all();
                     return;
                 }
@@ -694,10 +739,7 @@ impl ReplicaNode {
             (st.wslist.len() > PRUNE_THRESHOLD && lv > st.last_progress_sent, lv)
         };
         if should
-            && self
-                .gcs
-                .multicast_fifo(ReplMsg::Progress { from: self.id, lastvalidated })
-                .is_ok()
+            && self.gcs.multicast_fifo(ReplMsg::Progress { from: self.id, lastvalidated }).is_ok()
         {
             self.state.lock().last_progress_sent = lastvalidated;
         }
@@ -720,17 +762,20 @@ impl ReplicaNode {
                     }
                     if let Some(i) = Self::find_eligible(&st.queue) {
                         st.queue[i].running = true;
+                        let mut trace = st.queue[i].trace;
+                        trace.mark(Stage::ValidateQueue);
                         break (
                             st.queue[i].tid,
                             st.queue[i].xact,
                             Arc::clone(&st.queue[i].ws),
                             st.queue[i].origin,
+                            trace,
                         );
                     }
                     self.cond.wait_for(&mut st, WAIT_TICK);
                 }
             };
-            let (tid, xact, ws, _origin) = picked;
+            let (tid, xact, ws, _origin, mut trace) = picked;
             // Appliers only ever see remote writesets (local entries are
             // committed by their session thread and enter the queue already
             // marked running). A nominally-local entry without a session —
@@ -740,7 +785,8 @@ impl ReplicaNode {
                 Some(h) => h,
                 None => return, // database crashed
             };
-            self.finalize(tid, xact, &ws, handle, false);
+            trace.mark(Stage::Apply);
+            self.finalize(tid, xact, &ws, handle, false, trace);
         }
     }
 
@@ -776,7 +822,15 @@ impl ReplicaNode {
     /// rule + database commit + bookkeeping atomically under it. Called by
     /// applier threads for remote writesets and by the owning session
     /// thread for local transactions (adjustment 2).
-    fn finalize(&self, tid: GlobalTid, xact: XactId, ws: &WriteSet, txn: TxnHandle, is_local: bool) {
+    fn finalize(
+        &self,
+        tid: GlobalTid,
+        xact: XactId,
+        ws: &WriteSet,
+        txn: TxnHandle,
+        is_local: bool,
+        mut trace: TxTrace,
+    ) {
         self.db.cost_model().commit();
         let mut st = self.state.lock();
         if self.mode == ReplicationMode::SrcaRep {
@@ -802,11 +856,19 @@ impl ReplicaNode {
         let res = txn.commit_quiet();
         debug_assert!(res.is_ok(), "validated transaction failed to commit: {res:?}");
         self.recorder.on_commit(xact);
+        // The commit stage includes the hole-rule wait above — that delay is
+        // part of what a client perceives as commit latency.
+        trace.mark(Stage::Commit);
         st.holes.on_committed(tid);
         if let Some(pos) = st.queue.iter().position(|e| e.xact == xact) {
             st.queue.remove(pos);
         }
         drop(st);
+        if is_local {
+            // Remote timelines start at delivery, not begin: no total.
+            trace.mark(Stage::Total);
+        }
+        self.stages.absorb(&trace);
         self.cond.notify_all();
     }
 

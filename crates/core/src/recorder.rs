@@ -61,16 +61,8 @@ impl Recorder {
         if !self.enabled {
             return;
         }
-        let readset = txn
-            .read_keys()
-            .iter()
-            .map(|(t, k)| obj_name(t, k))
-            .collect();
-        let writeset = ws
-            .entries()
-            .iter()
-            .map(|e| obj_name(&e.table, &e.key))
-            .collect();
+        let readset = txn.read_keys().iter().map(|(t, k)| obj_name(t, k)).collect();
+        let writeset = ws.entries().iter().map(|e| obj_name(&e.table, &e.key)).collect();
         self.specs.lock().insert(xact, TxSpec { readset, writeset });
     }
 
@@ -121,9 +113,6 @@ mod tests {
     #[test]
     fn obj_names_are_stable() {
         assert_eq!(obj_name("item", &Key::single(Value::Int(3))), "item(3)");
-        assert_eq!(
-            obj_name("ol", &Key::composite(vec![Value::Int(1), Value::Int(2)])),
-            "ol(1, 2)"
-        );
+        assert_eq!(obj_name("ol", &Key::composite(vec![Value::Int(1), Value::Int(2)])), "ol(1, 2)");
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::msg::XactId;
 use crate::node::{ActiveTxn, ReplicaNode};
-use sirep_common::{AbortReason, DbError, Metrics};
+use sirep_common::{AbortReason, DbError, Metrics, StageSnapshot};
 use sirep_sql::{ExecResult, Statement};
 use std::sync::Arc;
 
@@ -34,6 +34,11 @@ pub trait System: Send + Sync {
     fn connect(&self) -> Result<Box<dyn Connection>, DbError>;
     /// Aggregated protocol metrics.
     fn metrics(&self) -> Metrics;
+    /// Aggregated per-stage latency histograms. Systems without lifecycle
+    /// tracing (the centralized baseline, the [20] protocol) report empty.
+    fn stages(&self) -> StageSnapshot {
+        StageSnapshot::default()
+    }
 }
 
 /// One client connection.
@@ -188,7 +193,11 @@ impl System for crate::cluster::Cluster {
     }
 
     fn metrics(&self) -> Metrics {
-        Cluster::metrics(self)
+        Cluster::metrics(self).metrics
+    }
+
+    fn stages(&self) -> StageSnapshot {
+        Cluster::metrics(self).stages
     }
 }
 

@@ -371,8 +371,7 @@ impl Connection for SrcaConn {
             for holes in &mut st.holes {
                 holes.on_validated(tid);
             }
-            st.pending
-                .insert(xact, PendingLocal { txn, responder: reply_tx, _guard: Some(guard) });
+            st.pending.insert(xact, PendingLocal { txn, responder: reply_tx, _guard: Some(guard) });
             self.shared.cond.notify_all();
         }
         match reply_rx.recv() {

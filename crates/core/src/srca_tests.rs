@@ -96,9 +96,7 @@ fn concurrent_commit_variant_survives_contention() {
             let mut s = sys2.session(k);
             let mut done = 0;
             while done < 15 {
-                let r = s
-                    .execute("UPDATE kv SET v = v + 1 WHERE k = 1")
-                    .and_then(|_| s.commit());
+                let r = s.execute("UPDATE kv SET v = v + 1 WHERE k = 1").and_then(|_| s.commit());
                 if r.is_ok() {
                     done += 1;
                 }
@@ -156,9 +154,9 @@ fn tablelock_serializes_conflicting_updates() {
             let mut conn = c2.connect().unwrap();
             for _ in 0..20 {
                 // Table locks serialize these; no aborts ever.
-                conn.run_template(&upd_template(vec![
-                    "UPDATE kv SET v = v + 1 WHERE k = 1".into(),
-                ]))
+                conn.run_template(&upd_template(
+                    vec!["UPDATE kv SET v = v + 1 WHERE k = 1".into()],
+                ))
                 .unwrap();
             }
         }));

@@ -66,10 +66,7 @@ struct TableLockState {
 impl TableLockState {
     fn enqueue(&mut self, xact: XactId, tables: &[String], mode: LockMode) {
         for t in tables {
-            self.queues
-                .entry(t.clone())
-                .or_default()
-                .push_back(TlLockReq { xact, mode });
+            self.queues.entry(t.clone()).or_default().push_back(TlLockReq { xact, mode });
         }
     }
 
@@ -78,7 +75,9 @@ impl TableLockState {
     /// shared run at the head for shared).
     fn granted(&self, xact: XactId, tables: &[String]) -> bool {
         tables.iter().all(|t| {
-            let Some(q) = self.queues.get(t) else { return false };
+            let Some(q) = self.queues.get(t) else {
+                return false;
+            };
             for (i, req) in q.iter().enumerate() {
                 if req.xact == xact {
                     return i == 0
@@ -171,7 +170,9 @@ impl TlNode {
                         (*x, Arc::clone(&r.tables), Arc::clone(r.ws.as_ref().expect("checked")))
                     })
             };
-            let Some((xact, tables, ws)) = ready else { return };
+            let Some((xact, tables, ws)) = ready else {
+                return;
+            };
             // Only this (delivery) thread applies remotes, so the entry can
             // stay in the map until the apply completes — `quiesce` treats
             // a non-empty map as in-flight work.
@@ -303,11 +304,7 @@ impl TableLockCluster {
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
         while std::time::Instant::now() < deadline {
-            if self
-                .nodes
-                .iter()
-                .all(|n| n.state.lock().remote.is_empty())
-            {
+            if self.nodes.iter().all(|n| n.state.lock().remote.is_empty()) {
                 return true;
             }
             std::thread::sleep(Duration::from_millis(10));
@@ -342,9 +339,7 @@ impl System for TableLockCluster {
         let k = self.next_conn.fetch_add(1, Ordering::Relaxed) % self.nodes.len();
         Ok(Box::new(TlConn {
             node: Arc::clone(&self.nodes[k]),
-            seq: Arc::new(AtomicU64::new(
-                self.next_xact.fetch_add(1_000_000, Ordering::Relaxed),
-            )),
+            seq: Arc::new(AtomicU64::new(self.next_xact.fetch_add(1_000_000, Ordering::Relaxed))),
         }))
     }
 
@@ -384,10 +379,7 @@ impl Connection for TlConn {
         if node.shutdown.load(Ordering::Acquire) {
             return Err(DbError::Aborted(AbortReason::Shutdown));
         }
-        let xact = XactId {
-            origin: node.id,
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
-        };
+        let xact = XactId { origin: node.id, seq: self.seq.fetch_add(1, Ordering::Relaxed) };
         Metrics::inc(&node.metrics.begins_total);
         if tmpl.readonly {
             // Queries: local shared table locks only.
@@ -414,11 +406,7 @@ impl Connection for TlConn {
         // delivery order.
         let tables = Arc::new(tmpl.tables.clone());
         node.gcs
-            .multicast_total(TlMsg::Request {
-                xact,
-                origin: node.id,
-                tables: Arc::clone(&tables),
-            })
+            .multicast_total(TlMsg::Request { xact, origin: node.id, tables: Arc::clone(&tables) })
             .map_err(|_| DbError::Aborted(AbortReason::ReplicaCrashed))?;
         node.wait_for_locks(xact, &tables)?;
         // Execute locally under the table locks, commit, then ship the
@@ -440,9 +428,8 @@ impl Connection for TlConn {
                 } else {
                     // Nothing to replicate; tell remotes to release by
                     // shipping the empty writeset.
-                    let _ = node
-                        .gcs
-                        .multicast_fifo(TlMsg::Ws { xact, ws: Arc::new(WriteSet::new()) });
+                    let _ =
+                        node.gcs.multicast_fifo(TlMsg::Ws { xact, ws: Arc::new(WriteSet::new()) });
                 }
                 node.release_locks(xact, &tables);
                 Metrics::inc(&node.metrics.commits_update);
@@ -452,9 +439,7 @@ impl Connection for TlConn {
                 // Under exclusive table locks conflicts cannot happen; an
                 // error here is a statement error (bad SQL). Release
                 // everywhere via an empty writeset.
-                let _ = node
-                    .gcs
-                    .multicast_fifo(TlMsg::Ws { xact, ws: Arc::new(WriteSet::new()) });
+                let _ = node.gcs.multicast_fifo(TlMsg::Ws { xact, ws: Arc::new(WriteSet::new()) });
                 node.release_locks(xact, &tables);
                 Metrics::inc(&node.metrics.aborts_user);
                 Err(e)

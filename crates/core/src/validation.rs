@@ -144,7 +144,7 @@ mod tests {
         let mut l = WsList::new();
         l.append(xact(1), ws(&[1])); // tid 1
         l.append(xact(2), ws(&[2])); // tid 2
-        // cert = 0: conflicts with tid 1.
+                                     // cert = 0: conflicts with tid 1.
         assert!(!l.passes(GlobalTid::ZERO, &ws(&[1])));
         // cert = 1: tid 1 is no longer concurrent → passes.
         assert!(l.passes(GlobalTid::new(1), &ws(&[1])));

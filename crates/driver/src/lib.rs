@@ -30,7 +30,7 @@
 //! use sirep_driver::{Driver, DriverConfig};
 //! use std::sync::Arc;
 //!
-//! let cluster = Arc::new(Cluster::new(ClusterConfig::test(3)));
+//! let cluster = Arc::new(Cluster::new(ClusterConfig::builder().replicas(3).build()));
 //! cluster.execute_ddl("CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap();
 //! let driver = Driver::new(Arc::clone(&cluster), DriverConfig::default());
 //! let mut conn = driver.connect().unwrap();
@@ -62,12 +62,68 @@ pub enum Policy {
 pub struct DriverConfig {
     pub policy: Policy,
     /// How many replicas to try before giving up on a failover.
+    /// **`0` means unlimited** (keep trying while any replica is alive) —
+    /// use [`DriverConfigBuilder::max_failover_attempts`] for an explicit
+    /// bound.
     pub max_failover_attempts: usize,
 }
 
 impl DriverConfig {
+    /// Start building a configuration. Defaults match [`Default`]:
+    /// round-robin policy, unlimited failover.
+    pub fn builder() -> DriverConfigBuilder {
+        DriverConfigBuilder { cfg: DriverConfig::default() }
+    }
+
+    #[deprecated(note = "use DriverConfig::builder().policy(p).build()")]
     pub fn with_policy(policy: Policy) -> DriverConfig {
-        DriverConfig { policy, max_failover_attempts: 0 }
+        // Historical footgun: this constructor hard-coded
+        // `max_failover_attempts: 0` — which *looks* like "no failover" but
+        // means unlimited, same as `default()`. The builder spells the
+        // semantics out; this shim now just delegates.
+        DriverConfig::builder().policy(policy).build()
+    }
+}
+
+/// Fluent construction for [`DriverConfig`]:
+///
+/// ```
+/// use sirep_driver::{DriverConfig, Policy};
+///
+/// let cfg = DriverConfig::builder()
+///     .policy(Policy::LeastLoaded)
+///     .max_failover_attempts(3)
+///     .build();
+/// assert_eq!(cfg.max_failover_attempts, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriverConfigBuilder {
+    cfg: DriverConfig,
+}
+
+impl DriverConfigBuilder {
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Bound the number of replicas tried per failover. Rejects `0` (the
+    /// legacy unlimited sentinel) — say [`Self::unlimited_failover`] if
+    /// that is what you mean.
+    pub fn max_failover_attempts(mut self, n: usize) -> Self {
+        assert!(n > 0, "0 is the legacy 'unlimited' sentinel; call unlimited_failover()");
+        self.cfg.max_failover_attempts = n;
+        self
+    }
+
+    /// Keep failing over while any replica is alive (the default).
+    pub fn unlimited_failover(mut self) -> Self {
+        self.cfg.max_failover_attempts = 0;
+        self
+    }
+
+    pub fn build(self) -> DriverConfig {
+        self.cfg
     }
 }
 
@@ -99,10 +155,7 @@ impl Driver {
                 Arc::clone(&alive[i])
             }
             Policy::LeastLoaded => {
-                let n = alive
-                    .iter()
-                    .min_by_key(|n| n.queue_len() + n.pending_len())
-                    .expect("nonempty");
+                let n = alive.iter().min_by_key(|n| n.status().load()).expect("nonempty");
                 Arc::clone(n)
             }
             Policy::Primary => {
@@ -243,7 +296,7 @@ mod tests {
     use sirep_core::ClusterConfig;
 
     fn cluster(n: usize) -> Arc<Cluster> {
-        let c = Arc::new(Cluster::new(ClusterConfig::test(n)));
+        let c = Arc::new(Cluster::new(ClusterConfig::builder().replicas(n).build()));
         c.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
         c
     }
@@ -270,7 +323,8 @@ mod tests {
     #[test]
     fn case1_transparent_failover_without_txn() {
         let c = cluster(3);
-        let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::Primary));
+        let d =
+            Driver::new(Arc::clone(&c), DriverConfig::builder().policy(Policy::Primary).build());
         let mut conn = d.connect().unwrap();
         conn.execute("INSERT INTO kv VALUES (1, 1)").unwrap();
         conn.commit().unwrap();
@@ -288,7 +342,8 @@ mod tests {
     #[test]
     fn case2_active_txn_is_lost_but_connection_survives() {
         let c = cluster(3);
-        let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::Primary));
+        let d =
+            Driver::new(Arc::clone(&c), DriverConfig::builder().policy(Policy::Primary).build());
         let mut conn = d.connect().unwrap();
         conn.execute("INSERT INTO kv VALUES (5, 5)").unwrap(); // txn active
         c.crash(conn.replica().index());
@@ -304,7 +359,10 @@ mod tests {
     #[test]
     fn least_loaded_policy_picks_alive() {
         let c = cluster(2);
-        let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::LeastLoaded));
+        let d = Driver::new(
+            Arc::clone(&c),
+            DriverConfig::builder().policy(Policy::LeastLoaded).build(),
+        );
         c.crash(0);
         let conn = d.connect().unwrap();
         assert_eq!(conn.replica().index(), 1);

@@ -86,8 +86,10 @@ impl View {
 #[derive(Debug, Clone)]
 pub enum Delivery<M> {
     /// Uniform reliable total-order multicast: same position in every
-    /// member's stream. `seq` is the global sequence number.
-    TotalOrder { seq: u64, sender: MemberId, msg: M },
+    /// member's stream. `seq` is the global sequence number;
+    /// `sequenced_at` is the wall-clock instant the message was sequenced
+    /// (sent), so receivers can attribute multicast latency precisely.
+    TotalOrder { seq: u64, sender: MemberId, sequenced_at: Instant, msg: M },
     /// FIFO multicast: per-sender order only (still globally consistent in
     /// this implementation, as in Spread's agreed-order service levels).
     Fifo { sender: MemberId, msg: M },
@@ -142,12 +144,8 @@ struct GroupState<M> {
 
 impl<M> GroupState<M> {
     fn live_view(&self, view_id: u64) -> View {
-        let mut members: Vec<MemberId> = self
-            .members
-            .iter()
-            .filter(|(_, s)| s.alive)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut members: Vec<MemberId> =
+            self.members.iter().filter(|(_, s)| s.alive).map(|(&id, _)| id).collect();
         members.sort();
         View { id: view_id, members }
     }
@@ -222,7 +220,9 @@ impl<M: Clone + Send + 'static> Group<M> {
     /// queue, *ahead of* the view change.
     pub fn crash(&self, id: MemberId) {
         let mut st = self.inner.state.lock();
-        let Some(slot) = st.members.get_mut(&id) else { return };
+        let Some(slot) = st.members.get_mut(&id) else {
+            return;
+        };
         if !slot.alive {
             return;
         }
@@ -278,7 +278,11 @@ impl<M: Clone + Send + 'static> GcsHandle<M> {
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        st.broadcast(Delivery::TotalOrder { seq, sender: self.id, msg }, cfg.0, cfg.1);
+        st.broadcast(
+            Delivery::TotalOrder { seq, sender: self.id, sequenced_at: Instant::now(), msg },
+            cfg.0,
+            cfg.1,
+        );
         Ok(seq)
     }
 

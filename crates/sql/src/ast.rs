@@ -93,11 +93,7 @@ pub enum OrderDir {
 pub enum Expr {
     Literal(Value),
     Column(String),
-    Binary {
-        op: BinOp,
-        left: Box<Expr>,
-        right: Box<Expr>,
-    },
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
     Not(Box<Expr>),
     IsNull(Box<Expr>, /*negated=*/ bool),
 }

@@ -249,7 +249,9 @@ mod tests {
         roundtrip("INSERT INTO t (a, c) VALUES (1, 'z')");
         roundtrip("UPDATE t SET b = b * 2 + 1 WHERE a = 3 AND NOT c = 'q'");
         roundtrip("DELETE FROM t WHERE a - 1 - 2 > 0 OR b IS NOT NULL");
-        roundtrip("SELECT *, a + 1 FROM t WHERE a = 1 OR b = 2 AND c = 'x' ORDER BY a DESC, b LIMIT 3");
+        roundtrip(
+            "SELECT *, a + 1 FROM t WHERE a = 1 OR b = 2 AND c = 'x' ORDER BY a DESC, b LIMIT 3",
+        );
         roundtrip("SELECT COUNT(*), SUM(a), AVG(b) FROM t WHERE a IS NULL");
     }
 

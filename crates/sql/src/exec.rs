@@ -52,10 +52,8 @@ pub fn execute(db: &Database, txn: &TxnHandle, stmt: &Statement) -> Result<ExecR
     db.cost_model().stmt_overhead();
     match stmt {
         Statement::CreateTable { name, columns, pk } => {
-            let cols = columns
-                .iter()
-                .map(|(n, t)| sirep_storage::Column::new(n.clone(), *t))
-                .collect();
+            let cols =
+                columns.iter().map(|(n, t)| sirep_storage::Column::new(n.clone(), *t)).collect();
             let pk_refs: Vec<&str> = pk.iter().map(|s| s.as_str()).collect();
             let schema = TableSchema::new(name.clone(), cols, &pk_refs)?;
             db.create_table(schema)?;
@@ -66,9 +64,8 @@ pub fn execute(db: &Database, txn: &TxnHandle, stmt: &Statement) -> Result<ExecR
             Ok(ExecResult::Created)
         }
         Statement::Insert { table, columns, values } => {
-            let schema = db
-                .table_schema(table)
-                .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+            let schema =
+                db.table_schema(table).ok_or_else(|| DbError::UnknownTable(table.clone()))?;
             let mut row = vec![Value::Null; schema.arity()];
             match columns {
                 None => {
@@ -102,15 +99,13 @@ pub fn execute(db: &Database, txn: &TxnHandle, stmt: &Statement) -> Result<ExecR
             Ok(ExecResult::Affected(1))
         }
         Statement::Update { table, sets, predicate } => {
-            let schema = db
-                .table_schema(table)
-                .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+            let schema =
+                db.table_schema(table).ok_or_else(|| DbError::UnknownTable(table.clone()))?;
             let compiled_sets: Vec<(usize, CExpr)> = sets
                 .iter()
                 .map(|(c, e)| {
-                    let idx = schema
-                        .column_index(c)
-                        .ok_or_else(|| DbError::UnknownColumn(c.clone()))?;
+                    let idx =
+                        schema.column_index(c).ok_or_else(|| DbError::UnknownColumn(c.clone()))?;
                     Ok((idx, compile(e, &schema)?))
                 })
                 .collect::<Result<_, DbError>>()?;
@@ -127,9 +122,8 @@ pub fn execute(db: &Database, txn: &TxnHandle, stmt: &Statement) -> Result<ExecR
             Ok(ExecResult::Affected(n))
         }
         Statement::Delete { table, predicate } => {
-            let schema = db
-                .table_schema(table)
-                .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+            let schema =
+                db.table_schema(table).ok_or_else(|| DbError::UnknownTable(table.clone()))?;
             let matching = fetch_matching(txn, db, table, &schema, predicate.as_ref())?;
             let n = matching.len();
             for row in matching {
@@ -169,8 +163,12 @@ fn fetch_matching(
             let indexed = db.indexed_columns(table);
             if !indexed.is_empty() {
                 for conj in pred.conjuncts() {
-                    let Some((col, value)) = conj.as_column_eq_literal() else { continue };
-                    let Some(idx) = schema.column_index(col) else { continue };
+                    let Some((col, value)) = conj.as_column_eq_literal() else {
+                        continue;
+                    };
+                    let Some(idx) = schema.column_index(col) else {
+                        continue;
+                    };
                     if !indexed.contains(&idx) {
                         continue;
                     }
@@ -194,11 +192,7 @@ fn point_key(pred: &Expr, schema: &TableSchema) -> Option<Key> {
     let mut parts: Vec<Option<Value>> = vec![None; schema.pk.len()];
     for c in conjuncts {
         if let Some((col, v)) = c.as_column_eq_literal() {
-            if let Some(pos) = schema
-                .pk
-                .iter()
-                .position(|&i| schema.columns[i].name == col)
-            {
+            if let Some(pos) = schema.pk.iter().position(|&i| schema.columns[i].name == col) {
                 parts[pos] = Some(v.clone());
             }
         }
@@ -207,9 +201,8 @@ fn point_key(pred: &Expr, schema: &TableSchema) -> Option<Key> {
 }
 
 fn select(db: &Database, txn: &TxnHandle, sel: &Select) -> Result<ExecResult, DbError> {
-    let schema = db
-        .table_schema(&sel.table)
-        .ok_or_else(|| DbError::UnknownTable(sel.table.clone()))?;
+    let schema =
+        db.table_schema(&sel.table).ok_or_else(|| DbError::UnknownTable(sel.table.clone()))?;
     let mut rows = fetch_matching(txn, db, &sel.table, &schema, sel.predicate.as_ref())?;
 
     // ORDER BY base-table columns.
@@ -239,16 +232,9 @@ fn select(db: &Database, txn: &TxnHandle, sel: &Select) -> Result<ExecResult, Db
         rows.truncate(limit as usize);
     }
 
-    let has_agg = sel
-        .projection
-        .iter()
-        .any(|p| matches!(p, SelectItem::Aggregate(..)));
+    let has_agg = sel.projection.iter().any(|p| matches!(p, SelectItem::Aggregate(..)));
     if has_agg {
-        if !sel
-            .projection
-            .iter()
-            .all(|p| matches!(p, SelectItem::Aggregate(..)))
-        {
+        if !sel.projection.iter().all(|p| matches!(p, SelectItem::Aggregate(..))) {
             return Err(DbError::Unsupported(
                 "mixing aggregates and scalar expressions requires GROUP BY (unsupported)".into(),
             ));
@@ -314,11 +300,9 @@ fn aggregate(
 ) -> Result<(String, Value), DbError> {
     let col_idx = match arg {
         AggArg::Star => None,
-        AggArg::Column(c) => Some(
-            schema
-                .column_index(c)
-                .ok_or_else(|| DbError::UnknownColumn(c.clone()))?,
-        ),
+        AggArg::Column(c) => {
+            Some(schema.column_index(c).ok_or_else(|| DbError::UnknownColumn(c.clone()))?)
+        }
     };
     let non_null = |rows: &[Row]| -> Vec<Value> {
         let Some(i) = col_idx else { return Vec::new() };
@@ -376,11 +360,9 @@ enum CExpr {
 fn compile(e: &Expr, schema: &TableSchema) -> Result<CExpr, DbError> {
     Ok(match e {
         Expr::Literal(v) => CExpr::Literal(v.clone()),
-        Expr::Column(c) => CExpr::Column(
-            schema
-                .column_index(c)
-                .ok_or_else(|| DbError::UnknownColumn(c.clone()))?,
-        ),
+        Expr::Column(c) => {
+            CExpr::Column(schema.column_index(c).ok_or_else(|| DbError::UnknownColumn(c.clone()))?)
+        }
         Expr::Binary { op, left, right } => CExpr::Binary {
             op: *op,
             left: Box::new(compile(left, schema)?),
@@ -424,9 +406,7 @@ fn eval(e: &CExpr, row: &Row) -> Value {
             apply_binop(*op, &l, &r)
         }
         CExpr::Not(inner) => bool_value(not3(as_bool3(&eval(inner, row)))),
-        CExpr::IsNull(inner, neg) => {
-            Value::Int((eval(inner, row).is_null() != *neg) as i64)
-        }
+        CExpr::IsNull(inner, neg) => Value::Int((eval(inner, row).is_null() != *neg) as i64),
     }
 }
 

@@ -8,8 +8,7 @@ use sirep_storage::{Database, Value};
 fn setup(indexed: bool) -> Database {
     let db = Database::in_memory();
     let t = db.begin().unwrap();
-    execute_sql(&db, &t, "CREATE TABLE item (id INT, grp INT, val INT, PRIMARY KEY (id))")
-        .unwrap();
+    execute_sql(&db, &t, "CREATE TABLE item (id INT, grp INT, val INT, PRIMARY KEY (id))").unwrap();
     for id in 0..100 {
         execute_sql(
             &db,
@@ -166,8 +165,7 @@ fn index_recovery_via_fork_loses_nothing() {
     fork.create_index("item", "grp").unwrap();
     for grp in 0..10 {
         let t = fork.begin().unwrap();
-        let r = execute_sql(&fork, &t, &format!("SELECT id FROM item WHERE grp = {grp}"))
-            .unwrap();
+        let r = execute_sql(&fork, &t, &format!("SELECT id FROM item WHERE grp = {grp}")).unwrap();
         let fork_ids: Vec<i64> = r.rows().iter().map(|row| row[0].as_int().unwrap()).collect();
         t.commit().unwrap();
         assert_eq!(fork_ids, grp_ids(&db, grp), "grp {grp}");

@@ -176,14 +176,12 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, DbError> {
                 }
                 let text = &sql[start..i];
                 if is_float {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| DbError::Parse(format!("bad number: {text}")))?;
+                    let v: f64 =
+                        text.parse().map_err(|_| DbError::Parse(format!("bad number: {text}")))?;
                     out.push(Token::Float(v));
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| DbError::Parse(format!("bad number: {text}")))?;
+                    let v: i64 =
+                        text.parse().map_err(|_| DbError::Parse(format!("bad number: {text}")))?;
                     out.push(Token::Int(v));
                 }
             }

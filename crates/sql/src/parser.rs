@@ -518,7 +518,10 @@ mod tests {
         match s {
             Statement::Select(sel) => {
                 assert_eq!(sel.projection.len(), 3);
-                assert!(matches!(sel.projection[0], SelectItem::Aggregate(AggFunc::Count, AggArg::Star)));
+                assert!(matches!(
+                    sel.projection[0],
+                    SelectItem::Aggregate(AggFunc::Count, AggArg::Star)
+                ));
                 assert!(matches!(
                     sel.projection[1],
                     SelectItem::Aggregate(AggFunc::Sum, AggArg::Column(_))

@@ -12,10 +12,7 @@ fn ident() -> impl Strategy<Value = String> {
     // Avoid reserved words; keep identifiers short and lowercase like the
     // lexer folds them.
     "[a-e][a-z0-9_]{0,6}".prop_filter("reserved", |s| {
-        !matches!(
-            s.as_str(),
-            "and" | "by" | "create" | "delete" | "desc" | "asc" | "avg" | "count"
-        )
+        !matches!(s.as_str(), "and" | "by" | "create" | "delete" | "desc" | "asc" | "avg" | "count")
     })
 }
 
@@ -60,26 +57,23 @@ fn expr() -> impl Strategy<Value = Expr> {
 fn statement() -> impl Strategy<Value = Statement> {
     let select = (
         prop::collection::vec(
-            prop_oneof![
-                Just(SelectItem::Star),
-                expr().prop_map(SelectItem::Expr),
-            ],
+            prop_oneof![Just(SelectItem::Star), expr().prop_map(SelectItem::Expr),],
             1..4,
         ),
         ident(),
         prop::option::of(expr()),
-        prop::collection::vec((ident(), prop_oneof![Just(OrderDir::Asc), Just(OrderDir::Desc)]), 0..3),
+        prop::collection::vec(
+            (ident(), prop_oneof![Just(OrderDir::Asc), Just(OrderDir::Desc)]),
+            0..3,
+        ),
         prop::option::of(0u64..100),
     )
         .prop_map(|(projection, table, predicate, order_by, limit)| {
             Statement::Select(Select { projection, table, predicate, order_by, limit })
         });
-    let update = (
-        ident(),
-        prop::collection::vec((ident(), expr()), 1..4),
-        prop::option::of(expr()),
-    )
-        .prop_map(|(table, sets, predicate)| Statement::Update { table, sets, predicate });
+    let update =
+        (ident(), prop::collection::vec((ident(), expr()), 1..4), prop::option::of(expr()))
+            .prop_map(|(table, sets, predicate)| Statement::Update { table, sets, predicate });
     let delete = (ident(), prop::option::of(expr()))
         .prop_map(|(table, predicate)| Statement::Delete { table, predicate });
     let insert = (

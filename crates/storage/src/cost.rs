@@ -72,7 +72,6 @@ impl CostModel {
             && self.commit_ms == 0.0
             && self.stmt_overhead_ms == 0.0
     }
-
 }
 
 impl Default for CostModel {

@@ -167,9 +167,7 @@ impl Database {
         drop(rows);
         let mut indexes = t.indexes.write();
         if indexes.iter().any(|i| i.column == col) {
-            return Err(DbError::Internal(format!(
-                "index on {table}.{column} already exists"
-            )));
+            return Err(DbError::Internal(format!("index on {table}.{column} already exists")));
         }
         indexes.push(idx);
         Ok(())
@@ -178,7 +176,9 @@ impl Database {
     /// Column positions of `table` that have a secondary index (planner
     /// input).
     pub fn indexed_columns(&self, table: &str) -> Vec<usize> {
-        let Ok(t) = self.inner.table(table) else { return Vec::new() };
+        let Ok(t) = self.inner.table(table) else {
+            return Vec::new();
+        };
         let cols = t.indexes.read().iter().map(|i| i.column).collect();
         cols
     }
@@ -306,11 +306,7 @@ impl Database {
 
 impl DbInner {
     fn table(&self, name: &str) -> Result<Arc<Table>, DbError> {
-        self.tables
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| DbError::UnknownTable(name.to_owned()))
+        self.tables.read().get(name).cloned().ok_or_else(|| DbError::UnknownTable(name.to_owned()))
     }
 
     fn min_active_snapshot(&self) -> CommitTs {
@@ -382,9 +378,7 @@ impl TxnHandle {
         }
         let result = {
             let rows = t.rows.read();
-            rows.get(key)
-                .and_then(|c| c.visible_row(self.state.snapshot))
-                .map(|r| (**r).clone())
+            rows.get(key).and_then(|c| c.visible_row(self.state.snapshot)).map(|r| (**r).clone())
         };
         if result.is_some() && self.db.track_reads.load(Ordering::Relaxed) {
             self.state.read_keys.lock().push((t.name.clone(), key.clone()));
@@ -557,10 +551,8 @@ impl TxnHandle {
         // Kind-specific visibility checks against snapshot + own buffer.
         match kind {
             WriteKind::Insert => {
-                let exists_in_buffer = matches!(
-                    self.state.buffer.lock().get(table, &key),
-                    Some(WsOp::Put(_))
-                );
+                let exists_in_buffer =
+                    matches!(self.state.buffer.lock().get(table, &key), Some(WsOp::Put(_)));
                 let exists_committed = !exists_in_buffer
                     && self.state.buffer.lock().get(table, &key).is_none()
                     && t.rows
@@ -688,9 +680,10 @@ impl TxnHandle {
                             .filter_map(|v| v.row.as_ref())
                             .map(|r| r[idx.column].clone())
                             .filter(|val| {
-                                !chain.versions().iter().any(|v| {
-                                    v.row.as_ref().is_some_and(|r| &r[idx.column] == val)
-                                })
+                                !chain
+                                    .versions()
+                                    .iter()
+                                    .any(|v| v.row.as_ref().is_some_and(|r| &r[idx.column] == val))
                             })
                             .collect();
                         idx.remove_stale(&stale, &e.key);

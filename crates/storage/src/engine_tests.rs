@@ -105,9 +105,7 @@ fn first_updater_wins_immediate_abort() {
     t1.update_key("kv", Key::single(1), vec![Value::Int(1), Value::Int(11)]).unwrap();
     t1.commit().unwrap();
     // t2 is concurrent with t1 and t1 committed a newer version → abort.
-    let err = t2
-        .update_key("kv", Key::single(1), vec![Value::Int(1), Value::Int(12)])
-        .unwrap_err();
+    let err = t2.update_key("kv", Key::single(1), vec![Value::Int(1), Value::Int(12)]).unwrap_err();
     assert_eq!(err, DbError::Aborted(AbortReason::SerializationFailure));
     assert_eq!(get(&db, 1), Some(11));
 }
@@ -471,9 +469,7 @@ fn contended_counter_conflicts_resolve_consistently() {
             for _ in 0..25 {
                 loop {
                     let t = db2.begin().unwrap();
-                    let cur = t.read("kv", &Key::single(1)).unwrap().unwrap()[1]
-                        .as_int()
-                        .unwrap();
+                    let cur = t.read("kv", &Key::single(1)).unwrap().unwrap()[1].as_int().unwrap();
                     let r = t
                         .update_key("kv", Key::single(1), vec![Value::Int(1), Value::Int(cur + 1)])
                         .and_then(|_| t.commit().map(|_| ()));

@@ -140,7 +140,9 @@ impl LockManager {
     pub fn release_all(&self, txn: TxnId, ids: &[LockId]) {
         let mut st = self.state.lock();
         for id in ids {
-            let Some(e) = st.locks.get_mut(id) else { continue };
+            let Some(e) = st.locks.get_mut(id) else {
+                continue;
+            };
             if e.owner != txn {
                 continue; // already granted away (defensive)
             }

@@ -64,8 +64,7 @@ fn apply(txn: &TxnHandle, model: &mut BTreeMap<i64, i64>, op: &ModelOp) -> bool 
             }
         }
         ModelOp::Update(k, v) => {
-            txn.update_key("kv", Key::single(*k), vec![Value::Int(*k), Value::Int(*v)])
-                .unwrap();
+            txn.update_key("kv", Key::single(*k), vec![Value::Int(*k), Value::Int(*v)]).unwrap();
             model.insert(*k, *v);
             true
         }

@@ -253,8 +253,7 @@ mod tests {
 
     #[test]
     fn total_order_ranks_types() {
-        let mut vs =
-            [Value::Text("a".into()), Value::Int(5), Value::Null, Value::Float(1.0)];
+        let mut vs = [Value::Text("a".into()), Value::Int(5), Value::Null, Value::Float(1.0)];
         vs.sort_by(|a, b| a.total_cmp(b));
         assert!(vs[0].is_null());
         assert_eq!(vs[1], Value::Float(1.0));
@@ -295,7 +294,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::Text("a".into()).to_string(), "'a'");
-        assert_eq!(Key::composite(vec![Value::Int(1), Value::Text("b".into())]).to_string(),
-            "(1, 'b')");
+        assert_eq!(
+            Key::composite(vec![Value::Int(1), Value::Text("b".into())]).to_string(),
+            "(1, 'b')"
+        );
     }
 }

@@ -81,11 +81,8 @@ impl VersionChain {
     /// Returns the dropped versions (secondary-index maintenance needs
     /// their values).
     pub fn prune(&mut self, min_active_snapshot: CommitTs) -> Vec<Version> {
-        let keep_from = self
-            .versions
-            .iter()
-            .rposition(|v| v.commit_ts <= min_active_snapshot)
-            .unwrap_or(0);
+        let keep_from =
+            self.versions.iter().rposition(|v| v.commit_ts <= min_active_snapshot).unwrap_or(0);
         if keep_from == 0 {
             return Vec::new();
         }

@@ -84,10 +84,7 @@ impl WriteSet {
         // its keys would work, but a hash probe needs an owned key; instead
         // scan entries when small, probe when large.
         if self.entries.len() <= 8 {
-            self.entries
-                .iter()
-                .find(|e| &*e.table == table && &e.key == key)
-                .map(|e| &e.op)
+            self.entries.iter().find(|e| &*e.table == table && &e.key == key).map(|e| &e.op)
         } else {
             let id = (Arc::from(table), key.clone());
             self.index.get(&id).map(|&i| &self.entries[i].op)

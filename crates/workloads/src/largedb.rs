@@ -52,9 +52,7 @@ impl LargeDb {
     /// DDL creating a secondary index on each table's `grp` column (what
     /// the paper's setup deliberately left out).
     pub fn index_ddl(&self) -> Vec<String> {
-        (0..self.tables)
-            .map(|t| format!("CREATE INDEX ON {} (grp)", self.table_name(t)))
-            .collect()
+        (0..self.tables).map(|t| format!("CREATE INDEX ON {} (grp)", self.table_name(t))).collect()
     }
 }
 
@@ -110,9 +108,7 @@ impl Workload for LargeDb {
                 let t = rng.gen_range(0..self.tables);
                 let name = self.table_name(t);
                 let id = rng.gen_range(1..=self.rows_per_table);
-                statements.push(format!(
-                    "UPDATE {name} SET val = val + 1.0 WHERE id = {id}"
-                ));
+                statements.push(format!("UPDATE {name} SET val = val + 1.0 WHERE id = {id}"));
                 if !tables.contains(&name) {
                     tables.push(name);
                 }
@@ -135,8 +131,8 @@ impl Workload for LargeDb {
             let t = rng.gen_range(0..self.tables);
             let name = self.table_name(t);
             let lo = rng.gen_range(0..95);
-            let span = (self.query_span as f64 / (self.rows_per_table as f64 / 100.0)).ceil()
-                as i64;
+            let span =
+                (self.query_span as f64 / (self.rows_per_table as f64 / 100.0)).ceil() as i64;
             TxnTemplate {
                 statements: vec![format!(
                     "SELECT COUNT(*), SUM(val), AVG(val) FROM {name} WHERE grp >= {lo} AND grp < {hi}",
@@ -180,8 +176,7 @@ mod tests {
             let tmpl = w.next(&mut rng, 0);
             let t = db.begin().unwrap();
             for sql in &tmpl.statements {
-                sirep_sql::execute_sql(&db, &t, sql)
-                    .unwrap_or_else(|e| panic!("{sql}: {e}"));
+                sirep_sql::execute_sql(&db, &t, sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
             }
             t.commit().unwrap();
         }
@@ -191,8 +186,7 @@ mod tests {
     fn mix_is_20_80() {
         let w = LargeDb::default();
         let mut rng = SmallRng::seed_from_u64(9);
-        let updates =
-            (0..2000).filter(|_| !w.next(&mut rng, 0).readonly).count() as f64 / 2000.0;
+        let updates = (0..2000).filter(|_| !w.next(&mut rng, 0).readonly).count() as f64 / 2000.0;
         assert!((0.15..0.25).contains(&updates), "update fraction {updates}");
     }
 

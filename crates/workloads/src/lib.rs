@@ -52,10 +52,7 @@ pub fn setup_cluster(cluster: &sirep_core::Cluster, w: &dyn Workload) -> Result<
 }
 
 /// Install a workload into the centralized baseline.
-pub fn setup_centralized(
-    sys: &sirep_core::Centralized,
-    w: &dyn Workload,
-) -> Result<(), DbError> {
+pub fn setup_centralized(sys: &sirep_core::Centralized, w: &dyn Workload) -> Result<(), DbError> {
     let db = sys.database();
     for ddl in w.ddl() {
         let t = db.begin()?;
@@ -123,7 +120,7 @@ mod runner_tests {
             query_span: 10,
             ..LargeDb::default()
         };
-        let cluster = Cluster::new(ClusterConfig::test(2));
+        let cluster = Cluster::new(ClusterConfig::builder().replicas(2).build());
         setup_cluster(&cluster, &w).unwrap();
         let mut cfg = RunConfig::quick(4, 400.0);
         // Mild compression: the cluster does real work per transaction, so

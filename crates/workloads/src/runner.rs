@@ -16,7 +16,7 @@
 use crate::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sirep_common::{Histogram, Metrics, OnlineStats, TimeScale};
+use sirep_common::{Histogram, Metrics, OnlineStats, StageSnapshot, TimeScale};
 use sirep_core::{Connection, System, TxnTemplate};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -88,11 +88,20 @@ pub struct RunResult {
     pub achieved_tps: f64,
     /// System-internal protocol counters at the end of the run.
     pub metrics: Metrics,
+    /// Per-stage lifecycle latency histograms at the end of the run (empty
+    /// for systems without tracing, or with the `trace` feature off).
+    pub stages: StageSnapshot,
 }
 
 impl RunResult {
     pub fn abort_rate(&self) -> f64 {
         self.forced_aborts as f64 / (self.forced_aborts + self.committed).max(1) as f64
+    }
+
+    /// The per-stage p50/p95/p99 breakdown table
+    /// ([`StageSnapshot::breakdown_table`]), wall milliseconds.
+    pub fn breakdown_table(&self) -> String {
+        self.stages.breakdown_table()
     }
 
     /// One CSV row: target, achieved, mean RTs, p95s, abort rate.
@@ -283,5 +292,6 @@ pub fn run(system: &dyn System, workload: &dyn Workload, cfg: &RunConfig) -> Run
         given_up,
         achieved_tps,
         metrics: system.metrics(),
+        stages: system.stages(),
     }
 }

@@ -69,8 +69,7 @@ impl Workload for Tpcw {
             "CREATE TABLE country (co_id INT, co_name TEXT, co_exchange FLOAT, \
              PRIMARY KEY (co_id))"
                 .into(),
-            "CREATE TABLE author (a_id INT, a_fname TEXT, a_lname TEXT, PRIMARY KEY (a_id))"
-                .into(),
+            "CREATE TABLE author (a_id INT, a_fname TEXT, a_lname TEXT, PRIMARY KEY (a_id))".into(),
             "CREATE TABLE item (i_id INT, i_title TEXT, i_a_id INT, i_cost FLOAT, i_stock INT, \
              i_pub_date INT, i_total_sold INT, PRIMARY KEY (i_id))"
                 .into(),
@@ -139,7 +138,10 @@ impl Workload for Tpcw {
                 let i = 1 + (o * 13 + l * 29) % self.items;
                 Self::insert(
                     db,
-                    &format!("INSERT INTO order_line VALUES ({o}, {l}, {i}, {q}, 0.0)", q = 1 + o % 3),
+                    &format!(
+                        "INSERT INTO order_line VALUES ({o}, {l}, {i}, {q}, 0.0)",
+                        q = 1 + o % 3
+                    ),
                 )?;
             }
         }
@@ -183,9 +185,8 @@ impl Tpcw {
         // client id + a per-client counter folded into the random stream.
         let o: i64 = 1_000_000 + (client as i64) * 10_000_000 + rng.gen_range(0..9_999_999);
         let n_lines = rng.gen_range(1..=4);
-        let mut statements = vec![
-            format!("SELECT c_uname, c_discount, c_balance FROM customer WHERE c_id = {c}"),
-        ];
+        let mut statements =
+            vec![format!("SELECT c_uname, c_discount, c_balance FROM customer WHERE c_id = {c}")];
         let mut total = 0.0;
         for l in 1..=n_lines {
             let i = self.rand_item(rng);
@@ -195,17 +196,12 @@ impl Tpcw {
                 "UPDATE item SET i_stock = i_stock - {qty}, i_total_sold = i_total_sold + {qty} \
                  WHERE i_id = {i}"
             ));
-            statements.push(format!(
-                "INSERT INTO order_line VALUES ({o}, {l}, {i}, {qty}, 0.0)"
-            ));
+            statements.push(format!("INSERT INTO order_line VALUES ({o}, {l}, {i}, {qty}, 0.0)"));
             total += qty as f64 * 20.0;
         }
-        statements.push(format!(
-            "INSERT INTO orders VALUES ({o}, {c}, 2065, {total:.2}, 'pending')"
-        ));
-        statements.push(format!(
-            "INSERT INTO cc_xacts VALUES ({o}, 'VISA', {total:.2}, 1)"
-        ));
+        statements
+            .push(format!("INSERT INTO orders VALUES ({o}, {c}, 2065, {total:.2}, 'pending')"));
+        statements.push(format!("INSERT INTO cc_xacts VALUES ({o}, 'VISA', {total:.2}, 1)"));
         TxnTemplate {
             statements,
             tables: vec![

@@ -24,7 +24,12 @@ pub struct UpdateIntensive {
 
 impl Default for UpdateIntensive {
     fn default() -> Self {
-        UpdateIntensive { tables: 10, rows_per_table: 1_000, tables_per_txn: 3, updates_per_txn: 10 }
+        UpdateIntensive {
+            tables: 10,
+            rows_per_table: 1_000,
+            tables_per_txn: 3,
+            updates_per_txn: 10,
+        }
     }
 }
 

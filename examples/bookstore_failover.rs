@@ -16,10 +16,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    let cluster = Arc::new(Cluster::new(ClusterConfig::test(3)));
-    let workload = Tpcw { items: 200, customers: 100, initial_orders: 50, countries: 10, authors: 30 };
+    let cluster = Arc::new(Cluster::new(ClusterConfig::builder().replicas(3).build()));
+    let workload =
+        Tpcw { items: 200, customers: 100, initial_orders: 50, countries: 10, authors: 30 };
     setup_cluster(&cluster, &workload).expect("setup");
-    let driver = Arc::new(Driver::new(Arc::clone(&cluster), DriverConfig::with_policy(Policy::RoundRobin)));
+    let driver = Arc::new(Driver::new(
+        Arc::clone(&cluster),
+        DriverConfig::builder().policy(Policy::RoundRobin).build(),
+    ));
 
     let stop = Arc::new(AtomicBool::new(false));
     let committed = Arc::new(AtomicU64::new(0));

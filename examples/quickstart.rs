@@ -9,7 +9,7 @@ use std::time::Duration;
 fn main() {
     // A 3-replica cluster: each replica is a middleware/database pair, all
     // connected by uniform-reliable total-order multicast.
-    let cluster = Cluster::new(ClusterConfig::test(3));
+    let cluster = Cluster::new(ClusterConfig::builder().replicas(3).build());
 
     // Schemas are installed identically at every replica before the run.
     cluster

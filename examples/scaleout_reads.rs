@@ -36,15 +36,15 @@ fn main() {
     println!("read-intensive workload (20/80) at {load} tps offered:");
     println!("{:>9} {:>12} {:>14} {:>14}", "replicas", "achieved", "query RT ms", "update RT ms");
     for replicas in [1usize, 3, 6] {
-        let cluster = Cluster::new(ClusterConfig {
-            replicas,
-            mode: ReplicationMode::SrcaRep,
-            cost: cost.clone(),
-            gcs: GroupConfig::lan(scale),
-            appliers: 4,
-            track_history: false,
-            outcome_cap: 1 << 16,
-        });
+        let cluster = Cluster::new(
+            ClusterConfig::builder()
+                .replicas(replicas)
+                .mode(ReplicationMode::SrcaRep)
+                .cost(cost.clone())
+                .gcs(GroupConfig::lan(scale))
+                .appliers(4)
+                .build(),
+        );
         setup_cluster(&cluster, &workload).expect("setup");
         let cfg = RunConfig {
             clients: 40,

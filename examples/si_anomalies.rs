@@ -21,8 +21,7 @@ use std::time::Duration;
 
 fn main() {
     // --- 1 + 2: behaviour on a live cluster --------------------------------
-    let mut cfg = ClusterConfig::test(2);
-    cfg.track_history = true;
+    let cfg = ClusterConfig::builder().replicas(2).track_history(true).build();
     let cluster = Cluster::new(cfg);
     cluster.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
     {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, and the full test suite.
+# Offline-friendly: everything runs with --offline against the committed
+# Cargo.lock, so it works in network-less containers.
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   skip the slower integration suites (unit tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build (trace feature disabled — the no-op observability path)"
+cargo build --offline -p si-rep --no-default-features
+
+if [[ "$QUICK" == "1" ]]; then
+    echo "==> cargo test (unit tests only)"
+    cargo test --offline --workspace --lib -q
+else
+    echo "==> cargo test (workspace)"
+    cargo test --offline --workspace -q
+fi
+
+echo "OK: fmt, clippy, trace-off build, tests all green."

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 #[test]
 fn crash_recover_cycles_under_load() {
-    let c = Arc::new(Cluster::new(ClusterConfig::test(3)));
+    let c = Arc::new(Cluster::new(ClusterConfig::builder().replicas(3).build()));
     c.execute_ddl("CREATE TABLE acc (id INT, bal INT, PRIMARY KEY (id))").unwrap();
     {
         let mut s = c.session(0);
@@ -53,9 +53,7 @@ fn crash_recover_cycles_under_load() {
                         }
                         let id = rng.gen_range(0..10);
                         let r = (|| {
-                            conn.execute(&format!(
-                                "UPDATE acc SET bal = bal + 1 WHERE id = {id}"
-                            ))?;
+                            conn.execute(&format!("UPDATE acc SET bal = bal + 1 WHERE id = {id}"))?;
                             conn.commit()
                         })();
                         match r {

@@ -11,8 +11,7 @@ use std::time::Duration;
 const Q: Duration = Duration::from_secs(20);
 
 fn money_cluster(n: usize, mode: ReplicationMode) -> Arc<Cluster> {
-    let mut cfg = ClusterConfig::test(n);
-    cfg.mode = mode;
+    let cfg = ClusterConfig::builder().replicas(n).mode(mode).build();
     let c = Arc::new(Cluster::new(cfg));
     c.execute_ddl("CREATE TABLE acc (id INT, bal INT, PRIMARY KEY (id))").unwrap();
     let mut s = c.session(0);
@@ -50,9 +49,7 @@ fn transfers_conserve_money(mode: ReplicationMode) {
                 let to = (from + rng.gen_range(1..20)) % 20;
                 let amt = rng.gen_range(1..50);
                 let r = (|| {
-                    s.execute(&format!(
-                        "UPDATE acc SET bal = bal - {amt} WHERE id = {from}"
-                    ))?;
+                    s.execute(&format!("UPDATE acc SET bal = bal - {amt} WHERE id = {from}"))?;
                     s.execute(&format!("UPDATE acc SET bal = bal + {amt} WHERE id = {to}"))?;
                     s.commit()
                 })();

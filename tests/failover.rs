@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn cluster(n: usize) -> Arc<Cluster> {
-    let c = Arc::new(Cluster::new(ClusterConfig::test(n)));
+    let c = Arc::new(Cluster::new(ClusterConfig::builder().replicas(n).build()));
     c.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
     c
 }
@@ -58,7 +58,7 @@ fn case3_never_received_resolved_as_aborted() {
 #[test]
 fn driver_masks_crash_between_transactions() {
     let c = cluster(3);
-    let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::Primary));
+    let d = Driver::new(Arc::clone(&c), DriverConfig::builder().policy(Policy::Primary).build());
     let mut conn = d.connect().unwrap();
     conn.execute("INSERT INTO kv VALUES (10, 1)").unwrap();
     conn.commit().unwrap();
@@ -75,7 +75,7 @@ fn driver_masks_crash_between_transactions() {
 #[test]
 fn driver_reports_lost_transaction_and_recovers() {
     let c = cluster(3);
-    let d = Driver::new(Arc::clone(&c), DriverConfig::with_policy(Policy::Primary));
+    let d = Driver::new(Arc::clone(&c), DriverConfig::builder().policy(Policy::Primary).build());
     let mut conn = d.connect().unwrap();
     conn.execute("INSERT INTO kv VALUES (20, 1)").unwrap(); // txn open
     c.crash(conn.replica().index());

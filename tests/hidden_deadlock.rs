@@ -104,10 +104,7 @@ fn drive(sys: &Srca) -> bool {
 fn serial_srca_exhibits_the_hidden_deadlock() {
     let sys = setup(SrcaVariant::Serial);
     let completed = drive(&sys);
-    assert!(
-        !completed,
-        "Fig. 1 SRCA with serial queues should stall on the §4.2 construction"
-    );
+    assert!(!completed, "Fig. 1 SRCA with serial queues should stall on the §4.2 construction");
     // The queues are stuck too.
     assert!(!sys.quiesce(Duration::from_millis(500)));
     sys.shutdown();

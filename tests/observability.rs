@@ -1,0 +1,178 @@
+//! Observability-layer tests: the metrics accounting invariant, per-stage
+//! trace coverage for committed transactions, and TxTrace mark ordering.
+//!
+//! These pin down the two contracts the harnesses depend on:
+//! 1. every `begin_local` ends in exactly one terminal counter, so
+//!    `begins_total == commits_* + aborts_*` holds after a quiesce;
+//! 2. a committed update transaction marks every lifecycle stage, on the
+//!    origin replica and on the remote appliers, so the fig5/fig7
+//!    breakdown tables never show a silently-missing stage.
+
+use si_rep::common::Metrics;
+use si_rep::core::{Cluster, ClusterConfig, Connection};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[cfg(feature = "trace")]
+use si_rep::common::{Stage, TxTrace};
+
+const Q: Duration = Duration::from_secs(20);
+
+fn cluster(n: usize) -> Arc<Cluster> {
+    let c = Arc::new(Cluster::new(ClusterConfig::builder().replicas(n).build()));
+    c.execute_ddl("CREATE TABLE acc (id INT, bal INT, PRIMARY KEY (id))").unwrap();
+    c
+}
+
+/// Seed rows through a session; returns how many update commits that took.
+fn seed_rows(c: &Cluster, rows: i64) -> u64 {
+    let mut s = c.session(0);
+    for id in 0..rows {
+        s.execute(&format!("INSERT INTO acc VALUES ({id}, 1000)")).unwrap();
+    }
+    s.commit().unwrap();
+    1
+}
+
+/// Every transaction begin must end in exactly one terminal counter:
+/// commit (update or read-only) or abort (validation, serialization,
+/// deadlock, or user rollback). Drives all five terminal paths, then
+/// checks the books balance cluster-wide.
+#[test]
+fn metrics_accounting_invariant() {
+    let c = cluster(2);
+    let mut update_commits = seed_rows(&c, 10);
+
+    let mut s = c.session(0);
+    // Committed updates.
+    for id in 0..5 {
+        s.execute(&format!("UPDATE acc SET bal = bal + 1 WHERE id = {id}")).unwrap();
+        s.commit().unwrap();
+        update_commits += 1;
+    }
+    // Committed read-only transactions (empty-writeset fast path).
+    for _ in 0..3 {
+        s.execute("SELECT SUM(bal) FROM acc").unwrap();
+        s.commit().unwrap();
+    }
+    // User rollbacks.
+    for _ in 0..2 {
+        s.execute("UPDATE acc SET bal = 0 WHERE id = 1").unwrap();
+        s.rollback();
+    }
+    // A database-level serialization failure: t1 snapshots, a rival updates
+    // and commits the row, then t1's write of the same row must abort
+    // (first-committer-wins inside the engine).
+    s.execute("SELECT bal FROM acc WHERE id = 3").unwrap();
+    {
+        let mut rival = c.session(0);
+        rival.execute("UPDATE acc SET bal = bal + 7 WHERE id = 3").unwrap();
+        rival.commit().unwrap();
+        update_commits += 1;
+    }
+    let err = s.execute("UPDATE acc SET bal = bal + 9 WHERE id = 3").unwrap_err();
+    assert!(err.is_abort(), "stale write should abort, got {err:?}");
+
+    assert!(c.quiesce(Q), "cluster failed to drain");
+    let report = c.metrics();
+
+    // ClusterReport derefs to Metrics, so counter reads go straight through.
+    let begins = Metrics::get(&report.begins_total);
+    let terminal = Metrics::get(&report.commits_update)
+        + Metrics::get(&report.commits_readonly)
+        + Metrics::get(&report.aborts_validation)
+        + Metrics::get(&report.aborts_serialization)
+        + Metrics::get(&report.aborts_deadlock)
+        + Metrics::get(&report.aborts_user);
+    assert_eq!(
+        begins,
+        terminal,
+        "begins_total must equal the sum of terminal outcomes \
+         (summary: {})",
+        report.summary()
+    );
+
+    assert_eq!(Metrics::get(&report.commits_update), update_commits);
+    assert_eq!(Metrics::get(&report.commits_readonly), 3);
+    assert_eq!(Metrics::get(&report.aborts_user), 2);
+    assert_eq!(Metrics::get(&report.aborts_serialization), 1);
+
+    // The derived-rates bundle is consistent with the raw counters: no
+    // forced aborts besides the serialization failure occurred.
+    let rates = report.rates();
+    assert!(rates.abort_rate > 0.0 && rates.abort_rate < 0.2);
+    assert_eq!(rates.ws_discard_rate, 0.0);
+}
+
+/// A committed update transaction leaves a sample in every lifecycle stage
+/// it passes through: execute/ws-extract/deliver/validate/commit/total on
+/// the origin, deliver/validate/apply/commit on the remote replica.
+#[cfg(feature = "trace")]
+#[test]
+fn committed_txns_mark_every_stage() {
+    let c = cluster(2);
+    let updates = 20 + seed_rows(&c, 8);
+    let readonly = 4u64;
+
+    let mut s = c.session(0);
+    for i in 0..20 {
+        s.execute(&format!("UPDATE acc SET bal = bal + 1 WHERE id = {}", i % 8)).unwrap();
+        s.commit().unwrap();
+    }
+    for _ in 0..readonly {
+        s.execute("SELECT COUNT(id) FROM acc").unwrap();
+        s.commit().unwrap();
+    }
+    assert!(c.quiesce(Q), "cluster failed to drain");
+
+    let report = c.metrics();
+    let origin = &report.per_node[0].stages;
+    let remote = &report.per_node[1].stages;
+
+    // Origin replica: the full local lifecycle. Read-only commits skip the
+    // writeset stages but still mark execute/commit/total.
+    assert_eq!(origin.count(Stage::Execute), updates + readonly);
+    assert_eq!(origin.count(Stage::WsExtract), updates);
+    assert_eq!(origin.count(Stage::GcsDeliver), updates);
+    assert_eq!(origin.count(Stage::ValidateQueue), updates);
+    assert_eq!(origin.count(Stage::Commit), updates + readonly);
+    assert_eq!(origin.count(Stage::Total), updates + readonly);
+    assert_eq!(origin.count(Stage::Apply), 0, "origin never remote-applies its own writesets");
+
+    // Remote replica: the applier-side lifecycle, one sample per writeset.
+    assert_eq!(remote.count(Stage::GcsDeliver), updates);
+    assert_eq!(remote.count(Stage::ValidateQueue), updates);
+    assert_eq!(remote.count(Stage::Apply), updates);
+    assert_eq!(remote.count(Stage::Commit), updates);
+    assert_eq!(remote.count(Stage::Execute), 0);
+    assert_eq!(remote.count(Stage::Total), 0, "total is a client-side latency");
+
+    // The merged cluster-wide snapshot is the per-node sum.
+    assert_eq!(report.stages.count(Stage::Commit), 2 * updates + readonly);
+    assert!(!report.stages.is_empty());
+    // And the human-readable table renders a line per stage with samples.
+    let table = report.breakdown_table();
+    assert!(table.contains("apply") && table.contains("execute"), "table:\n{table}");
+}
+
+/// Stage offsets recorded by a trace are monotone in lifecycle order: a
+/// later stage never reports an earlier completion time.
+#[cfg(feature = "trace")]
+#[test]
+fn trace_offsets_are_monotone_and_complete() {
+    let mut t = TxTrace::start();
+    for stage in Stage::ALL {
+        t.mark(stage);
+    }
+    let t = t.finish();
+    assert!(t.has_all(&Stage::ALL), "every marked stage must be present");
+    let mut last = 0u64;
+    for stage in Stage::ALL {
+        let off = t.offset_ns(stage).expect("marked stage has an offset");
+        assert!(off >= last, "{} regressed: {off} < {last}", stage.name());
+        last = off;
+        // Per-stage latency is the gap to the latest earlier mark — never
+        // negative, never missing once the stage is marked.
+        assert!(t.stage_ns(stage).is_some());
+    }
+}

@@ -38,9 +38,11 @@ fn script_strategy() -> impl Strategy<Value = Script> {
 }
 
 fn run_scripts(replicas: usize, scripts: Vec<Script>) {
-    let mut cfg = ClusterConfig::test(replicas);
-    cfg.mode = ReplicationMode::SrcaRep;
-    cfg.track_history = true;
+    let cfg = ClusterConfig::builder()
+        .replicas(replicas)
+        .mode(ReplicationMode::SrcaRep)
+        .track_history(true)
+        .build();
     let cluster = Arc::new(Cluster::new(cfg));
     cluster.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
     {
@@ -72,9 +74,7 @@ fn run_scripts(replicas: usize, scripts: Vec<Script>) {
                                 s.execute(&format!("SELECT v FROM kv WHERE k = {k}"))?;
                             }
                             for k in writes {
-                                s.execute(&format!(
-                                    "UPDATE kv SET v = v + 1 WHERE k = {k}"
-                                ))?;
+                                s.execute(&format!("UPDATE kv SET v = v + 1 WHERE k = {k}"))?;
                             }
                         }
                     }

@@ -13,7 +13,7 @@ use std::time::Duration;
 const Q: Duration = Duration::from_secs(20);
 
 fn cluster(n: usize) -> Arc<Cluster> {
-    let c = Arc::new(Cluster::new(ClusterConfig::test(n)));
+    let c = Arc::new(Cluster::new(ClusterConfig::builder().replicas(n).build()));
     c.execute_ddl("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))").unwrap();
     let mut s = c.session(0);
     for k in 0..10 {
