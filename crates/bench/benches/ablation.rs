@@ -128,4 +128,5 @@ fn main() {
 
     bench::print_table("Ablations: appliers / GCS latency / hole sync / indexes", &results);
     bench::write_csv("ablation", &results).expect("write csv");
+    bench::write_json("ablation", &results).expect("write json");
 }

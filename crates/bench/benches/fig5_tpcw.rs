@@ -85,4 +85,5 @@ fn main() {
         100.0 * abort_rate
     );
     bench::write_csv("fig5_tpcw", &results).expect("write csv");
+    bench::write_json("fig5_tpcw", &results).expect("write json");
 }

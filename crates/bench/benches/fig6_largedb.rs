@@ -83,4 +83,5 @@ fn main() {
         &results,
     );
     bench::write_csv("fig6_largedb", &results).expect("write csv");
+    bench::write_json("fig6_largedb", &results).expect("write json");
 }

@@ -114,4 +114,5 @@ fn main() {
         println!("  {load:>5} tps: {:.1}% of begins delayed by holes", 100.0 * rate);
     }
     bench::write_csv("fig7_update_intensive", &results).expect("write csv");
+    bench::write_json("fig7_update_intensive", &results).expect("write json");
 }

@@ -77,6 +77,15 @@ fn main() {
     print!("{}", local.breakdown_table());
     println!("\nper-stage breakdown, remote replica (wall ms):");
     print!("{}", remote.breakdown_table());
+    bench::write_json_str(
+        "writeset_cost",
+        &format!(
+            "{{\"bench\":\"writeset_cost\",\"iterations\":{iterations},\
+             \"exec_median_wall_ms\":{exec_ms:.4},\"apply_median_wall_ms\":{apply_ms:.4},\
+             \"apply_over_exec_ratio\":{ratio:.4},\"paper_claim\":0.20}}"
+        ),
+    )
+    .expect("write json");
     assert!(
         (0.10..0.45).contains(&ratio),
         "ratio {ratio} far outside the paper's regime — cost model drifted"

@@ -177,6 +177,81 @@ pub fn write_csv(name: &str, results: &[RunResult]) -> std::io::Result<()> {
     Ok(())
 }
 
+/// A finite float for JSON, or `null` (JSON has no NaN/Infinity).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One [`RunResult`] as a JSON object: identity, throughput, abort rates,
+/// response-time quantiles, and the per-stage lifecycle latency breakdown
+/// (p50/p95/p99 wall ms — empty object when tracing is compiled out).
+pub fn result_json(r: &RunResult) -> String {
+    use std::fmt::Write as _;
+    let mut stages = String::new();
+    for stage in sirep_common::Stage::ALL {
+        let count = r.stages.count(stage);
+        if count == 0 {
+            continue;
+        }
+        if !stages.is_empty() {
+            stages.push(',');
+        }
+        let _ = write!(
+            stages,
+            "\"{}\":{{\"count\":{count},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"overflow\":{}}}",
+            stage.name(),
+            json_num(r.stages.quantile(stage, 0.5)),
+            json_num(r.stages.quantile(stage, 0.95)),
+            json_num(r.stages.quantile(stage, 0.99)),
+            r.stages.overflow(stage)
+        );
+    }
+    format!(
+        "{{\"system\":\"{}\",\"workload\":\"{}\",\"target_tps\":{},\"achieved_tps\":{},\
+         \"committed\":{},\"forced_aborts\":{},\"given_up\":{},\"abort_rate\":{},\
+         \"update_rt_ms\":{{\"mean\":{},\"p95\":{},\"p99\":{}}},\
+         \"readonly_rt_ms\":{{\"mean\":{},\"p95\":{},\"p99\":{}}},\
+         \"stages\":{{{stages}}}}}",
+        r.system,
+        r.workload,
+        json_num(r.target_tps),
+        json_num(r.achieved_tps),
+        r.committed,
+        r.forced_aborts,
+        r.given_up,
+        json_num(r.abort_rate()),
+        json_num(r.update_rt.mean()),
+        json_num(r.update_hist.quantile(0.95)),
+        json_num(r.update_hist.quantile(0.99)),
+        json_num(r.readonly_rt.mean()),
+        json_num(r.readonly_hist.quantile(0.95)),
+        json_num(r.readonly_hist.quantile(0.99)),
+    )
+}
+
+/// Write a machine-readable summary of a figure run to
+/// `results/BENCH_<name>.json`.
+pub fn write_json(name: &str, results: &[RunResult]) -> std::io::Result<()> {
+    let rows: Vec<String> = results.iter().map(result_json).collect();
+    write_json_str(name, &format!("{{\"bench\":\"{name}\",\"results\":[{}]}}", rows.join(",")))
+}
+
+/// Write an arbitrary pre-rendered JSON document to
+/// `results/BENCH_<name>.json` (for benches whose shape doesn't fit
+/// [`write_json`], e.g. the T-2 writeset-cost ratio).
+pub fn write_json_str(name: &str, json: &str) -> std::io::Result<()> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +273,35 @@ mod tests {
         assert_eq!(t.first(), Some(&1.0));
         assert_eq!(t.last(), Some(&5.0));
         std::env::remove_var("SIREP_QUICK");
+    }
+
+    #[test]
+    fn result_json_is_well_formed() {
+        let mut update_rt = sirep_common::OnlineStats::new();
+        update_rt.record(12.0);
+        let r = RunResult {
+            system: "srca-rep-5".into(),
+            workload: "tpcw".into(),
+            target_tps: 50.0,
+            achieved_tps: 48.7,
+            update_rt,
+            readonly_rt: sirep_common::OnlineStats::new(),
+            update_hist: sirep_common::Histogram::new(),
+            readonly_hist: sirep_common::Histogram::new(),
+            committed: 100,
+            forced_aborts: 3,
+            given_up: 0,
+            metrics: sirep_common::Metrics::new(),
+            stages: Default::default(),
+        };
+        let json = result_json(&r);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"system\":\"srca-rep-5\""));
+        assert!(json.contains("\"achieved_tps\":48.7000"));
+        assert!(json.contains("\"update_rt_ms\":{\"mean\":12.0000"));
+        // NaN quantiles of the empty read-only histogram must become null.
+        assert!(!json.contains("NaN"));
+        assert!(json.contains("\"stages\":{"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub struct Histogram {
     /// bucket i covers [BASE * GROWTH^i, BASE * GROWTH^(i+1))
     counts: Vec<u64>,
     underflow: u64,
+    overflow: u64,
     total: u64,
 }
 
@@ -18,17 +19,27 @@ const BASE: f64 = 1e-3; // smallest tracked value
 const BUCKETS: usize = 448; // covers 1e-3 .. ~1e4 with 64 buckets/decade
 const GROWTH: f64 = 1.0366329284377976; // 10^(1/64)
 
+enum Bucket {
+    Under,
+    In(usize),
+    Over,
+}
+
 impl Histogram {
     pub fn new() -> Self {
-        Histogram { counts: vec![0; BUCKETS], underflow: 0, total: 0 }
+        Histogram { counts: vec![0; BUCKETS], underflow: 0, overflow: 0, total: 0 }
     }
 
-    fn bucket_of(value: f64) -> Option<usize> {
+    fn bucket_of(value: f64) -> Bucket {
         if value < BASE {
-            return None;
+            return Bucket::Under;
         }
         let idx = (value / BASE).log(GROWTH).floor() as usize;
-        Some(idx.min(BUCKETS - 1))
+        if idx >= BUCKETS {
+            Bucket::Over
+        } else {
+            Bucket::In(idx)
+        }
     }
 
     /// Lower bound of bucket `i`.
@@ -40,8 +51,9 @@ impl Histogram {
         debug_assert!(value.is_finite() && value >= 0.0);
         self.total += 1;
         match Self::bucket_of(value) {
-            Some(i) => self.counts[i] += 1,
-            None => self.underflow += 1,
+            Bucket::In(i) => self.counts[i] += 1,
+            Bucket::Under => self.underflow += 1,
+            Bucket::Over => self.overflow += 1,
         }
     }
 
@@ -50,11 +62,24 @@ impl Histogram {
             *a += b;
         }
         self.underflow += other.underflow;
+        self.overflow += other.overflow;
         self.total += other.total;
     }
 
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Samples below [`BASE`] (reported as 0 by quantiles).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the tracked range (~1e4). Quantiles landing here
+    /// report the range's upper edge — check this counter to know a tail
+    /// quantile is a lower bound rather than an estimate.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// Approximate quantile `q` in [0, 1]; returns the lower edge of the
@@ -75,7 +100,9 @@ impl Histogram {
                 return Self::bucket_low(i);
             }
         }
-        Self::bucket_low(BUCKETS - 1)
+        // The target lands among overflow samples: report the upper edge of
+        // the tracked range (the true value is at least this large).
+        Self::bucket_low(BUCKETS)
     }
 
     pub fn median(&self) -> f64 {
@@ -139,10 +166,41 @@ mod tests {
     }
 
     #[test]
-    fn huge_values_clamp_to_last_bucket() {
+    fn huge_values_count_as_overflow() {
         let mut h = Histogram::new();
         h.record(1e12);
-        assert!(h.quantile(1.0).is_finite());
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.count(), 1);
+        // The quantile is still finite — the upper edge of the tracked
+        // range, flagged as a lower bound by the overflow counter.
+        let q = h.quantile(1.0);
+        assert!(q.is_finite() && q >= 9e3, "q = {q}");
+    }
+
+    #[test]
+    fn overflow_does_not_distort_in_range_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=99 {
+            h.record(i as f64);
+        }
+        h.record(1e9); // one stray overflow sample
+        let med = h.median();
+        assert!((med - 50.0).abs() / 50.0 < 0.08, "median {med}");
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn merge_sums_overflow() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1e11);
+        b.record(1e11);
+        b.record(0.0);
+        a.merge(&b);
+        assert_eq!(a.overflow(), 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.count(), 3);
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! Protocol event journal: a bounded, append-only ring of typed events.
+//!
+//! Where [`crate::trace`] answers *"where did this transaction's time go?"*,
+//! the journal answers *"what did the protocol do, in what order?"* — every
+//! replica keeps a fixed-capacity ring of [`Event`]s (begin, certification
+//! capture, multicast, total-order delivery, validation verdict, hole
+//! open/close, ws_list prune, commit/abort, apply, view change), each stamped
+//! with the source replica, a per-replica sequence number, and a nanosecond
+//! offset from a shared epoch so timelines from different replicas align.
+//!
+//! The ring is deliberately lossy: once `capacity` events are held, the
+//! oldest is dropped and [`Journal::dropped`] counts it.  Recording is one
+//! short mutex hold with no allocation ([`Event`] is `Copy`), cheap enough
+//! for the hot commit path; consumers take a point-in-time [`snapshot`]
+//! (oldest first) and render it — see the Perfetto exporter in
+//! `sirep_core::export` — or feed it to the online auditor.
+//!
+//! Like the rest of the observability layer, the whole module is gated on
+//! the default-on `trace` feature: with `--no-default-features` the journal
+//! becomes a no-op with the same API and every call site compiles away.
+//!
+//! [`snapshot`]: Journal::snapshot
+
+use crate::ids::{GlobalTid, ReplicaId};
+#[cfg(feature = "trace")]
+use parking_lot::Mutex;
+#[cfg(feature = "trace")]
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Instant;
+
+/// Cross-crate transaction reference: the originating replica plus the
+/// origin-local sequence number.  Mirrors the core crate's `XactId` (which
+/// this crate cannot see) so journal events stay dependency-light.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxRef {
+    pub origin: ReplicaId,
+    pub seq: u64,
+}
+
+impl TxRef {
+    pub fn new(origin: ReplicaId, seq: u64) -> TxRef {
+        TxRef { origin, seq }
+    }
+}
+
+impl fmt::Display for TxRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.origin, self.seq)
+    }
+}
+
+/// A typed protocol event. Variants follow one writeset through the SRCA-Rep
+/// pipeline, plus the protocol-state events (holes, pruning, membership)
+/// that the paper's §4 adjustments revolve around.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A local transaction began (after any hole wait — adjustment 3).
+    TxBegin { xact: TxRef },
+    /// Commit requested: the certification watermark (`ws_list.last_tid`)
+    /// was captured under the state lock.
+    CertCapture { xact: TxRef, cert: GlobalTid },
+    /// The writeset was handed to the total-order multicast.
+    Multicast { xact: TxRef },
+    /// The writeset came back in total order.
+    TotalOrderDeliver { xact: TxRef, cert: GlobalTid },
+    /// Certification outcome: `tid` is the dense global commit id assigned
+    /// on a pass, `None` on a validation abort.
+    ValidationVerdict { xact: TxRef, tid: Option<GlobalTid>, passed: bool },
+    /// A commit-order hole opened: `tid` committed ahead of a smaller
+    /// validated-but-uncommitted tid.
+    HoleOpened { tid: GlobalTid },
+    /// The last open hole drained; local begins may proceed again.
+    HoleClosed { tid: GlobalTid },
+    /// The certification list was pruned up to `watermark`.
+    WsListPruned { watermark: GlobalTid, removed: u64 },
+    /// The transaction committed at this replica with global id `tid`.
+    Commit { xact: TxRef, tid: GlobalTid },
+    /// The transaction aborted at this replica (validation or local).
+    Abort { xact: TxRef },
+    /// A remote writeset started applying at this replica.
+    ApplyStart { xact: TxRef, tid: GlobalTid },
+    /// A remote writeset finished applying at this replica.
+    ApplyDone { xact: TxRef, tid: GlobalTid },
+    /// Membership changed; `members` live replicas remain.
+    ViewChange { members: u64 },
+    /// A driver connection failed over to this replica after `from`
+    /// crashed (§5.4 automatic failover).
+    ClientFailover { from: ReplicaId },
+}
+
+impl EventKind {
+    /// Stable lowercase name (Perfetto event names, Prometheus labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TxBegin { .. } => "tx_begin",
+            EventKind::CertCapture { .. } => "cert_capture",
+            EventKind::Multicast { .. } => "multicast",
+            EventKind::TotalOrderDeliver { .. } => "total_order_deliver",
+            EventKind::ValidationVerdict { .. } => "validation_verdict",
+            EventKind::HoleOpened { .. } => "hole_opened",
+            EventKind::HoleClosed { .. } => "hole_closed",
+            EventKind::WsListPruned { .. } => "ws_list_pruned",
+            EventKind::Commit { .. } => "commit",
+            EventKind::Abort { .. } => "abort",
+            EventKind::ApplyStart { .. } => "apply_start",
+            EventKind::ApplyDone { .. } => "apply_done",
+            EventKind::ViewChange { .. } => "view_change",
+            EventKind::ClientFailover { .. } => "client_failover",
+        }
+    }
+
+    /// The transaction this event concerns, when it concerns one.
+    pub fn xact(&self) -> Option<TxRef> {
+        match *self {
+            EventKind::TxBegin { xact }
+            | EventKind::CertCapture { xact, .. }
+            | EventKind::Multicast { xact }
+            | EventKind::TotalOrderDeliver { xact, .. }
+            | EventKind::ValidationVerdict { xact, .. }
+            | EventKind::Commit { xact, .. }
+            | EventKind::Abort { xact }
+            | EventKind::ApplyStart { xact, .. }
+            | EventKind::ApplyDone { xact, .. } => Some(xact),
+            EventKind::HoleOpened { .. }
+            | EventKind::HoleClosed { .. }
+            | EventKind::WsListPruned { .. }
+            | EventKind::ViewChange { .. }
+            | EventKind::ClientFailover { .. } => None,
+        }
+    }
+}
+
+/// One journal record: what happened, where, and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Per-replica sequence number, dense from 0 (gaps only via `dropped`).
+    pub seq: u64,
+    /// Nanoseconds since the journal's epoch (shared cluster-wide so events
+    /// from different replicas sort onto one timeline).
+    pub at_ns: u64,
+    /// The replica that recorded the event.
+    pub replica: ReplicaId,
+    pub kind: EventKind,
+}
+
+/// Default ring capacity: enough for ~1k transactions' worth of events.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 8192;
+
+// ======================================================================
+// Real implementation (`trace` feature on — the default).
+// ======================================================================
+
+/// Bounded append-only ring of protocol [`Event`]s for one replica.
+#[cfg(feature = "trace")]
+#[derive(Debug)]
+pub struct Journal {
+    replica: ReplicaId,
+    epoch: Instant,
+    inner: Mutex<Ring>,
+}
+
+#[cfg(feature = "trace")]
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<Event>,
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+#[cfg(feature = "trace")]
+impl Journal {
+    /// A journal with its own epoch (= now) and the default capacity.
+    pub fn new(replica: ReplicaId) -> Journal {
+        Journal::with_epoch(replica, Instant::now(), DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A journal stamping events relative to a shared `epoch` — pass the
+    /// same instant to every replica's journal and their snapshots merge
+    /// onto one timeline.
+    pub fn with_epoch(replica: ReplicaId, epoch: Instant, capacity: usize) -> Journal {
+        let cap = capacity.max(1);
+        Journal {
+            replica,
+            epoch,
+            inner: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(cap),
+                cap,
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Append an event stamped now.
+    pub fn record(&self, kind: EventKind) {
+        let at_ns = self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let mut ring = self.inner.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(Event { seq, at_ns, replica: self.replica, kind });
+    }
+
+    /// Point-in-time copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().buf.iter().copied().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().cap
+    }
+
+    /// The replica this journal records for.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+}
+
+// ======================================================================
+// No-op implementation (`trace` feature off): same API, zero cost.
+// ======================================================================
+
+/// No-op journal: the `trace` feature is off, recording compiles away.
+#[cfg(not(feature = "trace"))]
+#[derive(Debug)]
+pub struct Journal {
+    replica: ReplicaId,
+}
+
+#[cfg(not(feature = "trace"))]
+impl Journal {
+    #[inline(always)]
+    pub fn new(replica: ReplicaId) -> Journal {
+        Journal { replica }
+    }
+    #[inline(always)]
+    pub fn with_epoch(replica: ReplicaId, _epoch: Instant, _capacity: usize) -> Journal {
+        Journal { replica }
+    }
+    #[inline(always)]
+    pub fn record(&self, _kind: EventKind) {}
+    #[inline(always)]
+    pub fn snapshot(&self) -> Vec<Event> {
+        Vec::new()
+    }
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        0
+    }
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        true
+    }
+    #[inline(always)]
+    pub fn dropped(&self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    pub fn capacity(&self) -> usize {
+        0
+    }
+    #[inline(always)]
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+
+    fn r(k: u64) -> ReplicaId {
+        ReplicaId::new(k)
+    }
+
+    #[test]
+    fn events_are_sequenced_and_stamped() {
+        let j = Journal::new(r(3));
+        let a = TxRef::new(r(3), 1);
+        j.record(EventKind::TxBegin { xact: a });
+        j.record(EventKind::CertCapture { xact: a, cert: GlobalTid::ZERO });
+        j.record(EventKind::Commit { xact: a, tid: GlobalTid::new(1) });
+        let snap = j.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].seq, 0);
+        assert_eq!(snap[2].seq, 2);
+        assert!(snap.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert!(snap.iter().all(|e| e.replica == r(3)));
+        assert_eq!(snap[0].kind.xact(), Some(a));
+        assert_eq!(snap[0].kind.name(), "tx_begin");
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let j = Journal::with_epoch(r(0), Instant::now(), 4);
+        for seq in 0..10 {
+            j.record(EventKind::TxBegin { xact: TxRef::new(r(0), seq) });
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.dropped(), 6);
+        let snap = j.snapshot();
+        // The survivors are the newest four, sequence numbers intact.
+        assert_eq!(snap.first().unwrap().seq, 6);
+        assert_eq!(snap.last().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn shared_epoch_aligns_replicas() {
+        let epoch = Instant::now();
+        let j0 = Journal::with_epoch(r(0), epoch, 16);
+        let j1 = Journal::with_epoch(r(1), epoch, 16);
+        j0.record(EventKind::ViewChange { members: 2 });
+        j1.record(EventKind::ViewChange { members: 2 });
+        let a = j0.snapshot()[0].at_ns;
+        let b = j1.snapshot()[0].at_ns;
+        // Recorded back-to-back against one epoch: within a second for sure.
+        assert!(a.abs_diff(b) < 1_000_000_000, "{a} vs {b}");
+    }
+
+    #[test]
+    fn state_events_carry_no_xact() {
+        let e = EventKind::WsListPruned { watermark: GlobalTid::new(7), removed: 3 };
+        assert_eq!(e.xact(), None);
+        assert_eq!(e.name(), "ws_list_pruned");
+    }
+}

@@ -17,11 +17,17 @@
 //! - [`trace`]: transaction-lifecycle tracing — per-stage latency
 //!   breakdowns across the replication pipeline (compiled out when the
 //!   `trace` cargo feature is disabled).
+//! - [`journal`]: bounded ring of typed protocol events per replica
+//!   (feature-gated like [`trace`]).
+//! - [`gauges`]: current-value telemetry with high-water marks for the
+//!   protocol's queue depths (feature-gated like [`trace`]).
 
 pub mod clock;
 pub mod error;
+pub mod gauges;
 pub mod histogram;
 pub mod ids;
+pub mod journal;
 pub mod metrics;
 pub mod stats;
 pub mod sync;
@@ -29,8 +35,10 @@ pub mod trace;
 
 pub use clock::{precise_sleep, TimeScale};
 pub use error::{AbortReason, DbError};
+pub use gauges::{Gauge, GaugeReading, GaugeSnapshot, ProtocolGauges};
 pub use histogram::Histogram;
 pub use ids::{ClientId, GlobalTid, MemberId, ReplicaId, SessionId, TxnId};
+pub use journal::{Event, EventKind, Journal, TxRef, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{Metrics, Rates};
 pub use stats::{ConfidenceInterval, OnlineStats};
 pub use sync::Semaphore;

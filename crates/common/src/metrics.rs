@@ -128,6 +128,26 @@ impl Metrics {
         );
     }
 
+    /// All counters as stable (name, value) pairs, in declaration order —
+    /// the single source of truth for renderers (Prometheus, JSON) so a new
+    /// counter can't be silently missing from exports.
+    pub fn counters(&self) -> [(&'static str, u64); 12] {
+        [
+            ("commits_update", Self::get(&self.commits_update)),
+            ("commits_readonly", Self::get(&self.commits_readonly)),
+            ("aborts_validation", Self::get(&self.aborts_validation)),
+            ("aborts_serialization", Self::get(&self.aborts_serialization)),
+            ("aborts_deadlock", Self::get(&self.aborts_deadlock)),
+            ("aborts_user", Self::get(&self.aborts_user)),
+            ("ws_apply_retries", Self::get(&self.ws_apply_retries)),
+            ("begins_delayed_by_holes", Self::get(&self.begins_delayed_by_holes)),
+            ("begins_total", Self::get(&self.begins_total)),
+            ("commits_delayed_for_holes", Self::get(&self.commits_delayed_for_holes)),
+            ("ws_delivered", Self::get(&self.ws_delivered)),
+            ("ws_discarded", Self::get(&self.ws_discarded)),
+        ]
+    }
+
     /// One-line human-readable summary for harness output.
     pub fn summary(&self) -> String {
         format!(

@@ -272,6 +272,12 @@ impl StageSnapshot {
         self.hists[stage as usize].median()
     }
 
+    /// Samples for `stage` beyond the histogram's tracked range — tail
+    /// quantiles for the stage are lower bounds when this is non-zero.
+    pub fn overflow(&self, stage: Stage) -> u64 {
+        self.hists[stage as usize].overflow()
+    }
+
     /// Merge another snapshot into this one.
     pub fn merge(&mut self, other: &StageSnapshot) {
         for stage in Stage::ALL {
@@ -391,6 +397,9 @@ impl StageSnapshot {
     }
     pub fn median(&self, _stage: Stage) -> f64 {
         f64::NAN
+    }
+    pub fn overflow(&self, _stage: Stage) -> u64 {
+        0
     }
     pub fn merge(&mut self, _other: &StageSnapshot) {}
     pub fn is_empty(&self) -> bool {

@@ -1,11 +1,15 @@
 //! Cluster assembly: N middleware/database replica pairs over one group.
 
+use crate::audit::{AuditViolation, Auditor};
 use crate::model::{ReplicatedExecution, TxSpec};
 use crate::msg::{ReplMsg, XactId};
 use crate::node::{MemberRegistry, NodeStatus, ReplicaNode, ReplicationMode};
 use crate::session::Session;
 use parking_lot::{Mutex, RwLock};
-use sirep_common::{DbError, MemberId, Metrics, ReplicaId, StageSnapshot};
+use sirep_common::{
+    DbError, Event, GaugeSnapshot, Journal, MemberId, Metrics, ReplicaId, StageSnapshot,
+    DEFAULT_JOURNAL_CAPACITY,
+};
 use sirep_gcs::{Group, GroupConfig};
 use sirep_storage::{CostModel, Database};
 use std::collections::{BTreeMap, HashMap};
@@ -28,6 +32,9 @@ pub struct ClusterConfig {
     pub track_history: bool,
     /// Outcome-log capacity for in-doubt resolution.
     pub outcome_cap: usize,
+    /// Run the online 1-copy-SI auditor (on by default; a no-op without the
+    /// `trace` feature).
+    pub audit: bool,
 }
 
 impl ClusterConfig {
@@ -54,6 +61,7 @@ impl Default for ClusterConfig {
             appliers: 2,
             track_history: false,
             outcome_cap: 1 << 16,
+            audit: true,
         }
     }
 }
@@ -116,6 +124,12 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Enable/disable the online 1-copy-SI auditor.
+    pub fn audit(mut self, on: bool) -> Self {
+        self.cfg.audit = on;
+        self
+    }
+
     pub fn build(self) -> ClusterConfig {
         self.cfg
     }
@@ -132,6 +146,12 @@ pub struct ClusterReport {
     pub metrics: Metrics,
     /// Per-stage latency histograms merged over all replicas.
     pub stages: StageSnapshot,
+    /// Queue-depth gauges rolled up over all replicas (currents summed,
+    /// high-water marks maxed).
+    pub gauges: GaugeSnapshot,
+    /// Invariant violations the online 1-copy-SI auditor has recorded
+    /// (always empty on a correct run — the test suites assert this).
+    pub violations: Vec<AuditViolation>,
     /// One status snapshot per replica, in replica-id order.
     pub per_node: Vec<NodeStatus>,
 }
@@ -149,6 +169,12 @@ impl ClusterReport {
     pub fn breakdown_table(&self) -> String {
         self.stages.breakdown_table()
     }
+
+    /// Prometheus text exposition of the whole report
+    /// ([`crate::export::prometheus_text`]).
+    pub fn prometheus_text(&self) -> String {
+        crate::export::prometheus_text(self)
+    }
 }
 
 /// A running cluster. Dropping it shuts every replica down.
@@ -164,15 +190,21 @@ pub struct Cluster {
     member_of: Mutex<HashMap<usize, MemberId>>,
     /// Times each replica id has re-joined after a crash.
     rejoins: Mutex<HashMap<usize, u64>>,
+    /// Shared journal epoch so every replica's events land on one timeline.
+    epoch: Instant,
+    /// The cluster-wide online 1-copy-SI auditor.
+    auditor: Arc<Auditor>,
 }
 
 impl Cluster {
     pub fn new(config: ClusterConfig) -> Cluster {
         assert!(config.replicas > 0, "a cluster needs at least one replica");
         let group: Group<ReplMsg> = Group::new(config.gcs.clone());
-        let initial_view: Vec<ReplicaId> =
-            (0..config.replicas as u64).map(ReplicaId::new).collect();
         let registry: MemberRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let epoch = Instant::now();
+        // Hole synchronization is only promised under SRCA-Rep — SRCA-Opt
+        // deliberately forgoes it, so the auditor must not flag it there.
+        let auditor = Arc::new(Auditor::new(config.audit, config.mode == ReplicationMode::SrcaRep));
         let mut member_of = HashMap::new();
         let mut nodes = Vec::with_capacity(config.replicas);
         let mut threads = Vec::new();
@@ -189,12 +221,13 @@ impl Cluster {
                 db,
                 member.handle(),
                 config.mode,
-                initial_view.clone(),
                 config.outcome_cap,
                 config.track_history,
                 Arc::clone(&registry),
                 0,
                 None,
+                Journal::with_epoch(ReplicaId::new(k as u64), epoch, DEFAULT_JOURNAL_CAPACITY),
+                Arc::clone(&auditor),
             );
             {
                 let n = Arc::clone(&node);
@@ -214,6 +247,8 @@ impl Cluster {
             registry,
             member_of: Mutex::new(member_of),
             rejoins: Mutex::new(HashMap::new()),
+            epoch,
+            auditor,
         }
     }
 
@@ -343,12 +378,13 @@ impl Cluster {
             db,
             member.handle(),
             self.config.mode,
-            self.view_replicas(),
             self.config.outcome_cap,
             self.config.track_history,
             Arc::clone(&self.registry),
             incarnation,
             Some(bootstrap),
+            Journal::with_epoch(ReplicaId::new(k as u64), self.epoch, DEFAULT_JOURNAL_CAPACITY),
+            Arc::clone(&self.auditor),
         );
         {
             let n = Arc::clone(&node);
@@ -362,15 +398,6 @@ impl Cluster {
         Ok(())
     }
 
-    fn view_replicas(&self) -> Vec<ReplicaId> {
-        let reg = self.registry.lock();
-        let mut v: Vec<ReplicaId> =
-            self.group.view().members.iter().filter_map(|m| reg.get(&m.raw()).copied()).collect();
-        v.sort();
-        v.dedup();
-        v
-    }
-
     /// Aggregated observability report: cluster-wide counters, merged
     /// stage-latency histograms, and per-replica status snapshots. Derefs
     /// to [`Metrics`] for counter access.
@@ -378,14 +405,41 @@ impl Cluster {
         let nodes = self.nodes.read().clone();
         let metrics = Metrics::new();
         let mut stages = StageSnapshot::default();
+        let mut gauges = GaugeSnapshot::default();
         let mut per_node = Vec::with_capacity(nodes.len());
         for n in &nodes {
             let status = n.status();
             metrics.merge(&status.metrics);
             stages.merge(&status.stages);
+            gauges.absorb(&status.gauges);
             per_node.push(status);
         }
-        ClusterReport { metrics, stages, per_node }
+        // Every node reports the same group-wide in-flight gauge, so the
+        // absorb above over-counts it |nodes| times — read it once instead.
+        gauges.gcs_in_flight = self.group.in_flight();
+        ClusterReport { metrics, stages, gauges, violations: self.auditor.violations(), per_node }
+    }
+
+    /// Violations the online 1-copy-SI auditor has recorded so far.
+    pub fn audit_violations(&self) -> Vec<AuditViolation> {
+        self.auditor.violations()
+    }
+
+    /// True while the auditor has recorded no violation (lock-free).
+    pub fn audit_is_clean(&self) -> bool {
+        self.auditor.is_clean()
+    }
+
+    /// Snapshot of every replica's protocol event journal, in replica
+    /// order (empty vectors without the `trace` feature).
+    pub fn journal_events(&self) -> Vec<(ReplicaId, Vec<Event>)> {
+        self.nodes.read().iter().map(|n| (n.id(), n.journal.snapshot())).collect()
+    }
+
+    /// Render all journals as a Chrome-Trace/Perfetto JSON document
+    /// ([`crate::export::perfetto_trace_json`]).
+    pub fn perfetto_json(&self) -> String {
+        crate::export::perfetto_trace_json(&self.journal_events())
     }
 
     /// Wait until all in-flight replication work has drained (queues empty,

@@ -1,0 +1,276 @@
+//! Renderers for the observability layer: Chrome-Trace/Perfetto JSON from
+//! the protocol event journals, and Prometheus text exposition from a
+//! [`ClusterReport`].
+//!
+//! Both are hand-rolled string builders — the workspace has no JSON
+//! dependency, and both formats are line/array-oriented enough that a
+//! serializer would buy nothing. Every string that reaches the output comes
+//! from a `Display` impl or a `name()` table under our control (no client
+//! data), so no escaping is needed.
+
+use crate::cluster::ClusterReport;
+use sirep_common::{Event, EventKind, ReplicaId, Stage};
+use std::fmt::Write as _;
+
+/// Render per-replica journals as one Chrome Trace Event Format document —
+/// load it at `ui.perfetto.dev` or `chrome://tracing`.
+///
+/// Layout: one "process" per replica (pid = replica id). Track 0 carries an
+/// instant event per journal record; track 1 carries transaction spans
+/// (begin → commit/abort at the same replica); track 2 carries writeset
+/// application spans (apply_start → apply_done). Timestamps are
+/// microseconds from the journals' shared epoch, so replicas align.
+pub fn perfetto_trace_json(journals: &[(ReplicaId, Vec<Event>)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&s);
+    };
+    for (replica, _) in journals {
+        emit(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"replica {}\"}}}}",
+                replica.raw(),
+                replica
+            ),
+            &mut out,
+        );
+    }
+    // Open spans keyed by (replica, xact): value is the start ts in µs.
+    let mut tx_open: Vec<((u64, sirep_common::TxRef), f64)> = Vec::new();
+    let mut apply_open: Vec<((u64, sirep_common::TxRef), f64)> = Vec::new();
+    let take = |open: &mut Vec<((u64, sirep_common::TxRef), f64)>,
+                key: (u64, sirep_common::TxRef)| {
+        open.iter().position(|(k, _)| *k == key).map(|i| open.swap_remove(i).1)
+    };
+    for (replica, events) in journals {
+        let pid = replica.raw();
+        for e in events {
+            let ts = e.at_ns as f64 / 1000.0;
+            emit(
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"protocol\",\"ph\":\"i\",\"ts\":{ts:.3},\
+                     \"pid\":{pid},\"tid\":0,\"s\":\"t\",\"args\":{{{}}}}}",
+                    e.kind.name(),
+                    event_args(&e.kind)
+                ),
+                &mut out,
+            );
+            match e.kind {
+                EventKind::TxBegin { xact } => tx_open.push(((pid, xact), ts)),
+                EventKind::Commit { xact, .. } | EventKind::Abort { xact } => {
+                    if let Some(start) = take(&mut tx_open, (pid, xact)) {
+                        let dur = (ts - start).max(0.0);
+                        emit(
+                            format!(
+                                "{{\"name\":\"tx {xact}\",\"cat\":\"tx\",\"ph\":\"X\",\
+                                 \"ts\":{start:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":1}}"
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+                EventKind::ApplyStart { xact, .. } => apply_open.push(((pid, xact), ts)),
+                EventKind::ApplyDone { xact, tid } => {
+                    if let Some(start) = take(&mut apply_open, (pid, xact)) {
+                        let dur = (ts - start).max(0.0);
+                        emit(
+                            format!(
+                                "{{\"name\":\"apply {tid}\",\"cat\":\"apply\",\"ph\":\"X\",\
+                                 \"ts\":{start:.3},\"dur\":{dur:.3},\"pid\":{pid},\"tid\":2}}"
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `args` object body (without braces) for one event.
+fn event_args(kind: &EventKind) -> String {
+    match *kind {
+        EventKind::TxBegin { xact } => format!("\"xact\":\"{xact}\""),
+        EventKind::CertCapture { xact, cert } => {
+            format!("\"xact\":\"{xact}\",\"cert\":{}", cert.raw())
+        }
+        EventKind::Multicast { xact } => format!("\"xact\":\"{xact}\""),
+        EventKind::TotalOrderDeliver { xact, cert } => {
+            format!("\"xact\":\"{xact}\",\"cert\":{}", cert.raw())
+        }
+        EventKind::ValidationVerdict { xact, tid, passed } => match tid {
+            Some(t) => format!("\"xact\":\"{xact}\",\"tid\":{},\"passed\":{passed}", t.raw()),
+            None => format!("\"xact\":\"{xact}\",\"tid\":null,\"passed\":{passed}"),
+        },
+        EventKind::HoleOpened { tid } | EventKind::HoleClosed { tid } => {
+            format!("\"tid\":{}", tid.raw())
+        }
+        EventKind::WsListPruned { watermark, removed } => {
+            format!("\"watermark\":{},\"removed\":{removed}", watermark.raw())
+        }
+        EventKind::Commit { xact, tid } => {
+            format!("\"xact\":\"{xact}\",\"tid\":{}", tid.raw())
+        }
+        EventKind::Abort { xact } => format!("\"xact\":\"{xact}\""),
+        EventKind::ApplyStart { xact, tid } | EventKind::ApplyDone { xact, tid } => {
+            format!("\"xact\":\"{xact}\",\"tid\":{}", tid.raw())
+        }
+        EventKind::ViewChange { members } => format!("\"members\":{members}"),
+        EventKind::ClientFailover { from } => format!("\"from\":\"{from}\""),
+    }
+}
+
+/// Render a [`ClusterReport`] in the Prometheus text exposition format
+/// (version 0.0.4): every protocol counter (cluster total unlabeled, plus a
+/// `replica="k"` labeled series per node), the queue-depth gauges with
+/// their high-water marks, stage-latency quantiles, and the auditor's
+/// violation count.
+pub fn prometheus_text(report: &ClusterReport) -> String {
+    let mut out = String::new();
+    // --- counters ---------------------------------------------------------
+    let totals = report.metrics.counters();
+    for (i, (name, total)) in totals.iter().enumerate() {
+        let _ = writeln!(out, "# HELP sirep_{name}_total Protocol event counter {name}.");
+        let _ = writeln!(out, "# TYPE sirep_{name}_total counter");
+        let _ = writeln!(out, "sirep_{name}_total {total}");
+        for node in &report.per_node {
+            let (n, v) = node.metrics.counters()[i];
+            debug_assert_eq!(n, *name);
+            let _ = writeln!(out, "sirep_{name}_total{{replica=\"{}\"}} {v}", node.replica.raw());
+        }
+    }
+    // --- gauges -----------------------------------------------------------
+    let cluster_fields = report.gauges.fields();
+    for (i, (name, reading)) in cluster_fields.iter().enumerate() {
+        let _ = writeln!(out, "# HELP sirep_{name} Protocol gauge {name}.");
+        let _ = writeln!(out, "# TYPE sirep_{name} gauge");
+        let _ = writeln!(out, "sirep_{name} {}", reading.current);
+        for node in &report.per_node {
+            let (_, r) = node.gauges.fields()[i];
+            let _ =
+                writeln!(out, "sirep_{name}{{replica=\"{}\"}} {}", node.replica.raw(), r.current);
+        }
+        let _ = writeln!(out, "# HELP sirep_{name}_high_water High-water mark of {name}.");
+        let _ = writeln!(out, "# TYPE sirep_{name}_high_water gauge");
+        let _ = writeln!(out, "sirep_{name}_high_water {}", reading.high_water);
+        for node in &report.per_node {
+            let (_, r) = node.gauges.fields()[i];
+            let _ = writeln!(
+                out,
+                "sirep_{name}_high_water{{replica=\"{}\"}} {}",
+                node.replica.raw(),
+                r.high_water
+            );
+        }
+    }
+    // --- liveness ---------------------------------------------------------
+    let _ = writeln!(out, "# HELP sirep_replica_alive 1 while the replica serves transactions.");
+    let _ = writeln!(out, "# TYPE sirep_replica_alive gauge");
+    for node in &report.per_node {
+        let _ = writeln!(
+            out,
+            "sirep_replica_alive{{replica=\"{}\"}} {}",
+            node.replica.raw(),
+            node.alive as u8
+        );
+    }
+    // --- stage latencies --------------------------------------------------
+    let mut latency = String::new();
+    let mut samples = String::new();
+    let mut overflow = String::new();
+    for stage in Stage::ALL {
+        let count = report.stages.count(stage);
+        if count == 0 {
+            continue;
+        }
+        for q in [0.5, 0.95, 0.99] {
+            let v = report.stages.quantile(stage, q);
+            if v.is_finite() {
+                let _ = writeln!(
+                    latency,
+                    "sirep_stage_latency_ms{{stage=\"{}\",quantile=\"{q}\"}} {v:.6}",
+                    stage.name()
+                );
+            }
+        }
+        let _ =
+            writeln!(samples, "sirep_stage_samples_total{{stage=\"{}\"}} {count}", stage.name());
+        let _ = writeln!(
+            overflow,
+            "sirep_stage_overflow_total{{stage=\"{}\"}} {}",
+            stage.name(),
+            report.stages.overflow(stage)
+        );
+    }
+    if !latency.is_empty() {
+        let _ = writeln!(out, "# HELP sirep_stage_latency_ms Stage latency quantiles (ms).");
+        let _ = writeln!(out, "# TYPE sirep_stage_latency_ms gauge");
+        out.push_str(&latency);
+    }
+    if !samples.is_empty() {
+        let _ = writeln!(out, "# HELP sirep_stage_samples_total Stage latency sample counts.");
+        let _ = writeln!(out, "# TYPE sirep_stage_samples_total counter");
+        out.push_str(&samples);
+        let _ = writeln!(
+            out,
+            "# HELP sirep_stage_overflow_total Samples beyond the histogram range (lower bounds)."
+        );
+        let _ = writeln!(out, "# TYPE sirep_stage_overflow_total counter");
+        out.push_str(&overflow);
+    }
+    // --- auditor ----------------------------------------------------------
+    let _ = writeln!(
+        out,
+        "# HELP sirep_audit_violations_total Invariant violations found by the 1-copy-SI auditor."
+    );
+    let _ = writeln!(out, "# TYPE sirep_audit_violations_total counter");
+    let _ = writeln!(out, "sirep_audit_violations_total {}", report.violations.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirep_common::{GlobalTid, Journal, TxRef};
+    use std::time::Instant;
+
+    fn r(k: u64) -> ReplicaId {
+        ReplicaId::new(k)
+    }
+
+    #[test]
+    fn perfetto_document_has_spans_and_instants() {
+        let epoch = Instant::now();
+        let j = Journal::with_epoch(r(0), epoch, 64);
+        let x = TxRef::new(r(0), 1);
+        j.record(EventKind::TxBegin { xact: x });
+        j.record(EventKind::CertCapture { xact: x, cert: GlobalTid::ZERO });
+        j.record(EventKind::Multicast { xact: x });
+        j.record(EventKind::Commit { xact: x, tid: GlobalTid::new(1) });
+        let doc = perfetto_trace_json(&[(r(0), j.snapshot())]);
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"process_name\""));
+        if cfg!(feature = "trace") {
+            assert!(doc.contains("\"name\":\"tx_begin\""));
+            // The begin/commit pair produced a complete ("X") span.
+            assert!(doc.contains("\"ph\":\"X\""));
+            assert!(doc.contains("\"name\":\"tx R0.1\""));
+        }
+    }
+
+    #[test]
+    fn unmatched_span_starts_do_not_emit_spans() {
+        let j = Journal::with_epoch(r(0), Instant::now(), 64);
+        j.record(EventKind::ApplyStart { xact: TxRef::new(r(1), 7), tid: GlobalTid::new(3) });
+        let doc = perfetto_trace_json(&[(r(0), j.snapshot())]);
+        assert!(!doc.contains("\"ph\":\"X\""));
+    }
+}

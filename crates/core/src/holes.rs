@@ -96,6 +96,12 @@ impl HoleTracker {
         self.pending.iter().next().is_some_and(|&t| t < self.max_committed)
     }
 
+    /// How many holes are open right now: pending tids strictly below the
+    /// commit frontier (the quantity behind the `open_holes` gauge).
+    pub fn open_holes(&self) -> usize {
+        self.pending.range(..self.max_committed).count()
+    }
+
     /// Would committing `tid` now create a *new* hole? True iff some pending
     /// transaction falls strictly between `max_committed` and `tid` — those
     /// are not yet holes, but would become ones. Committing at or below

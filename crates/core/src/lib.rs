@@ -16,6 +16,8 @@
 //! | [`centralized`] | §6 | the single-database baseline of the figures |
 //! | [`tablelock`] | §6.3 | the reimplemented table-level-locking protocol of [20] |
 //! | [`recorder`] | — | execution recording feeding the 1-copy-SI checker |
+//! | [`audit`] | Thm 1/§4.3.3 | online auditor for the protocol's correctness invariants |
+//! | [`export`] | — | Perfetto trace and Prometheus text renderers |
 //!
 //! ## Quick start
 //!
@@ -36,8 +38,10 @@
 //! assert_eq!(r.rows()[0][0], sirep_storage::Value::Int(100));
 //! ```
 
+pub mod audit;
 pub mod centralized;
 pub mod cluster;
+pub mod export;
 pub mod holes;
 pub mod model;
 pub mod msg;
@@ -48,8 +52,10 @@ pub mod srca;
 pub mod tablelock;
 pub mod validation;
 
+pub use audit::{AuditKind, AuditViolation, Auditor};
 pub use centralized::Centralized;
 pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ClusterReport};
+pub use export::{perfetto_trace_json, prometheus_text};
 pub use holes::HoleTracker;
 pub use model::{
     check_one_copy_si, is_conflict_serializable, is_si_schedule, si_equivalent, Op,

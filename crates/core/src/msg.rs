@@ -41,6 +41,14 @@ impl XactId {
     }
 }
 
+impl From<XactId> for sirep_common::TxRef {
+    /// Journal-facing view of a transaction id (the journal crate cannot
+    /// depend on core, so it carries its own origin+seq pair).
+    fn from(x: XactId) -> sirep_common::TxRef {
+        sirep_common::TxRef { origin: x.origin, seq: x.seq }
+    }
+}
+
 impl std::fmt::Display for XactId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -33,6 +33,7 @@
 //! the commit log force) happens outside it; only the final commit step,
 //! which must be atomic with local transaction begins, runs under the lock.
 
+use crate::audit::Auditor;
 use crate::holes::HoleTracker;
 use crate::msg::{Outcome, ReplMsg, WsMsg, XactId};
 use crate::recorder::Recorder;
@@ -40,7 +41,8 @@ use crate::validation::WsList;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use sirep_common::{
-    AbortReason, DbError, GlobalTid, Metrics, ReplicaId, Stage, StageSnapshot, StageStats, TxTrace,
+    AbortReason, DbError, EventKind, GaugeSnapshot, GlobalTid, Journal, Metrics, ProtocolGauges,
+    ReplicaId, Stage, StageSnapshot, StageStats, TxTrace,
 };
 use sirep_gcs::{Delivery, GcsError, GcsHandle, Member};
 use sirep_storage::{Database, TxnHandle, WriteSet};
@@ -175,6 +177,9 @@ pub struct NodeStatus {
     /// Snapshot of this replica's per-stage latency histograms (empty when
     /// the `trace` feature is disabled).
     pub stages: StageSnapshot,
+    /// Queue-depth gauges with high-water marks (zeros when the `trace`
+    /// feature is disabled).
+    pub gauges: GaugeSnapshot,
 }
 
 impl NodeStatus {
@@ -243,6 +248,14 @@ pub struct ReplicaNode {
     /// the `trace` feature is disabled).
     pub stages: Arc<StageStats>,
     pub recorder: Arc<Recorder>,
+    /// Protocol event journal for this replica (no-op without `trace`).
+    pub journal: Journal,
+    /// Queue-depth gauges, refreshed at mutation sites under the state
+    /// lock (no-op without `trace`).
+    pub gauges: ProtocolGauges,
+    /// Cluster-wide 1-copy-SI auditor; hooks are invoked under the state
+    /// lock (the auditor's own lock is a strict leaf).
+    auditor: Arc<Auditor>,
 }
 
 /// State transferred from a donor replica during online recovery.
@@ -273,13 +286,24 @@ impl ReplicaNode {
         db: Database,
         gcs: GcsHandle<ReplMsg>,
         mode: ReplicationMode,
-        initial_view: Vec<ReplicaId>,
         outcome_cap: usize,
         record_history: bool,
         registry: MemberRegistry,
         incarnation: u64,
         bootstrap: Option<Bootstrap>,
+        journal: Journal,
+        auditor: Arc<Auditor>,
     ) -> Arc<ReplicaNode> {
+        if let Some(b) = &bootstrap {
+            // Rebase the auditor's view of this replica on the transferred
+            // state before any thread can report events for it.
+            auditor.on_replica_reset(
+                id,
+                b.wslist.last_tid(),
+                b.max_committed,
+                b.queue_entries.iter().map(|(tid, ..)| *tid),
+            );
+        }
         let state = match bootstrap {
             None => NodeState {
                 wslist: WsList::new(),
@@ -287,7 +311,14 @@ impl ReplicaNode {
                 holes: HoleTracker::new(),
                 pending_local: HashMap::new(),
                 outcomes: OutcomeLog::new(outcome_cap),
-                view: initial_view,
+                // The view must only ever reflect view changes this node's
+                // delivery thread has actually processed. Seeding it with
+                // the expected full membership would make the one-by-one
+                // formation view changes look like departures, poisoning
+                // `departed` with (replica, 0) entries that later turn
+                // in-doubt inquiries into false `NeverReceived` answers —
+                // a committed transaction reported to its client as lost.
+                view: Vec::new(),
                 incarnations: HashMap::new(),
                 departed: std::collections::HashSet::new(),
                 markers_seen: std::collections::HashSet::new(),
@@ -338,7 +369,24 @@ impl ReplicaNode {
             metrics: Arc::new(Metrics::new()),
             stages: Arc::new(StageStats::new()),
             recorder: Arc::new(Recorder::new(record_history)),
+            journal,
+            gauges: ProtocolGauges::new(),
+            auditor,
         })
+    }
+
+    /// Recompute the queue-depth gauges from the protocol state. Called at
+    /// mutation sites under the state lock; compiles away without `trace`.
+    fn refresh_gauges(&self, st: &NodeState) {
+        #[cfg(feature = "trace")]
+        {
+            self.gauges.tocommit_depth.set(st.queue.len() as u64);
+            self.gauges.ws_list_len.set(st.wslist.len() as u64);
+            self.gauges.open_holes.set(st.holes.open_holes() as u64);
+            self.gauges.applier_backlog.set(st.queue.iter().filter(|e| !e.running).count() as u64);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = st;
     }
 
     pub fn id(&self) -> ReplicaId {
@@ -366,6 +414,7 @@ impl ReplicaNode {
     /// monitoring and load-balancing decisions.
     pub fn status(&self) -> NodeStatus {
         let st = self.state.lock();
+        self.refresh_gauges(&st);
         NodeStatus {
             replica: self.id,
             alive: self.is_alive(),
@@ -378,6 +427,7 @@ impl ReplicaNode {
             view: st.view.clone(),
             metrics: Metrics::clone(&self.metrics),
             stages: self.stages.snapshot(),
+            gauges: self.gauges.snapshot(self.gcs.in_flight()),
         }
     }
 
@@ -477,8 +527,10 @@ impl ReplicaNode {
                     }
                     trace.mark(Stage::BeginWait);
                 }
+                self.auditor.on_local_begin(self.id);
                 let txn = self.db.begin()?;
                 st.holes.local_started();
+                self.journal.record(EventKind::TxBegin { xact: xact.into() });
                 self.recorder.on_begin(xact);
                 drop(st);
                 Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
@@ -488,6 +540,7 @@ impl ReplicaNode {
                 // lost, which is the point of the ablation).
                 let txn = self.db.begin()?;
                 self.state.lock().holes.local_started();
+                self.journal.record(EventKind::TxBegin { xact: xact.into() });
                 self.recorder.on_begin(xact);
                 Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
             }
@@ -522,9 +575,11 @@ impl ReplicaNode {
                 drop(st);
                 txn.abort(AbortReason::ValidationFailure);
                 Metrics::inc(&self.metrics.aborts_validation);
+                self.journal.record(EventKind::Abort { xact: xact.into() });
                 return Err(DbError::Aborted(AbortReason::ValidationFailure));
             }
             let cert = st.wslist.last_tid();
+            self.journal.record(EventKind::CertCapture { xact: xact.into(), cert });
             st.pending_local.insert(xact, PendingLocal { txn, responder: reply_tx, guard, trace });
             // Multicast while still holding the state lock, so that cert
             // capture order equals total-order sequence order. The ws_list
@@ -547,6 +602,7 @@ impl ReplicaNode {
                 // by the shutdown path.
                 return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
             }
+            self.journal.record(EventKind::Multicast { xact: xact.into() });
         }
         match reply_rx.recv() {
             Ok(Ok(job)) => {
@@ -576,11 +632,13 @@ impl ReplicaNode {
             // The transaction's origin *incarnation* has departed: uniform
             // delivery put any writeset it multicast in front of the view
             // change we already processed, so no outcome means no writeset
-            // — even if the replica id has since re-joined (recovery).
+            // — even if the replica id has since re-joined (recovery). The
+            // fallback arm requires a *recorded* incarnation: before this
+            // node has processed a view containing the origin, absence from
+            // the view means "not seen yet", not "departed".
             if st.departed.contains(&(xact.origin, xact.incarnation()))
                 || (!st.view.contains(&xact.origin)
-                    && st.incarnations.get(&xact.origin).copied().unwrap_or(0)
-                        == xact.incarnation())
+                    && st.incarnations.get(&xact.origin).copied() == Some(xact.incarnation()))
             {
                 return Ok(InDoubt::NeverReceived);
             }
@@ -611,7 +669,15 @@ impl ReplicaNode {
                 ) => {
                     let mut st = self.state.lock();
                     let view = st.view.clone();
-                    st.wslist.advance_progress(from, lastvalidated, &view);
+                    if let Some((watermark, removed)) =
+                        st.wslist.advance_progress(from, lastvalidated, &view)
+                    {
+                        self.auditor.on_prune(self.id, watermark);
+                        if removed > 0 {
+                            self.journal.record(EventKind::WsListPruned { watermark, removed });
+                        }
+                        self.refresh_gauges(&st);
+                    }
                 }
                 Ok(
                     Delivery::TotalOrder { msg: ReplMsg::Marker { token }, .. }
@@ -654,6 +720,8 @@ impl ReplicaNode {
                         }
                     }
                     st.view = view;
+                    let members = st.view.len() as u64;
+                    self.journal.record(EventKind::ViewChange { members });
                     self.cond.notify_all();
                 }
                 Err(GcsError::Timeout) => self.maybe_send_progress(),
@@ -680,13 +748,27 @@ impl ReplicaNode {
             // in the fork or the copied queue). Skip idempotently.
             return;
         }
+        self.journal.record(EventKind::TotalOrderDeliver { xact: m.xact.into(), cert: m.cert });
+        self.auditor.on_deliver(self.id, m.xact, m.cert);
         {
             let view = st.view.clone();
-            st.wslist.advance_progress(m.origin, m.cert, &view);
+            if let Some((watermark, removed)) = st.wslist.advance_progress(m.origin, m.cert, &view)
+            {
+                self.auditor.on_prune(self.id, watermark);
+                if removed > 0 {
+                    self.journal.record(EventKind::WsListPruned { watermark, removed });
+                }
+            }
         }
         if st.wslist.passes(m.cert, &m.ws) {
             let tid = st.wslist.append(m.xact, Arc::clone(&m.ws));
             st.holes.on_validated(tid);
+            self.journal.record(EventKind::ValidationVerdict {
+                xact: m.xact.into(),
+                tid: Some(tid),
+                passed: true,
+            });
+            self.auditor.on_verdict(self.id, m.xact, m.cert, Some(tid), &m.ws);
             // A local entry with a waiting session commits on the session
             // thread (adjustment 2); mark it running so no applier picks it.
             let local_job = if m.origin == self.id {
@@ -707,6 +789,7 @@ impl ReplicaNode {
                 trace: TxTrace::starting_at(delivered_at),
             });
             st.outcomes.record(m.xact, Outcome::Committed);
+            self.refresh_gauges(&st);
             drop(st);
             if let Some((responder, job)) = local_job {
                 let _ = responder.send(Ok(job));
@@ -715,11 +798,19 @@ impl ReplicaNode {
         } else {
             st.outcomes.record(m.xact, Outcome::Aborted);
             Metrics::inc(&self.metrics.ws_discarded);
+            self.journal.record(EventKind::ValidationVerdict {
+                xact: m.xact.into(),
+                tid: None,
+                passed: false,
+            });
+            self.auditor.on_verdict(self.id, m.xact, m.cert, None, &m.ws);
+            self.refresh_gauges(&st);
             if m.origin == self.id {
                 if let Some(p) = st.pending_local.remove(&m.xact) {
                     drop(st);
                     p.txn.abort(AbortReason::ValidationFailure);
                     Metrics::inc(&self.metrics.aborts_validation);
+                    self.journal.record(EventKind::Abort { xact: m.xact.into() });
                     let _ = p.responder.send(Err(DbError::Aborted(AbortReason::ValidationFailure)));
                     self.cond.notify_all();
                     return;
@@ -762,6 +853,7 @@ impl ReplicaNode {
                     }
                     if let Some(i) = Self::find_eligible(&st.queue) {
                         st.queue[i].running = true;
+                        self.refresh_gauges(&st);
                         let mut trace = st.queue[i].trace;
                         trace.mark(Stage::ValidateQueue);
                         break (
@@ -781,11 +873,13 @@ impl ReplicaNode {
             // marked running). A nominally-local entry without a session —
             // transferred during recovery from before our crash — is applied
             // like any remote writeset.
+            self.journal.record(EventKind::ApplyStart { xact: xact.into(), tid });
             let handle = match self.apply_remote(&ws) {
                 Some(h) => h,
                 None => return, // database crashed
             };
             trace.mark(Stage::Apply);
+            self.journal.record(EventKind::ApplyDone { xact: xact.into(), tid });
             self.finalize(tid, xact, &ws, handle, false, trace);
         }
     }
@@ -859,10 +953,20 @@ impl ReplicaNode {
         // The commit stage includes the hole-rule wait above — that delay is
         // part of what a client perceives as commit latency.
         trace.mark(Stage::Commit);
+        let had_holes = st.holes.holes_exist();
         st.holes.on_committed(tid);
+        let has_holes = st.holes.holes_exist();
+        if !had_holes && has_holes {
+            self.journal.record(EventKind::HoleOpened { tid });
+        } else if had_holes && !has_holes {
+            self.journal.record(EventKind::HoleClosed { tid });
+        }
+        self.journal.record(EventKind::Commit { xact: xact.into(), tid });
+        self.auditor.on_commit(self.id, xact, tid);
         if let Some(pos) = st.queue.iter().position(|e| e.xact == xact) {
             st.queue.remove(pos);
         }
+        self.refresh_gauges(&st);
         drop(st);
         if is_local {
             // Remote timelines start at delivery, not begin: no total.

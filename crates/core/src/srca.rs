@@ -530,7 +530,7 @@ fn finalize(
         let replicas: Vec<ReplicaId> =
             (0..st.lastcommitted.len() as u64).map(ReplicaId::new).collect();
         for r in &replicas {
-            st.wslist.advance_progress(*r, min, &replicas);
+            let _ = st.wslist.advance_progress(*r, min, &replicas);
         }
         sh.cond.notify_all();
         res

@@ -86,23 +86,30 @@ impl WsList {
     /// Record a replica's advertised progress and prune entries no future
     /// message can be certified against. `alive` lists replicas still in
     /// the view (crashed replicas must not hold the watermark back).
+    ///
+    /// Returns the group-wide watermark and how many entries this call
+    /// pruned, or `None` while some live replica has yet to report (the
+    /// journal and the prune-watermark audit consume this).
     pub fn advance_progress(
         &mut self,
         from: ReplicaId,
         lastvalidated: GlobalTid,
         alive: &[ReplicaId],
-    ) {
+    ) -> Option<(GlobalTid, u64)> {
         let e = self.progress.entry(from).or_insert(GlobalTid::ZERO);
         *e = (*e).max(lastvalidated);
         self.progress.retain(|r, _| alive.contains(r));
         // Until every live replica has reported at least once, don't prune.
         if alive.iter().any(|r| !self.progress.contains_key(r)) {
-            return;
+            return None;
         }
         let watermark = self.progress.values().copied().min().unwrap_or(GlobalTid::ZERO);
+        let mut removed = 0u64;
         while self.entries.front().is_some_and(|e| e.tid <= watermark) {
             self.entries.pop_front();
+            removed += 1;
         }
+        Some((watermark, removed))
     }
 
     /// Iterate entries with `tid > cert` (test/debug).
@@ -161,9 +168,9 @@ mod tests {
             l.append(xact(i), ws(&[i as i64]));
         }
         let alive = vec![ReplicaId::new(0), ReplicaId::new(1)];
-        l.advance_progress(ReplicaId::new(0), GlobalTid::new(10), &alive);
+        let _ = l.advance_progress(ReplicaId::new(0), GlobalTid::new(10), &alive);
         assert_eq!(l.len(), 10, "must not prune before all replicas report");
-        l.advance_progress(ReplicaId::new(1), GlobalTid::new(4), &alive);
+        let _ = l.advance_progress(ReplicaId::new(1), GlobalTid::new(4), &alive);
         assert_eq!(l.len(), 6, "prunes to min watermark");
         // Validation against surviving entries still works.
         assert!(!l.passes(GlobalTid::new(4), &ws(&[5])));
@@ -176,12 +183,12 @@ mod tests {
             l.append(xact(i), ws(&[i as i64]));
         }
         let both = vec![ReplicaId::new(0), ReplicaId::new(1)];
-        l.advance_progress(ReplicaId::new(0), GlobalTid::new(5), &both);
-        l.advance_progress(ReplicaId::new(1), GlobalTid::new(1), &both);
+        let _ = l.advance_progress(ReplicaId::new(0), GlobalTid::new(5), &both);
+        let _ = l.advance_progress(ReplicaId::new(1), GlobalTid::new(1), &both);
         assert_eq!(l.len(), 4);
         // R1 crashes; its stale watermark is dropped.
         let only0 = vec![ReplicaId::new(0)];
-        l.advance_progress(ReplicaId::new(0), GlobalTid::new(5), &only0);
+        let _ = l.advance_progress(ReplicaId::new(0), GlobalTid::new(5), &only0);
         assert_eq!(l.len(), 0);
     }
 
@@ -192,10 +199,10 @@ mod tests {
             l.append(xact(i), ws(&[i as i64]));
         }
         let alive = vec![ReplicaId::new(0)];
-        l.advance_progress(ReplicaId::new(0), GlobalTid::new(3), &alive);
+        let _ = l.advance_progress(ReplicaId::new(0), GlobalTid::new(3), &alive);
         assert!(l.is_empty());
         // A stale (smaller) report cannot resurrect anything or regress.
-        l.advance_progress(ReplicaId::new(0), GlobalTid::new(1), &alive);
+        let _ = l.advance_progress(ReplicaId::new(0), GlobalTid::new(1), &alive);
         assert!(l.is_empty());
     }
 }

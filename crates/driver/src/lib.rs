@@ -214,6 +214,9 @@ impl DriverConnection<'_> {
         }
         let current = Arc::clone(self.session.node());
         let next = self.driver.discover(Some(&current))?;
+        // The failover is visible in the *new* replica's journal: it is the
+        // one that takes over the client.
+        next.journal.record(sirep_common::EventKind::ClientFailover { from: current.id() });
         self.session = Session::new(next);
         self.failovers += 1;
         Ok(())

@@ -25,7 +25,7 @@
 
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
-use sirep_common::{precise_sleep, MemberId, TimeScale};
+use sirep_common::{precise_sleep, Gauge, GaugeReading, MemberId, TimeScale};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -151,26 +151,34 @@ impl<M> GroupState<M> {
     }
 
     /// Enqueue a delivery to every live member with the given model-ms
-    /// latency. Must be called under the state lock.
-    fn broadcast(&mut self, delivery: Delivery<M>, delay_ms: f64, scale: TimeScale)
+    /// latency; returns how many copies were enqueued. Must be called under
+    /// the state lock.
+    fn broadcast(&mut self, delivery: Delivery<M>, delay_ms: f64, scale: TimeScale) -> u64
     where
         M: Clone,
     {
         let now = Instant::now();
         let visible = now + scale.wall(delay_ms);
+        let mut enqueued = 0;
         for slot in self.members.values_mut().filter(|s| s.alive) {
             let at = visible.max(slot.horizon);
             slot.horizon = at;
             // A full queue / dropped receiver means the member endpoint was
             // dropped; treat as crashed-silently.
-            let _ = slot.tx.send(Timed { visible_at: at, delivery: delivery.clone() });
+            if slot.tx.send(Timed { visible_at: at, delivery: delivery.clone() }).is_ok() {
+                enqueued += 1;
+            }
         }
+        enqueued
     }
 }
 
 struct GroupInner<M> {
     state: Mutex<GroupState<M>>,
     config: GroupConfig,
+    /// Delivery copies enqueued but not yet received by their member —
+    /// the "GCS in-flight" gauge surfaced through `NodeStatus`.
+    in_flight: Gauge,
 }
 
 /// A simulated process group. Cloning shares the group.
@@ -195,6 +203,7 @@ impl<M: Clone + Send + 'static> Group<M> {
                     view_id: 0,
                 }),
                 config,
+                in_flight: Gauge::new(),
             }),
         }
     }
@@ -209,8 +218,9 @@ impl<M: Clone + Send + 'static> Group<M> {
         st.members.insert(id, MemberSlot { alive: true, tx, horizon: Instant::now() });
         st.view_id += 1;
         let view = st.live_view(st.view_id);
-        st.broadcast(Delivery::ViewChange(view), 0.0, self.inner.config.scale);
+        let n = st.broadcast(Delivery::ViewChange(view), 0.0, self.inner.config.scale);
         drop(st);
+        self.inner.in_flight.add(n);
         Member { id, group: Arc::clone(&self.inner), rx }
     }
 
@@ -229,11 +239,13 @@ impl<M: Clone + Send + 'static> Group<M> {
         slot.alive = false;
         st.view_id += 1;
         let view = st.live_view(st.view_id);
-        st.broadcast(
+        let n = st.broadcast(
             Delivery::ViewChange(view),
             self.inner.config.detection_delay_ms,
             self.inner.config.scale,
         );
+        drop(st);
+        self.inner.in_flight.add(n);
     }
 
     /// The current view (live members).
@@ -244,6 +256,11 @@ impl<M: Clone + Send + 'static> Group<M> {
 
     pub fn config(&self) -> &GroupConfig {
         &self.inner.config
+    }
+
+    /// Delivery copies enqueued but not yet received, with high-water mark.
+    pub fn in_flight(&self) -> GaugeReading {
+        self.inner.in_flight.read()
     }
 }
 
@@ -278,11 +295,13 @@ impl<M: Clone + Send + 'static> GcsHandle<M> {
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        st.broadcast(
+        let n = st.broadcast(
             Delivery::TotalOrder { seq, sender: self.id, sequenced_at: Instant::now(), msg },
             cfg.0,
             cfg.1,
         );
+        drop(st);
+        self.group.in_flight.add(n);
         Ok(seq)
     }
 
@@ -293,8 +312,15 @@ impl<M: Clone + Send + 'static> GcsHandle<M> {
         if !st.members.get(&self.id).is_some_and(|s| s.alive) {
             return Err(GcsError::MemberCrashed);
         }
-        st.broadcast(Delivery::Fifo { sender: self.id, msg }, cfg.0, cfg.1);
+        let n = st.broadcast(Delivery::Fifo { sender: self.id, msg }, cfg.0, cfg.1);
+        drop(st);
+        self.group.in_flight.add(n);
         Ok(())
+    }
+
+    /// Delivery copies enqueued but not yet received, group-wide.
+    pub fn in_flight(&self) -> GaugeReading {
+        self.group.in_flight.read()
     }
 }
 
@@ -327,6 +353,7 @@ impl<M: Clone + Send + 'static> Member<M> {
     pub fn recv(&self) -> Result<Delivery<M>, GcsError> {
         match self.rx.recv() {
             Ok(t) => {
+                self.group.in_flight.sub(1);
                 wait_until(t.visible_at);
                 Ok(t.delivery)
             }
@@ -339,6 +366,7 @@ impl<M: Clone + Send + 'static> Member<M> {
         let deadline = Instant::now() + timeout;
         match self.rx.recv_deadline(deadline) {
             Ok(t) => {
+                self.group.in_flight.sub(1);
                 // Honour the simulated latency but never past the caller's
                 // deadline by more than the remaining sim delay.
                 wait_until(t.visible_at);
@@ -354,11 +382,17 @@ impl<M: Clone + Send + 'static> Member<M> {
     pub fn try_recv(&self) -> Option<Delivery<M>> {
         match self.rx.try_recv() {
             Ok(t) => {
+                self.group.in_flight.sub(1);
                 wait_until(t.visible_at);
                 Some(t.delivery)
             }
             Err(_) => None,
         }
+    }
+
+    /// Delivery copies enqueued but not yet received, group-wide.
+    pub fn in_flight(&self) -> GaugeReading {
+        self.group.in_flight.read()
     }
 
     /// The current view as known by the group.

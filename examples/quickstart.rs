@@ -46,7 +46,25 @@ fn main() {
     assert_eq!(rows[0][2], si_rep::storage::Value::Float(75.0));
     assert_eq!(rows[1][2], si_rep::storage::Value::Float(75.0));
 
-    let m = cluster.metrics();
-    println!("\nprotocol counters: {}", m.summary());
+    // The full observability report: counters, queue-depth gauges with
+    // their high-water marks, stage latencies, and the 1-copy-SI auditor's
+    // verdict. (With `--no-default-features` the gauges and journal compile
+    // to no-ops and read as zero/empty.)
+    let report = cluster.metrics();
+    println!("\nprotocol counters: {}", report.summary());
+    println!("queue-depth gauges (current / high-water):");
+    for (name, reading) in report.gauges.fields() {
+        println!("  {name:<18} {:>4} / {:>4}", reading.current, reading.high_water);
+    }
+    assert!(report.violations.is_empty(), "auditor: {:?}", report.violations);
+    println!("auditor: clean (0 invariant violations)");
+
+    // Each replica keeps a journal of typed protocol events; the cluster can
+    // render them as a Perfetto/Chrome trace (see README: load the JSON at
+    // ui.perfetto.dev), and the report renders as Prometheus text.
+    let events: usize = cluster.journal_events().iter().map(|(_, v)| v.len()).sum();
+    println!("journal: {events} protocol events across the cluster");
+    println!("perfetto trace: {} bytes of JSON", cluster.perfetto_json().len());
+    println!("prometheus text: {} lines", report.prometheus_text().lines().count());
     println!("quickstart OK");
 }

@@ -109,6 +109,8 @@ fn crash_recover_cycles_under_load() {
         sums.push(r.rows()[0][0].as_int().unwrap());
         s.commit().unwrap();
     }
+    let report = c.metrics();
+    assert!(report.violations.is_empty(), "auditor tripped: {:?}", report.violations);
     assert_eq!(sums[0], sums[1], "replicas 0/1 diverged: {sums:?}");
     assert_eq!(sums[1], sums[2], "replicas 1/2 diverged: {sums:?}");
     assert_eq!(sums[0], n, "acked increments lost or duplicated: acked={n} sum={}", sums[0]);

@@ -67,6 +67,8 @@ fn transfers_conserve_money(mode: ReplicationMode) {
     for k in 0..3 {
         assert_eq!(total_balance(&c, k), 20_000, "money vanished at replica {k}");
     }
+    let report = c.metrics();
+    assert!(report.violations.is_empty(), "auditor tripped: {:?}", report.violations);
 }
 
 #[test]
@@ -126,6 +128,8 @@ fn driver_load_with_failover_preserves_acked_commits() {
     // Acked increments are all present at both survivors.
     assert_eq!(total_balance(&c, 0), 20_000 + n);
     assert_eq!(total_balance(&c, 2), 20_000 + n);
+    let report = c.metrics();
+    assert!(report.violations.is_empty(), "auditor tripped: {:?}", report.violations);
 }
 
 #[test]
@@ -157,6 +161,7 @@ fn replicas_validate_identically_under_contention() {
     assert_eq!(total_balance(&c, 0), total_balance(&c, 1));
     let m = c.metrics();
     assert!(m.forced_aborts() > 0, "contention should force some aborts");
+    assert!(m.violations.is_empty(), "auditor tripped: {:?}", m.violations);
 }
 
 #[test]

@@ -56,6 +56,30 @@ fn case3_never_received_resolved_as_aborted() {
 }
 
 #[test]
+fn inquiry_for_a_live_origin_waits_instead_of_declaring_never_received() {
+    // Regression test: group formation delivers the view changes one join
+    // at a time ([R0], [R0,R1], [R0,R1,R2]), and the departure bookkeeping
+    // must not read the not-yet-joined replicas as crashed incarnations.
+    // It once did — every replica permanently held (later_replica, 0) in
+    // its departed set, so an in-doubt inquiry that raced ahead of the
+    // writeset's delivery answered NeverReceived for a transaction that
+    // then committed everywhere: an acknowledged-lost commit.
+    let c = cluster(3);
+    let mut s = c.session(2);
+    s.execute("INSERT INTO kv VALUES (5, 5)").unwrap();
+    let xact = s.xact_id().unwrap();
+    // Inquire at another replica *before* the writeset exists. The origin
+    // is alive, so the only correct behaviour is to wait for the outcome.
+    let inquirer = {
+        let n = c.node(1);
+        std::thread::spawn(move || n.inquire(xact))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    s.commit().unwrap();
+    assert_eq!(inquirer.join().unwrap().unwrap(), InDoubt::Known(Outcome::Committed));
+}
+
+#[test]
 fn driver_masks_crash_between_transactions() {
     let c = cluster(3);
     let d = Driver::new(Arc::clone(&c), DriverConfig::builder().policy(Policy::Primary).build());

@@ -155,6 +155,317 @@ fn committed_txns_mark_every_stage() {
     assert!(table.contains("apply") && table.contains("execute"), "table:\n{table}");
 }
 
+/// The protocol event journal captures the full lifecycle of an update
+/// transaction: begin/cert/multicast/deliver/verdict/commit at the origin,
+/// deliver/verdict/apply/commit at the remotes.
+#[cfg(feature = "trace")]
+#[test]
+fn journal_records_the_protocol_lifecycle() {
+    let c = cluster(2);
+    seed_rows(&c, 4);
+    let mut s = c.session(0);
+    s.execute("UPDATE acc SET bal = bal + 1 WHERE id = 2").unwrap();
+    s.commit().unwrap();
+    assert!(c.quiesce(Q), "cluster failed to drain");
+
+    let journals = c.journal_events();
+    assert_eq!(journals.len(), 2);
+    let names =
+        |k: usize| -> Vec<&'static str> { journals[k].1.iter().map(|e| e.kind.name()).collect() };
+    let origin = names(0);
+    for expected in [
+        "tx_begin",
+        "cert_capture",
+        "multicast",
+        "total_order_deliver",
+        "validation_verdict",
+        "commit",
+    ] {
+        assert!(origin.contains(&expected), "origin journal missing {expected}: {origin:?}");
+    }
+    let remote = names(1);
+    for expected in
+        ["total_order_deliver", "validation_verdict", "apply_start", "apply_done", "commit"]
+    {
+        assert!(remote.contains(&expected), "remote journal missing {expected}: {remote:?}");
+    }
+    assert!(!remote.contains(&"tx_begin"), "remote never begins the origin's transaction");
+
+    // Events carry the shared epoch: per-journal sequence numbers are
+    // strictly increasing and timestamps are monotone.
+    for (_, events) in &journals {
+        for w in events.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+            assert!(w[1].at_ns >= w[0].at_ns);
+        }
+    }
+}
+
+/// With tracing compiled out, the journal API still exists but records
+/// nothing; with it on, records are kept up to the bounded capacity.
+#[test]
+fn journal_stub_has_same_api() {
+    use si_rep::common::{EventKind, Journal, ReplicaId, TxRef};
+    let j = Journal::with_epoch(ReplicaId::new(0), std::time::Instant::now(), 4);
+    for seq in 0..6 {
+        j.record(EventKind::TxBegin { xact: TxRef::new(ReplicaId::new(0), seq) });
+    }
+    let events = j.snapshot();
+    if cfg!(feature = "trace") {
+        assert_eq!(events.len(), 4, "ring keeps the newest `capacity` events");
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(events[0].kind.name(), "tx_begin");
+    } else {
+        assert!(events.is_empty());
+        assert_eq!(j.dropped(), 0);
+    }
+}
+
+/// The Perfetto/Chrome-trace export is well-formed JSON (checked with a
+/// small validating parser, since the workspace has no JSON dependency) and
+/// contains a process per replica.
+#[test]
+fn perfetto_export_is_valid_json() {
+    let c = cluster(2);
+    seed_rows(&c, 4);
+    let mut s = c.session(0);
+    for id in 0..4 {
+        s.execute(&format!("UPDATE acc SET bal = bal + 1 WHERE id = {id}")).unwrap();
+        s.commit().unwrap();
+    }
+    assert!(c.quiesce(Q), "cluster failed to drain");
+
+    let doc = c.perfetto_json();
+    json_check::validate(&doc).unwrap_or_else(|e| panic!("invalid JSON at byte {e}: {doc}"));
+    assert!(doc.contains("\"traceEvents\""));
+    assert!(doc.contains("\"replica R0\"") && doc.contains("\"replica R1\""));
+    if cfg!(feature = "trace") {
+        assert!(doc.contains("\"ph\":\"X\""), "expected complete spans in {doc}");
+    }
+}
+
+/// The Prometheus rendering follows the text exposition format: every
+/// non-comment line is `name[{labels}] value`, each family has HELP/TYPE,
+/// and the key protocol series are present.
+#[test]
+fn prometheus_export_is_well_formed() {
+    let c = cluster(2);
+    seed_rows(&c, 4);
+    let mut s = c.session(0);
+    s.execute("UPDATE acc SET bal = bal + 1 WHERE id = 1").unwrap();
+    s.commit().unwrap();
+    assert!(c.quiesce(Q), "cluster failed to drain");
+
+    let text = c.metrics().prometheus_text();
+    let mut families = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            families.insert(rest.split_whitespace().next().unwrap().to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        // name{labels} value | name value
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line: {line}"));
+        assert!(value.parse::<f64>().is_ok(), "non-numeric value in: {line}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_'),
+            "bad metric name in: {line}"
+        );
+        assert!(name.starts_with("sirep_"), "unprefixed metric: {line}");
+        // Every sample's family was declared with a TYPE line first.
+        let family = name.strip_suffix("_high_water").unwrap_or(name);
+        assert!(
+            families.contains(name) || families.contains(family),
+            "sample before TYPE declaration: {line}"
+        );
+    }
+    for needed in [
+        "sirep_commits_update_total",
+        "sirep_tocommit_depth",
+        "sirep_replica_alive",
+        "sirep_audit_violations_total",
+    ] {
+        assert!(families.contains(needed), "missing family {needed} in:\n{text}");
+    }
+    assert!(text.contains("sirep_commits_update_total{replica=\"0\"}"));
+    assert!(text.trim_end().ends_with("sirep_audit_violations_total 0"));
+}
+
+/// Queue-depth gauges: high-water marks never sit below a current reading,
+/// and a run that certified writesets leaves a nonzero ws_list high-water.
+#[cfg(feature = "trace")]
+#[test]
+fn gauges_track_queue_depths() {
+    let c = cluster(2);
+    seed_rows(&c, 6);
+    let mut s = c.session(0);
+    for id in 0..6 {
+        s.execute(&format!("UPDATE acc SET bal = bal + 1 WHERE id = {id}")).unwrap();
+        s.commit().unwrap();
+    }
+    assert!(c.quiesce(Q), "cluster failed to drain");
+
+    let report = c.metrics();
+    for node in &report.per_node {
+        for (name, r) in node.gauges.fields() {
+            assert!(
+                r.high_water >= r.current,
+                "{name} high-water below current at {}",
+                node.replica
+            );
+        }
+        assert!(node.gauges.ws_list_len.high_water > 0, "certification never ran?");
+    }
+    // The cluster rollup maxes high-water marks over replicas.
+    let max_hw = report.per_node.iter().map(|n| n.gauges.tocommit_depth.high_water).max().unwrap();
+    assert_eq!(report.gauges.tocommit_depth.high_water, max_hw);
+}
+
+/// Minimal validating JSON parser used by the Perfetto test. Returns the
+/// byte offset of the first error.
+mod json_check {
+    pub fn validate(s: &str) -> Result<(), usize> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i == b.len() {
+            Ok(())
+        } else {
+            Err(i)
+        }
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    string(b, i)?;
+                    skip_ws(b, i);
+                    expect(b, i, b':')?;
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(*i),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(*i),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            _ => Err(*i),
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+        expect(b, i, b'"')?;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                _ if c < 0x20 => return Err(*i),
+                _ => *i += 1,
+            }
+        }
+        Err(*i)
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<(), usize> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+            *i += 1;
+        }
+        if b.get(*i) == Some(&b'.') {
+            *i += 1;
+            while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                *i += 1;
+            }
+        }
+        if matches!(b.get(*i), Some(b'e' | b'E')) {
+            *i += 1;
+            if matches!(b.get(*i), Some(b'+' | b'-')) {
+                *i += 1;
+            }
+            while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+                *i += 1;
+            }
+        }
+        if *i > start && b[*i - 1].is_ascii_digit() {
+            Ok(())
+        } else {
+            Err(start)
+        }
+    }
+
+    fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+        if b[*i..].starts_with(lit) {
+            *i += lit.len();
+            Ok(())
+        } else {
+            Err(*i)
+        }
+    }
+
+    fn expect(b: &[u8], i: &mut usize, c: u8) -> Result<(), usize> {
+        if b.get(*i) == Some(&c) {
+            *i += 1;
+            Ok(())
+        } else {
+            Err(*i)
+        }
+    }
+}
+
 /// Stage offsets recorded by a trace are monotone in lifecycle order: a
 /// later stage never reports an earlier completion time.
 #[cfg(feature = "trace")]
