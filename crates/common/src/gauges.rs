@@ -36,18 +36,26 @@ pub struct GaugeSnapshot {
     pub open_holes: GaugeReading,
     /// Queued writesets not yet picked up by an applier thread.
     pub applier_backlog: GaugeReading,
+    /// Queued writesets that are *eligible* (no conflicting predecessor)
+    /// but not yet claimed by an applier — the tocommit queue's ready set.
+    pub ready_len: GaugeReading,
+    /// Distinct (table, key) pairs in the certification last-certifier
+    /// index — the memory footprint of key-indexed validation.
+    pub cert_index_keys: GaugeReading,
     /// Messages enqueued in the GCS but not yet received by their member.
     pub gcs_in_flight: GaugeReading,
 }
 
 impl GaugeSnapshot {
     /// Stable (name, reading) pairs for renderers (Prometheus, tables).
-    pub fn fields(&self) -> [(&'static str, GaugeReading); 5] {
+    pub fn fields(&self) -> [(&'static str, GaugeReading); 7] {
         [
             ("tocommit_depth", self.tocommit_depth),
             ("ws_list_len", self.ws_list_len),
             ("open_holes", self.open_holes),
             ("applier_backlog", self.applier_backlog),
+            ("ready_len", self.ready_len),
+            ("cert_index_keys", self.cert_index_keys),
             ("gcs_in_flight", self.gcs_in_flight),
         ]
     }
@@ -60,6 +68,8 @@ impl GaugeSnapshot {
             (&mut self.ws_list_len, other.ws_list_len),
             (&mut self.open_holes, other.open_holes),
             (&mut self.applier_backlog, other.applier_backlog),
+            (&mut self.ready_len, other.ready_len),
+            (&mut self.cert_index_keys, other.cert_index_keys),
             (&mut self.gcs_in_flight, other.gcs_in_flight),
         ] {
             mine.current += theirs.current;
@@ -153,6 +163,8 @@ pub struct ProtocolGauges {
     pub ws_list_len: Gauge,
     pub open_holes: Gauge,
     pub applier_backlog: Gauge,
+    pub ready_len: Gauge,
+    pub cert_index_keys: Gauge,
 }
 
 impl ProtocolGauges {
@@ -160,7 +172,7 @@ impl ProtocolGauges {
         ProtocolGauges::default()
     }
 
-    /// Snapshot all four local gauges plus the externally-tracked GCS
+    /// Snapshot all six local gauges plus the externally-tracked GCS
     /// in-flight reading into one bundle.
     pub fn snapshot(&self, gcs_in_flight: GaugeReading) -> GaugeSnapshot {
         GaugeSnapshot {
@@ -168,6 +180,8 @@ impl ProtocolGauges {
             ws_list_len: self.ws_list_len.read(),
             open_holes: self.open_holes.read(),
             applier_backlog: self.applier_backlog.read(),
+            ready_len: self.ready_len.read(),
+            cert_index_keys: self.cert_index_keys.read(),
             gcs_in_flight,
         }
     }

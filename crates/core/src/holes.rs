@@ -24,6 +24,7 @@
 
 use sirep_common::GlobalTid;
 use std::collections::BTreeSet;
+use std::ops::Bound::Excluded;
 
 /// Tracks validated-but-uncommitted tids at one replica.
 #[derive(Debug, Default)]
@@ -32,6 +33,12 @@ pub struct HoleTracker {
     pending: BTreeSet<GlobalTid>,
     /// Highest tid committed at this replica.
     max_committed: GlobalTid,
+    /// Cached `|pending ∩ [..max_committed)|` — the number of open holes.
+    /// Maintained incrementally so the hole checks on every begin/commit
+    /// (and the `open_holes` gauge refresh) are O(1) instead of a range
+    /// count; a pending tid is charged here at most once, when the commit
+    /// frontier first passes it.
+    open: usize,
     /// Local transactions currently blocked in "wait until no holes"
     /// (the paper's set A).
     waiting_to_start: usize,
@@ -60,46 +67,62 @@ impl HoleTracker {
         max_committed: GlobalTid,
         pending: impl IntoIterator<Item = GlobalTid>,
     ) -> HoleTracker {
-        HoleTracker {
-            pending: pending.into_iter().collect(),
-            max_committed,
-            waiting_to_start: 0,
-            running_locals: 0,
-        }
+        let pending: BTreeSet<GlobalTid> = pending.into_iter().collect();
+        let open = pending.range(..max_committed).count();
+        HoleTracker { pending, max_committed, open, waiting_to_start: 0, running_locals: 0 }
     }
 
     /// A writeset passed validation and was queued at this replica.
     pub fn on_validated(&mut self, tid: GlobalTid) {
         let inserted = self.pending.insert(tid);
         debug_assert!(inserted, "tid {tid} validated twice");
+        if tid < self.max_committed {
+            // Validated below the frontier (bootstrap catch-up): born a hole.
+            self.open += 1;
+        }
     }
 
     /// The transaction committed at this replica.
     pub fn on_committed(&mut self, tid: GlobalTid) {
         let removed = self.pending.remove(&tid);
         debug_assert!(removed, "commit of unknown tid {tid}");
-        self.max_committed = self.max_committed.max(tid);
+        self.advance_frontier(tid, removed);
     }
 
     /// A queued transaction was aborted/discarded before commit (only
     /// possible during shutdown — validated transactions otherwise always
     /// commit).
     pub fn on_discarded(&mut self, tid: GlobalTid) {
-        self.pending.remove(&tid);
         // Treat like a committed tid so it can never be (or hold open) a
         // hole.
-        self.max_committed = self.max_committed.max(tid);
+        let removed = self.pending.remove(&tid);
+        self.advance_frontier(tid, removed);
+    }
+
+    /// Shared commit/discard bookkeeping: `tid` left `pending` (if it was
+    /// there) and becomes committed. Closes the hole `tid` itself was, and
+    /// when the frontier advances past still-pending tids, opens theirs —
+    /// each pending tid is counted at most once, so the range walk is
+    /// amortized O(1) per transaction.
+    fn advance_frontier(&mut self, tid: GlobalTid, removed: bool) {
+        if removed && tid < self.max_committed {
+            self.open -= 1;
+        } else if tid > self.max_committed {
+            self.open += self.pending.range((Excluded(self.max_committed), Excluded(tid))).count();
+            self.max_committed = tid;
+        }
+        debug_assert_eq!(self.open, self.pending.range(..self.max_committed).count());
     }
 
     /// Is there a hole right now? (Some pending tid below a committed one.)
     pub fn holes_exist(&self) -> bool {
-        self.pending.iter().next().is_some_and(|&t| t < self.max_committed)
+        self.open > 0
     }
 
     /// How many holes are open right now: pending tids strictly below the
-    /// commit frontier (the quantity behind the `open_holes` gauge).
+    /// commit frontier (the quantity behind the `open_holes` gauge). O(1).
     pub fn open_holes(&self) -> usize {
-        self.pending.range(..self.max_committed).count()
+        self.open
     }
 
     /// Would committing `tid` now create a *new* hole? True iff some pending
@@ -281,6 +304,34 @@ mod tests {
         assert!(!h.creates_new_hole(t(2)));
         assert!(!h.creates_new_hole(t(3))); // boundary: tid == max_committed
         assert!(h.may_commit(t(1), false));
+    }
+
+    #[test]
+    fn open_holes_counter_tracks_frontier_jumps() {
+        let mut h = HoleTracker::new();
+        for i in 1..=6 {
+            h.on_validated(t(i));
+        }
+        assert_eq!(h.open_holes(), 0);
+        h.on_committed(t(5)); // frontier jumps past 1..4
+        assert_eq!(h.open_holes(), 4);
+        h.on_committed(t(2));
+        assert_eq!(h.open_holes(), 3);
+        h.on_committed(t(6)); // above frontier, no pending in (5, 6)
+        assert_eq!(h.open_holes(), 3);
+        h.on_discarded(t(3));
+        assert_eq!(h.open_holes(), 2);
+        h.on_committed(t(1));
+        h.on_committed(t(4));
+        assert_eq!(h.open_holes(), 0);
+        assert!(!h.holes_exist());
+    }
+
+    #[test]
+    fn bootstrap_counts_existing_holes() {
+        let h = HoleTracker::bootstrap(t(10), [t(3), t(7), t(12)]);
+        assert_eq!(h.open_holes(), 2);
+        assert!(h.holes_exist());
     }
 
     #[test]

@@ -45,8 +45,8 @@ use sirep_common::{
     ReplicaId, Stage, StageSnapshot, StageStats, TxTrace,
 };
 use sirep_gcs::{Delivery, GcsError, GcsHandle, Member};
-use sirep_storage::{Database, TxnHandle, WriteSet};
-use std::collections::{HashMap, VecDeque};
+use sirep_storage::{Database, TupleId, TxnHandle, WriteSet};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,7 +64,7 @@ pub enum ReplicationMode {
 /// How long waiters poll for shutdown while blocked on the node condvar.
 const WAIT_TICK: Duration = Duration::from_millis(25);
 
-/// An entry of `tocommit_queue_k` (always in tid = validation order).
+/// An entry of `tocommit_queue_k`.
 struct QEntry {
     tid: GlobalTid,
     xact: XactId,
@@ -72,9 +72,139 @@ struct QEntry {
     origin: ReplicaId,
     /// An applier has picked this entry (is applying / committing it).
     running: bool,
+    /// Conflict edges to entries with smaller tids still in the queue —
+    /// one per (predecessor, shared key) pair. The entry is eligible for
+    /// an applier exactly when this reaches zero; [`TocommitQueue::remove`]
+    /// decrements it as predecessors commit.
+    blockers: usize,
     /// Stage timeline for remote entries, originating at delivery time
     /// (local entries carry their own trace on the session thread).
     trace: TxTrace,
+}
+
+/// The `tocommit` queue with incremental conflict scheduling.
+///
+/// The paper's adjustment 2 lets any queued writeset with no conflicting
+/// predecessor proceed. Re-deriving eligibility with a pairwise scan
+/// (`find_eligible`) is O(n²·|ws|) under the node lock on every applier
+/// wakeup; this structure keeps eligibility incrementally instead:
+///
+/// - [`TocommitQueue::push`] charges the new entry one *blocker* per
+///   (predecessor, shared key) edge, read off a per-key waiter index —
+///   O(|ws| + edges);
+/// - [`TocommitQueue::remove`] (called as entries commit) walks the removed
+///   entry's keys, decrements each successor edge once, and moves entries
+///   whose count hits zero onto the ready set — O(|ws| + edges);
+/// - appliers pop the smallest-tid ready entry in O(log n), the same entry
+///   the old scan would have picked first, so hole dynamics are unchanged.
+///
+/// The waiter index doubles as the adjustment-1 local validation test:
+/// a candidate writeset conflicts with the queue iff one of its keys has a
+/// non-empty waiter list — O(|ws|) instead of O(n·|ws|).
+#[derive(Default)]
+struct TocommitQueue {
+    entries: HashMap<GlobalTid, QEntry>,
+    /// Tuple id → tids of queue entries writing it, ascending (entries are
+    /// pushed in tid order; the list's prefix before an entry are its
+    /// predecessors on that key, the suffix its successors).
+    waiters: HashMap<TupleId, Vec<GlobalTid>>,
+    /// Zero-blocker, not-yet-running entries; appliers pop the smallest.
+    ready: BTreeSet<GlobalTid>,
+    /// Entries currently marked running.
+    running: usize,
+}
+
+impl TocommitQueue {
+    fn new() -> TocommitQueue {
+        TocommitQueue::default()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Queued writesets not yet picked by an applier (the
+    /// `applier_backlog` gauge).
+    #[cfg(feature = "trace")]
+    fn backlog(&self) -> usize {
+        self.entries.len() - self.running
+    }
+
+    /// Eligible-but-unclaimed entries (the `ready_len` gauge).
+    #[cfg(feature = "trace")]
+    fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &QEntry> {
+        self.entries.values()
+    }
+
+    /// Adjustment-1 local validation: does `ws` conflict with any queued
+    /// entry? O(|ws|) probes of the waiter index.
+    fn conflicts(&self, ws: &WriteSet) -> bool {
+        ws.tuple_ids().any(|id| self.waiters.get(id).is_some_and(|l| !l.is_empty()))
+    }
+
+    /// Insert a validated entry. Must be called in tid order (total-order
+    /// delivery / sorted bootstrap), so every current waiter on the entry's
+    /// keys is a predecessor.
+    fn push(&mut self, mut e: QEntry) {
+        let mut blockers = 0;
+        for id in e.ws.tuple_ids() {
+            let list = self.waiters.entry(id.clone()).or_default();
+            debug_assert!(list.last().is_none_or(|&t| t < e.tid), "push out of tid order");
+            blockers += list.len();
+            list.push(e.tid);
+        }
+        e.blockers = blockers;
+        if e.running {
+            self.running += 1;
+        } else if blockers == 0 {
+            self.ready.insert(e.tid);
+        }
+        let prev = self.entries.insert(e.tid, e);
+        debug_assert!(prev.is_none(), "tid queued twice");
+    }
+
+    /// Claim the smallest-tid eligible entry for an applier, marking it
+    /// running.
+    fn pop_ready(&mut self) -> Option<&QEntry> {
+        let tid = self.ready.pop_first()?;
+        let e = self.entries.get_mut(&tid).expect("ready tid must be queued");
+        debug_assert!(!e.running && e.blockers == 0);
+        e.running = true;
+        self.running += 1;
+        Some(e)
+    }
+
+    /// Remove a committed (or discarded) entry, releasing its successors'
+    /// blocker edges; newly eligible entries move onto the ready set.
+    fn remove(&mut self, tid: GlobalTid) -> Option<QEntry> {
+        let e = self.entries.remove(&tid)?;
+        if e.running {
+            self.running -= 1;
+        } else {
+            self.ready.remove(&tid);
+        }
+        for id in e.ws.tuple_ids() {
+            let Some(list) = self.waiters.get_mut(id) else { continue };
+            if let Some(pos) = list.iter().position(|&t| t == tid) {
+                list.remove(pos);
+                for &succ in &list[pos..] {
+                    let s = self.entries.get_mut(&succ).expect("waiter must be queued");
+                    s.blockers -= 1;
+                    if s.blockers == 0 && !s.running {
+                        self.ready.insert(succ);
+                    }
+                }
+            }
+            if list.is_empty() {
+                self.waiters.remove(id);
+            }
+        }
+        Some(e)
+    }
 }
 
 /// A local transaction that has been multicast and awaits its fate. On
@@ -202,7 +332,7 @@ pub enum InDoubt {
 
 struct NodeState {
     wslist: WsList,
-    queue: VecDeque<QEntry>,
+    queue: TocommitQueue,
     holes: HoleTracker,
     pending_local: HashMap<XactId, PendingLocal>,
     outcomes: OutcomeLog,
@@ -307,7 +437,7 @@ impl ReplicaNode {
         let state = match bootstrap {
             None => NodeState {
                 wslist: WsList::new(),
-                queue: VecDeque::new(),
+                queue: TocommitQueue::new(),
                 holes: HoleTracker::new(),
                 pending_local: HashMap::new(),
                 outcomes: OutcomeLog::new(outcome_cap),
@@ -329,18 +459,21 @@ impl ReplicaNode {
                     b.max_committed,
                     b.queue_entries.iter().map(|(tid, ..)| *tid),
                 );
-                let queue = b
-                    .queue_entries
-                    .into_iter()
-                    .map(|(tid, xact, ws, origin)| QEntry {
+                // Transferred entries are pushed in tid order (the donor
+                // sorts them) so the waiter index and blocker counts are
+                // rebuilt exactly as delivery order would have built them.
+                let mut queue = TocommitQueue::new();
+                for (tid, xact, ws, origin) in b.queue_entries {
+                    queue.push(QEntry {
                         tid,
                         xact,
                         ws,
                         origin,
                         running: false,
+                        blockers: 0,
                         trace: TxTrace::start(),
-                    })
-                    .collect();
+                    });
+                }
                 NodeState {
                     wslist: b.wslist,
                     queue,
@@ -383,7 +516,9 @@ impl ReplicaNode {
             self.gauges.tocommit_depth.set(st.queue.len() as u64);
             self.gauges.ws_list_len.set(st.wslist.len() as u64);
             self.gauges.open_holes.set(st.holes.open_holes() as u64);
-            self.gauges.applier_backlog.set(st.queue.iter().filter(|e| !e.running).count() as u64);
+            self.gauges.applier_backlog.set(st.queue.backlog() as u64);
+            self.gauges.ready_len.set(st.queue.ready_len() as u64);
+            self.gauges.cert_index_keys.set(st.wslist.index_len() as u64);
         }
         #[cfg(not(feature = "trace"))]
         let _ = st;
@@ -478,8 +613,11 @@ impl ReplicaNode {
     pub(crate) fn state_transfer(&self, cost: sirep_storage::CostModel) -> (Database, Bootstrap) {
         let st = self.state.lock();
         let db = self.db.fork_latest(cost);
-        let queue_entries =
+        let mut queue_entries: Vec<_> =
             st.queue.iter().map(|e| (e.tid, e.xact, Arc::clone(&e.ws), e.origin)).collect();
+        // Tid order, so the recovering replica can rebuild its scheduling
+        // index with the same incremental pushes delivery would have made.
+        queue_entries.sort_by_key(|(tid, ..)| *tid);
         let boot = Bootstrap {
             wslist: st.wslist.clone(),
             queue_entries,
@@ -570,8 +708,9 @@ impl ReplicaNode {
         let ws = Arc::new(ws);
         {
             let mut st = self.state.lock();
-            // Local validation (adjustment 1): only the tocommit queue.
-            if st.queue.iter().any(|e| e.ws.intersects(&ws)) {
+            // Local validation (adjustment 1): only the tocommit queue —
+            // O(|ws|) probes of its waiter index.
+            if st.queue.conflicts(&ws) {
                 drop(st);
                 txn.abort(AbortReason::ValidationFailure);
                 Metrics::inc(&self.metrics.aborts_validation);
@@ -780,12 +919,13 @@ impl ReplicaNode {
             } else {
                 None
             };
-            st.queue.push_back(QEntry {
+            st.queue.push(QEntry {
                 tid,
                 xact: m.xact,
                 ws: Arc::clone(&m.ws),
                 origin: m.origin,
                 running: local_job.is_some(),
+                blockers: 0,
                 trace: TxTrace::starting_at(delivered_at),
             });
             st.outcomes.record(m.xact, Outcome::Committed);
@@ -842,27 +982,22 @@ impl ReplicaNode {
 
     pub(crate) fn run_applier(self: Arc<Self>) {
         loop {
-            // Pick the first queue entry with no conflicting predecessor
+            // Claim the smallest-tid entry with no conflicting predecessor
             // (adjustment 2: anything non-conflicting may proceed, not just
-            // the head).
+            // the head). Eligibility is tracked incrementally by the
+            // queue's blocker counts — no rescan on wakeup.
             let picked = {
                 let mut st = self.state.lock();
                 loop {
                     if !self.is_alive() {
                         return;
                     }
-                    if let Some(i) = Self::find_eligible(&st.queue) {
-                        st.queue[i].running = true;
-                        self.refresh_gauges(&st);
-                        let mut trace = st.queue[i].trace;
+                    if let Some(e) = st.queue.pop_ready() {
+                        let mut trace = e.trace;
                         trace.mark(Stage::ValidateQueue);
-                        break (
-                            st.queue[i].tid,
-                            st.queue[i].xact,
-                            Arc::clone(&st.queue[i].ws),
-                            st.queue[i].origin,
-                            trace,
-                        );
+                        let picked = (e.tid, e.xact, Arc::clone(&e.ws), e.origin, trace);
+                        self.refresh_gauges(&st);
+                        break picked;
                     }
                     self.cond.wait_for(&mut st, WAIT_TICK);
                 }
@@ -963,9 +1098,9 @@ impl ReplicaNode {
         }
         self.journal.record(EventKind::Commit { xact: xact.into(), tid });
         self.auditor.on_commit(self.id, xact, tid);
-        if let Some(pos) = st.queue.iter().position(|e| e.xact == xact) {
-            st.queue.remove(pos);
-        }
+        // O(|ws| + released edges): unblocks successors as a side effect,
+        // which the notify_all below wakes the appliers for.
+        st.queue.remove(tid);
         self.refresh_gauges(&st);
         drop(st);
         if is_local {
@@ -974,21 +1109,6 @@ impl ReplicaNode {
         }
         self.stages.absorb(&trace);
         self.cond.notify_all();
-    }
-
-    fn find_eligible(queue: &VecDeque<QEntry>) -> Option<usize> {
-        'outer: for i in 0..queue.len() {
-            if queue[i].running {
-                continue;
-            }
-            for j in 0..i {
-                if queue[j].ws.intersects(&queue[i].ws) {
-                    continue 'outer;
-                }
-            }
-            return Some(i);
-        }
-        None
     }
 
     // ---------------------------------------------------------------------

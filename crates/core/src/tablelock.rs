@@ -123,6 +123,9 @@ struct TlNode {
     cond: Condvar,
     shutdown: AtomicBool,
     metrics: Arc<Metrics>,
+    /// Deliveries fully processed by this node's delivery thread; part of
+    /// the `quiesce` fingerprint.
+    delivered: AtomicU64,
 }
 
 const WAIT_TICK: Duration = Duration::from_millis(25);
@@ -255,6 +258,7 @@ impl TableLockCluster {
                 cond: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 metrics: Arc::new(Metrics::new()),
+                delivered: AtomicU64::new(0),
             });
             let n = Arc::clone(&node);
             threads.push(std::thread::spawn(move || loop {
@@ -262,7 +266,10 @@ impl TableLockCluster {
                     return;
                 }
                 match member.recv_timeout(Duration::from_millis(20)) {
-                    Ok(d) => n.on_delivery(d),
+                    Ok(d) => {
+                        n.on_delivery(d);
+                        n.delivered.fetch_add(1, Ordering::Release);
+                    }
                     Err(sirep_gcs::GcsError::Timeout) => {}
                     Err(_) => return,
                 }
@@ -300,13 +307,29 @@ impl TableLockCluster {
         &self.nodes[k].db
     }
 
-    /// Wait for all remote work to drain.
+    /// Wait for all remote work to drain. An empty `remote` map alone is
+    /// not enough: a Request/Ws can still sit undelivered in the GCS (the
+    /// map is only populated at delivery), so also require zero in-flight
+    /// messages and a delivery count that stays stable across rounds —
+    /// the same fingerprint discipline as the SRCA-Rep cluster's quiesce.
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
+        let mut stable_rounds = 0;
+        let mut last_delivered = u64::MAX;
         while std::time::Instant::now() < deadline {
-            if self.nodes.iter().all(|n| n.state.lock().remote.is_empty()) {
-                return true;
+            let in_flight = self.nodes[0].gcs.in_flight().current;
+            let drained = self.nodes.iter().all(|n| n.state.lock().remote.is_empty());
+            let delivered: u64 =
+                self.nodes.iter().map(|n| n.delivered.load(Ordering::Acquire)).sum();
+            if in_flight == 0 && drained && delivered == last_delivered {
+                stable_rounds += 1;
+                if stable_rounds >= 3 {
+                    return true;
+                }
+            } else {
+                stable_rounds = 0;
             }
+            last_delivered = delivered;
             std::thread::sleep(Duration::from_millis(10));
         }
         false

@@ -152,8 +152,17 @@ impl<M> GroupState<M> {
 
     /// Enqueue a delivery to every live member with the given model-ms
     /// latency; returns how many copies were enqueued. Must be called under
-    /// the state lock.
-    fn broadcast(&mut self, delivery: Delivery<M>, delay_ms: f64, scale: TimeScale) -> u64
+    /// the state lock. The in-flight gauge is bumped *before* each send:
+    /// the receiver decrements on receipt, and a decrement racing ahead of
+    /// its own increment would saturate at zero and leave the gauge
+    /// permanently drifted upward.
+    fn broadcast(
+        &mut self,
+        delivery: Delivery<M>,
+        delay_ms: f64,
+        scale: TimeScale,
+        in_flight: &Gauge,
+    ) -> u64
     where
         M: Clone,
     {
@@ -165,8 +174,12 @@ impl<M> GroupState<M> {
             slot.horizon = at;
             // A full queue / dropped receiver means the member endpoint was
             // dropped; treat as crashed-silently.
+            in_flight.add(1);
             if slot.tx.send(Timed { visible_at: at, delivery: delivery.clone() }).is_ok() {
                 enqueued += 1;
+            } else {
+                // Nobody will ever receive this copy; take the count back.
+                in_flight.sub(1);
             }
         }
         enqueued
@@ -218,9 +231,13 @@ impl<M: Clone + Send + 'static> Group<M> {
         st.members.insert(id, MemberSlot { alive: true, tx, horizon: Instant::now() });
         st.view_id += 1;
         let view = st.live_view(st.view_id);
-        let n = st.broadcast(Delivery::ViewChange(view), 0.0, self.inner.config.scale);
+        let _ = st.broadcast(
+            Delivery::ViewChange(view),
+            0.0,
+            self.inner.config.scale,
+            &self.inner.in_flight,
+        );
         drop(st);
-        self.inner.in_flight.add(n);
         Member { id, group: Arc::clone(&self.inner), rx }
     }
 
@@ -239,13 +256,12 @@ impl<M: Clone + Send + 'static> Group<M> {
         slot.alive = false;
         st.view_id += 1;
         let view = st.live_view(st.view_id);
-        let n = st.broadcast(
+        let _ = st.broadcast(
             Delivery::ViewChange(view),
             self.inner.config.detection_delay_ms,
             self.inner.config.scale,
+            &self.inner.in_flight,
         );
-        drop(st);
-        self.inner.in_flight.add(n);
     }
 
     /// The current view (live members).
@@ -295,13 +311,13 @@ impl<M: Clone + Send + 'static> GcsHandle<M> {
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        let n = st.broadcast(
+        let _ = st.broadcast(
             Delivery::TotalOrder { seq, sender: self.id, sequenced_at: Instant::now(), msg },
             cfg.0,
             cfg.1,
+            &self.group.in_flight,
         );
         drop(st);
-        self.group.in_flight.add(n);
         Ok(seq)
     }
 
@@ -312,9 +328,13 @@ impl<M: Clone + Send + 'static> GcsHandle<M> {
         if !st.members.get(&self.id).is_some_and(|s| s.alive) {
             return Err(GcsError::MemberCrashed);
         }
-        let n = st.broadcast(Delivery::Fifo { sender: self.id, msg }, cfg.0, cfg.1);
+        let _ = st.broadcast(
+            Delivery::Fifo { sender: self.id, msg },
+            cfg.0,
+            cfg.1,
+            &self.group.in_flight,
+        );
         drop(st);
-        self.group.in_flight.add(n);
         Ok(())
     }
 

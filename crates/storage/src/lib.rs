@@ -59,7 +59,7 @@ pub use lock::{LockId, LockManager};
 pub use schema::{Column, ColumnType, TableSchema};
 pub use value::{Key, Row, Value};
 pub use version::{CommitTs, Version, VersionChain};
-pub use writeset::{WriteSet, WsEntry, WsOp};
+pub use writeset::{TupleId, WriteSet, WsEntry, WsOp};
 
 #[cfg(test)]
 mod engine_tests;

@@ -33,13 +33,20 @@ pub struct WsEntry {
     pub op: WsOp,
 }
 
+/// The identity of one tuple as certification sees it: interned table name
+/// plus primary key. Hashable and cheap to clone (the table side is an
+/// `Arc<str>`), so conflict indexes — the writeset's own probe index, the
+/// ws_list's last-certifier map, the tocommit queue's waiter lists — can all
+/// share it as their key type.
+pub type TupleId = (Arc<str>, Key);
+
 /// The set of tuples a transaction wrote, in statement order (last write per
 /// tuple wins; earlier writes to the same tuple are collapsed).
 #[derive(Debug, Clone, Default)]
 pub struct WriteSet {
     entries: Vec<WsEntry>,
     /// (table, key) → index into `entries`, for O(1) probes.
-    index: HashMap<(Arc<str>, Key), usize>,
+    index: HashMap<TupleId, usize>,
 }
 
 impl WriteSet {
@@ -97,6 +104,14 @@ impl WriteSet {
         let (small, large) =
             if self.index.len() <= other.index.len() { (self, other) } else { (other, self) };
         small.index.keys().any(|id| large.index.contains_key(id))
+    }
+
+    /// The [`TupleId`]s this writeset touches, in arbitrary order —
+    /// certification only needs set semantics. Borrowed straight from the
+    /// probe index, so iterating allocates nothing; the key-indexed
+    /// conflict structures probe and clone from here.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = &TupleId> {
+        self.index.keys()
     }
 }
 

@@ -24,6 +24,8 @@ cargo build --offline -p si-rep --no-default-features
 if [[ "$QUICK" == "1" ]]; then
     echo "==> cargo test (unit tests only)"
     cargo test --offline --workspace --lib -q
+    echo "==> certification differential property test (indexed vs scan oracle)"
+    cargo test --offline -p sirep-core --lib validation::differential -q
 else
     echo "==> cargo test (workspace)"
     cargo test --offline --workspace -q

@@ -285,6 +285,8 @@ fn prometheus_export_is_well_formed() {
     for needed in [
         "sirep_commits_update_total",
         "sirep_tocommit_depth",
+        "sirep_ready_len",
+        "sirep_cert_index_keys",
         "sirep_replica_alive",
         "sirep_audit_violations_total",
     ] {
@@ -318,6 +320,9 @@ fn gauges_track_queue_depths() {
             );
         }
         assert!(node.gauges.ws_list_len.high_water > 0, "certification never ran?");
+        assert!(node.gauges.cert_index_keys.high_water > 0, "index never held a key?");
+        // After a quiesce nothing is eligible-but-unclaimed.
+        assert_eq!(node.gauges.ready_len.current, 0, "ready set must drain");
     }
     // The cluster rollup maxes high-water marks over replicas.
     let max_hw = report.per_node.iter().map(|n| n.gauges.tocommit_depth.high_water).max().unwrap();
