@@ -90,6 +90,11 @@ pub enum DbError {
     /// the failure transparently; `committed` reports the resolved outcome
     /// of an in-doubt commit when it is known.
     ConnectionLost { in_doubt: bool },
+    /// Every replica is unreachable (or kept dying) and bounded failover
+    /// retries were exhausted while an in-doubt outcome was unresolved.
+    /// Unlike [`DbError::ConnectionLost`] this is terminal for the driver:
+    /// the commit may or may not have happened and nobody is left to ask.
+    Unavailable,
     /// Internal invariant violation — always a bug, never expected.
     Internal(String),
 }
@@ -122,6 +127,9 @@ impl fmt::Display for DbError {
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DbError::ConnectionLost { in_doubt } => {
                 write!(f, "connection lost (in-doubt: {in_doubt})")
+            }
+            DbError::Unavailable => {
+                f.write_str("service unavailable: all replicas down, retries exhausted")
             }
             DbError::Internal(m) => write!(f, "internal error: {m}"),
         }

@@ -44,11 +44,17 @@ pub struct GaugeSnapshot {
     pub cert_index_keys: GaugeReading,
     /// Messages enqueued in the GCS but not yet received by their member.
     pub gcs_in_flight: GaugeReading,
+    /// Faults injected by the seeded chaos plan (monotone: current equals
+    /// the total injected, high-water mirrors it).
+    pub faults_injected: GaugeReading,
+    /// Members currently isolated by a network partition (current), and the
+    /// widest partition ever induced (high-water).
+    pub partitioned: GaugeReading,
 }
 
 impl GaugeSnapshot {
     /// Stable (name, reading) pairs for renderers (Prometheus, tables).
-    pub fn fields(&self) -> [(&'static str, GaugeReading); 7] {
+    pub fn fields(&self) -> [(&'static str, GaugeReading); 9] {
         [
             ("tocommit_depth", self.tocommit_depth),
             ("ws_list_len", self.ws_list_len),
@@ -57,6 +63,8 @@ impl GaugeSnapshot {
             ("ready_len", self.ready_len),
             ("cert_index_keys", self.cert_index_keys),
             ("gcs_in_flight", self.gcs_in_flight),
+            ("faults_injected", self.faults_injected),
+            ("partitioned", self.partitioned),
         ]
     }
 
@@ -71,6 +79,8 @@ impl GaugeSnapshot {
             (&mut self.ready_len, other.ready_len),
             (&mut self.cert_index_keys, other.cert_index_keys),
             (&mut self.gcs_in_flight, other.gcs_in_flight),
+            (&mut self.faults_injected, other.faults_injected),
+            (&mut self.partitioned, other.partitioned),
         ] {
             mine.current += theirs.current;
             mine.high_water = mine.high_water.max(theirs.high_water);
@@ -173,7 +183,9 @@ impl ProtocolGauges {
     }
 
     /// Snapshot all six local gauges plus the externally-tracked GCS
-    /// in-flight reading into one bundle.
+    /// in-flight reading into one bundle.  The fault gauges are group-wide
+    /// (owned by the GCS fault plan, not the node) and default to zero here;
+    /// the cluster rollup fills them in from the group.
     pub fn snapshot(&self, gcs_in_flight: GaugeReading) -> GaugeSnapshot {
         GaugeSnapshot {
             tocommit_depth: self.tocommit_depth.read(),
@@ -183,6 +195,7 @@ impl ProtocolGauges {
             ready_len: self.ready_len.read(),
             cert_index_keys: self.cert_index_keys.read(),
             gcs_in_flight,
+            ..GaugeSnapshot::default()
         }
     }
 }

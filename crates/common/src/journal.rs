@@ -50,6 +50,64 @@ impl fmt::Display for TxRef {
     }
 }
 
+/// What a seeded fault injector did to one delivery copy.  Recorded in
+/// [`EventKind::FaultInjected`] and in the GCS fault log that the chaos
+/// harness fingerprints for seed-replay determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// First delivery attempt dropped; the copy arrives later via the
+    /// simulated retransmission (uniform delivery is preserved).
+    Drop,
+    /// A second copy of the same total-order message was enqueued; the
+    /// receive path dedups it by sequence number.
+    Duplicate,
+    /// The copy was delayed beyond the configured network latency.
+    ExtraDelay,
+}
+
+impl FaultKind {
+    /// Stable lowercase name (journal rendering, fingerprint files).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::ExtraDelay => "extra_delay",
+        }
+    }
+}
+
+/// A named crash-point: a place in the protocol where the chaos plan can
+/// make a replica crash-stop the instant execution reaches it.  The names
+/// follow the failover cases of the paper's §5.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// In `commit_local`, before the writeset is handed to the multicast:
+    /// the transaction dies with its origin (§5.4 case 1/2).
+    BeforeMulticast,
+    /// In `commit_local`, after the writeset was multicast but before the
+    /// origin commits or acks — the classic in-doubt window (§5.4 case 3).
+    AfterMulticastBeforeLocalCommit,
+    /// In the applier, after a remote writeset was delivered and validated
+    /// but before it commits locally.
+    AfterDeliverBeforeCommit,
+    /// In `Cluster::recover`, after the donor produced its state-transfer
+    /// snapshot but before the joiner installs it — the donor dies and
+    /// recovery must restart with another donor.
+    MidStateTransfer,
+}
+
+impl CrashPoint {
+    /// Stable lowercase name (journal rendering, chaos plan display).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashPoint::BeforeMulticast => "before_multicast",
+            CrashPoint::AfterMulticastBeforeLocalCommit => "after_multicast_before_local_commit",
+            CrashPoint::AfterDeliverBeforeCommit => "after_deliver_before_commit",
+            CrashPoint::MidStateTransfer => "mid_state_transfer",
+        }
+    }
+}
+
 /// A typed protocol event. Variants follow one writeset through the SRCA-Rep
 /// pipeline, plus the protocol-state events (holes, pruning, membership)
 /// that the paper's §4 adjustments revolve around.
@@ -87,6 +145,15 @@ pub enum EventKind {
     /// A driver connection failed over to this replica after `from`
     /// crashed (§5.4 automatic failover).
     ClientFailover { from: ReplicaId },
+    /// The seeded fault injector perturbed delivery copy `msg` (the global
+    /// fault-plan message index) bound for member `member`.
+    FaultInjected { fault: FaultKind, msg: u64, member: u64 },
+    /// A network partition started; `isolated` members are cut off.
+    PartitionStarted { isolated: u64 },
+    /// The partition healed; `flushed` held delivery copies were released.
+    PartitionHealed { flushed: u64 },
+    /// An armed crash-point fired and this replica crash-stopped there.
+    CrashPointFired { point: CrashPoint },
 }
 
 impl EventKind {
@@ -107,6 +174,10 @@ impl EventKind {
             EventKind::ApplyDone { .. } => "apply_done",
             EventKind::ViewChange { .. } => "view_change",
             EventKind::ClientFailover { .. } => "client_failover",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::PartitionStarted { .. } => "partition_started",
+            EventKind::PartitionHealed { .. } => "partition_healed",
+            EventKind::CrashPointFired { .. } => "crash_point_fired",
         }
     }
 
@@ -126,7 +197,11 @@ impl EventKind {
             | EventKind::HoleClosed { .. }
             | EventKind::WsListPruned { .. }
             | EventKind::ViewChange { .. }
-            | EventKind::ClientFailover { .. } => None,
+            | EventKind::ClientFailover { .. }
+            | EventKind::FaultInjected { .. }
+            | EventKind::PartitionStarted { .. }
+            | EventKind::PartitionHealed { .. }
+            | EventKind::CrashPointFired { .. } => None,
         }
     }
 }
@@ -343,5 +418,30 @@ mod tests {
         let e = EventKind::WsListPruned { watermark: GlobalTid::new(7), removed: 3 };
         assert_eq!(e.xact(), None);
         assert_eq!(e.name(), "ws_list_pruned");
+    }
+
+    #[test]
+    fn fault_events_are_named_and_carry_no_xact() {
+        let cases = [
+            (
+                EventKind::FaultInjected { fault: FaultKind::Drop, msg: 3, member: 1 },
+                "fault_injected",
+            ),
+            (EventKind::PartitionStarted { isolated: 2 }, "partition_started"),
+            (EventKind::PartitionHealed { flushed: 5 }, "partition_healed"),
+            (
+                EventKind::CrashPointFired { point: CrashPoint::MidStateTransfer },
+                "crash_point_fired",
+            ),
+        ];
+        for (kind, name) in cases {
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.xact(), None);
+        }
+        assert_eq!(FaultKind::Duplicate.name(), "duplicate");
+        assert_eq!(
+            CrashPoint::AfterMulticastBeforeLocalCommit.name(),
+            "after_multicast_before_local_commit"
+        );
     }
 }

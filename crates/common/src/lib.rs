@@ -38,7 +38,9 @@ pub use error::{AbortReason, DbError};
 pub use gauges::{Gauge, GaugeReading, GaugeSnapshot, ProtocolGauges};
 pub use histogram::Histogram;
 pub use ids::{ClientId, GlobalTid, MemberId, ReplicaId, SessionId, TxnId};
-pub use journal::{Event, EventKind, Journal, TxRef, DEFAULT_JOURNAL_CAPACITY};
+pub use journal::{
+    CrashPoint, Event, EventKind, FaultKind, Journal, TxRef, DEFAULT_JOURNAL_CAPACITY,
+};
 pub use metrics::{Metrics, Rates};
 pub use stats::{ConfidenceInterval, OnlineStats};
 pub use sync::Semaphore;

@@ -1,0 +1,88 @@
+//! Crash-point chaos plan: named places in the protocol where a replica
+//! can be made to crash-stop the instant execution reaches them.
+//!
+//! The paper's §5.4 failover argument is about *where* a crash interleaves
+//! with the commit pipeline: before the multicast (case 1/2 — the
+//! transaction dies with its origin), after the multicast but before the
+//! local commit/ack (case 3 — the classic in-doubt window), after delivery
+//! but before the local commit of a remote writeset, and in the middle of a
+//! recovery state transfer. Sleeping and hoping a concurrent `crash()`
+//! lands in the right window is hopeless; arming a [`CrashPoint`] makes the
+//! interleaving deterministic.
+//!
+//! A [`CrashPlan`] is shared by every node of a cluster. Each point is
+//! **one-shot**: the first replica to reach an armed point (with a matching
+//! replica id) fires it, records [`EventKind::CrashPointFired`] in its
+//! journal, and crash-stops exactly as `Cluster::crash` would (GCS member
+//! first, then the node), after which the point is disarmed.
+//!
+//! [`EventKind::CrashPointFired`]: sirep_common::EventKind::CrashPointFired
+
+use parking_lot::Mutex;
+use sirep_common::{CrashPoint, ReplicaId};
+use std::collections::HashMap;
+
+/// Armed crash-points for one cluster. Cheap to check when nothing is
+/// armed (one short mutex hold on an empty map).
+#[derive(Debug, Default)]
+pub struct CrashPlan {
+    armed: Mutex<HashMap<CrashPoint, ReplicaId>>,
+}
+
+impl CrashPlan {
+    pub fn new() -> CrashPlan {
+        CrashPlan::default()
+    }
+
+    /// Arm `point` for `replica`; replaces any previous arming of the same
+    /// point.
+    pub fn arm(&self, point: CrashPoint, replica: ReplicaId) {
+        self.armed.lock().insert(point, replica);
+    }
+
+    /// Disarm `point` (no-op if it was not armed or already fired).
+    pub fn disarm(&self, point: CrashPoint) {
+        self.armed.lock().remove(&point);
+    }
+
+    /// Currently armed points.
+    pub fn armed(&self) -> Vec<(CrashPoint, ReplicaId)> {
+        self.armed.lock().iter().map(|(&p, &r)| (p, r)).collect()
+    }
+
+    /// True (and disarms the point) exactly once, when `replica` reaches an
+    /// armed `point`.
+    pub(crate) fn fire(&self, point: CrashPoint, replica: ReplicaId) -> bool {
+        let mut armed = self.armed.lock();
+        if armed.get(&point) == Some(&replica) {
+            armed.remove(&point);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_points_are_one_shot_and_replica_scoped() {
+        let plan = CrashPlan::new();
+        let p = CrashPoint::AfterMulticastBeforeLocalCommit;
+        plan.arm(p, ReplicaId::new(1));
+        assert!(!plan.fire(p, ReplicaId::new(0)), "wrong replica must not fire");
+        assert!(plan.fire(p, ReplicaId::new(1)));
+        assert!(!plan.fire(p, ReplicaId::new(1)), "second reach must not re-fire");
+        assert!(plan.armed().is_empty());
+    }
+
+    #[test]
+    fn disarm_prevents_firing() {
+        let plan = CrashPlan::new();
+        plan.arm(CrashPoint::MidStateTransfer, ReplicaId::new(2));
+        plan.disarm(CrashPoint::MidStateTransfer);
+        assert!(!plan.fire(CrashPoint::MidStateTransfer, ReplicaId::new(2)));
+    }
+}

@@ -1,16 +1,17 @@
 //! Cluster assembly: N middleware/database replica pairs over one group.
 
 use crate::audit::{AuditViolation, Auditor};
+use crate::chaos::CrashPlan;
 use crate::model::{ReplicatedExecution, TxSpec};
 use crate::msg::{ReplMsg, XactId};
 use crate::node::{MemberRegistry, NodeStatus, ReplicaNode, ReplicationMode};
 use crate::session::Session;
 use parking_lot::{Mutex, RwLock};
 use sirep_common::{
-    DbError, Event, GaugeSnapshot, Journal, MemberId, Metrics, ReplicaId, StageSnapshot,
-    DEFAULT_JOURNAL_CAPACITY,
+    CrashPoint, DbError, Event, EventKind, GaugeSnapshot, Journal, MemberId, Metrics, ReplicaId,
+    StageSnapshot, DEFAULT_JOURNAL_CAPACITY,
 };
-use sirep_gcs::{Group, GroupConfig};
+use sirep_gcs::{FaultConfig, Group, GroupConfig, NETWORK_REPLICA};
 use sirep_storage::{CostModel, Database};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -194,6 +195,8 @@ pub struct Cluster {
     epoch: Instant,
     /// The cluster-wide online 1-copy-SI auditor.
     auditor: Arc<Auditor>,
+    /// Armed crash-points, shared by every node (chaos harness).
+    crash_plan: Arc<CrashPlan>,
 }
 
 impl Cluster {
@@ -205,6 +208,7 @@ impl Cluster {
         // Hole synchronization is only promised under SRCA-Rep — SRCA-Opt
         // deliberately forgoes it, so the auditor must not flag it there.
         let auditor = Arc::new(Auditor::new(config.audit, config.mode == ReplicationMode::SrcaRep));
+        let crash_plan = Arc::new(CrashPlan::new());
         let mut member_of = HashMap::new();
         let mut nodes = Vec::with_capacity(config.replicas);
         let mut threads = Vec::new();
@@ -228,6 +232,7 @@ impl Cluster {
                 None,
                 Journal::with_epoch(ReplicaId::new(k as u64), epoch, DEFAULT_JOURNAL_CAPACITY),
                 Arc::clone(&auditor),
+                Arc::clone(&crash_plan),
             );
             {
                 let n = Arc::clone(&node);
@@ -249,6 +254,7 @@ impl Cluster {
             rejoins: Mutex::new(HashMap::new()),
             epoch,
             auditor,
+            crash_plan,
         }
     }
 
@@ -307,6 +313,54 @@ impl Cluster {
         Ok(())
     }
 
+    /// Install a seeded fault-injection plan on the underlying group (see
+    /// [`FaultConfig`]). Faults journal under [`NETWORK_REPLICA`] on the
+    /// cluster's shared epoch so they interleave correctly with replica
+    /// events in trace exports.
+    pub fn install_faults(&self, cfg: FaultConfig) {
+        self.group.install_faults_with_epoch(cfg, self.epoch);
+    }
+
+    /// Symmetrically partition `replicas` away from the rest of the
+    /// cluster: deliveries to them are held, and their own multicasts are
+    /// buffered, until [`Cluster::heal_partition`]. Installs a quiet fault
+    /// plan if none is present.
+    pub fn partition(&self, replicas: &[usize]) {
+        let member_of = self.member_of.lock();
+        let members: Vec<MemberId> =
+            replicas.iter().filter_map(|k| member_of.get(k).copied()).collect();
+        drop(member_of);
+        self.group.partition(&members);
+    }
+
+    /// Heal the active partition: held deliveries flush in their original
+    /// order, then the isolated members' buffered multicasts are sequenced.
+    pub fn heal_partition(&self) {
+        self.group.heal();
+    }
+
+    /// Running fingerprint of the fault schedule as `(count, fnv64)` — two
+    /// runs with the same seed and workload shape must agree byte-for-byte.
+    pub fn fault_fingerprint(&self) -> Option<(u64, u64)> {
+        self.group.fault_fingerprint()
+    }
+
+    /// Arm a one-shot crash-point: the next time replica `k` reaches
+    /// `point`, it crash-stops there (see [`crate::chaos`]).
+    pub fn arm_crash_point(&self, point: CrashPoint, k: usize) {
+        self.crash_plan.arm(point, ReplicaId::new(k as u64));
+    }
+
+    /// Disarm a crash-point that has not fired yet.
+    pub fn disarm_crash_point(&self, point: CrashPoint) {
+        self.crash_plan.disarm(point);
+    }
+
+    /// Crash-points still armed (not yet fired or disarmed).
+    pub fn armed_crash_points(&self) -> Vec<(CrashPoint, ReplicaId)> {
+        self.crash_plan.armed()
+    }
+
     /// Crash replica `k`: survivors get a view change; clients of `k` see
     /// connection errors and fail over.
     pub fn crash(&self, k: usize) {
@@ -335,34 +389,55 @@ impl Cluster {
                 return Err(DbError::Internal(format!("replica {k} has not crashed")));
             }
         }
-        let donor = self
-            .alive()
-            .into_iter()
-            .next()
-            .ok_or_else(|| DbError::Internal("no live donor replica".into()))?;
         // 1. Join the group: deliveries buffer in the member's queue from
         //    here on.
         let member = self.group.join();
         self.registry.lock().insert(member.id().raw(), ReplicaId::new(k as u64));
         self.member_of.lock().insert(k, member.id());
-        // 2. Barrier: multicast a marker through the joiner's membership
-        //    and wait for the donor to process it. Everything sequenced
-        //    before the joiner's buffer began is then reflected in the
-        //    donor's state; everything after is in the buffer.
-        let token = {
-            use std::sync::atomic::{AtomicU64, Ordering};
-            static NEXT: AtomicU64 = AtomicU64::new(1);
-            (member.id().raw() << 32) | NEXT.fetch_add(1, Ordering::Relaxed)
+        // 2+3. Pick a donor, barrier on a marker, pull the state transfer.
+        //    A donor can die at any point in this window (including via the
+        //    armed `mid_state_transfer` crash-point, which kills it right
+        //    after it produced the snapshot); each failure discards the
+        //    partial transfer and restarts with the next live donor.
+        let (db, bootstrap) = loop {
+            let donor = self
+                .alive()
+                .into_iter()
+                .find(|n| n.id().index() != k)
+                .ok_or_else(|| DbError::Internal("no live donor replica".into()))?;
+            // Barrier: multicast a marker through the joiner's membership
+            // and wait for the donor to process it. Everything sequenced
+            // before the joiner's buffer began is then reflected in the
+            // donor's state; everything after is in the buffer.
+            let token = {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static NEXT: AtomicU64 = AtomicU64::new(1);
+                (member.id().raw() << 32) | NEXT.fetch_add(1, Ordering::Relaxed)
+            };
+            member
+                .handle()
+                .multicast_total(crate::msg::ReplMsg::Marker { token })
+                .map_err(|_| DbError::Internal("joiner failed to multicast marker".into()))?;
+            if !donor.wait_for_marker(token, Duration::from_secs(30)) {
+                if !donor.is_alive() {
+                    continue; // the donor died while we waited; next donor
+                }
+                return Err(DbError::Internal("donor never processed the recovery marker".into()));
+            }
+            // Consistent state transfer from the donor (brief latch).
+            let snapshot = donor.state_transfer(self.config.cost.clone());
+            if self.crash_plan.fire(CrashPoint::MidStateTransfer, donor.id()) {
+                // The donor crash-stops with the snapshot handed over but
+                // not yet installed; the joiner must not trust a transfer
+                // from a dead donor, so discard it and retry.
+                donor
+                    .journal
+                    .record(EventKind::CrashPointFired { point: CrashPoint::MidStateTransfer });
+                self.crash(donor.id().index());
+                continue;
+            }
+            break snapshot;
         };
-        member
-            .handle()
-            .multicast_total(crate::msg::ReplMsg::Marker { token })
-            .map_err(|_| DbError::Internal("joiner failed to multicast marker".into()))?;
-        if !donor.wait_for_marker(token, Duration::from_secs(30)) {
-            return Err(DbError::Internal("donor never processed the recovery marker".into()));
-        }
-        // 3. Consistent state transfer from the donor (brief latch).
-        let (db, bootstrap) = donor.state_transfer(self.config.cost.clone());
         if self.config.track_history {
             db.set_track_reads(true);
         }
@@ -385,6 +460,7 @@ impl Cluster {
             Some(bootstrap),
             Journal::with_epoch(ReplicaId::new(k as u64), self.epoch, DEFAULT_JOURNAL_CAPACITY),
             Arc::clone(&self.auditor),
+            Arc::clone(&self.crash_plan),
         );
         {
             let n = Arc::clone(&node);
@@ -417,6 +493,11 @@ impl Cluster {
         // Every node reports the same group-wide in-flight gauge, so the
         // absorb above over-counts it |nodes| times — read it once instead.
         gauges.gcs_in_flight = self.group.in_flight();
+        // Fault gauges live on the group's fault plan, not on any node.
+        if let Some((injected, partitioned)) = self.group.fault_gauges() {
+            gauges.faults_injected = injected;
+            gauges.partitioned = partitioned;
+        }
         ClusterReport { metrics, stages, gauges, violations: self.auditor.violations(), per_node }
     }
 
@@ -431,9 +512,17 @@ impl Cluster {
     }
 
     /// Snapshot of every replica's protocol event journal, in replica
-    /// order (empty vectors without the `trace` feature).
+    /// order (empty vectors without the `trace` feature). When a fault
+    /// plan is installed its network-level events (injections, partitions)
+    /// are appended under the pseudo-replica [`NETWORK_REPLICA`].
     pub fn journal_events(&self) -> Vec<(ReplicaId, Vec<Event>)> {
-        self.nodes.read().iter().map(|n| (n.id(), n.journal.snapshot())).collect()
+        let mut out: Vec<(ReplicaId, Vec<Event>)> =
+            self.nodes.read().iter().map(|n| (n.id(), n.journal.snapshot())).collect();
+        let net = self.group.fault_journal();
+        if !net.is_empty() {
+            out.push((NETWORK_REPLICA, net));
+        }
+        out
     }
 
     /// Render all journals as a Chrome-Trace/Perfetto JSON document

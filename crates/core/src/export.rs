@@ -124,6 +124,12 @@ fn event_args(kind: &EventKind) -> String {
         }
         EventKind::ViewChange { members } => format!("\"members\":{members}"),
         EventKind::ClientFailover { from } => format!("\"from\":\"{from}\""),
+        EventKind::FaultInjected { fault, msg, member } => {
+            format!("\"fault\":\"{}\",\"msg\":{msg},\"member\":{member}", fault.name())
+        }
+        EventKind::PartitionStarted { isolated } => format!("\"isolated\":{isolated}"),
+        EventKind::PartitionHealed { flushed } => format!("\"flushed\":{flushed}"),
+        EventKind::CrashPointFired { point } => format!("\"point\":\"{}\"", point.name()),
     }
 }
 

@@ -40,6 +40,7 @@
 
 pub mod audit;
 pub mod centralized;
+pub mod chaos;
 pub mod cluster;
 pub mod export;
 pub mod holes;
@@ -54,6 +55,7 @@ pub mod validation;
 
 pub use audit::{AuditKind, AuditViolation, Auditor};
 pub use centralized::Centralized;
+pub use chaos::CrashPlan;
 pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ClusterReport};
 pub use export::{perfetto_trace_json, prometheus_text};
 pub use holes::HoleTracker;

@@ -34,6 +34,7 @@
 //! which must be atomic with local transaction begins, runs under the lock.
 
 use crate::audit::Auditor;
+use crate::chaos::CrashPlan;
 use crate::holes::HoleTracker;
 use crate::msg::{Outcome, ReplMsg, WsMsg, XactId};
 use crate::recorder::Recorder;
@@ -41,8 +42,8 @@ use crate::validation::WsList;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use sirep_common::{
-    AbortReason, DbError, EventKind, GaugeSnapshot, GlobalTid, Journal, Metrics, ProtocolGauges,
-    ReplicaId, Stage, StageSnapshot, StageStats, TxTrace,
+    AbortReason, CrashPoint, DbError, EventKind, GaugeSnapshot, GlobalTid, Journal, Metrics,
+    ProtocolGauges, ReplicaId, Stage, StageSnapshot, StageStats, TxTrace,
 };
 use sirep_gcs::{Delivery, GcsError, GcsHandle, Member};
 use sirep_storage::{Database, TupleId, TxnHandle, WriteSet};
@@ -386,6 +387,8 @@ pub struct ReplicaNode {
     /// Cluster-wide 1-copy-SI auditor; hooks are invoked under the state
     /// lock (the auditor's own lock is a strict leaf).
     auditor: Arc<Auditor>,
+    /// Armed crash-points shared across the cluster (chaos harness).
+    crash_plan: Arc<CrashPlan>,
 }
 
 /// State transferred from a donor replica during online recovery.
@@ -423,6 +426,7 @@ impl ReplicaNode {
         bootstrap: Option<Bootstrap>,
         journal: Journal,
         auditor: Arc<Auditor>,
+        crash_plan: Arc<CrashPlan>,
     ) -> Arc<ReplicaNode> {
         if let Some(b) = &bootstrap {
             // Rebase the auditor's view of this replica on the transferred
@@ -505,7 +509,22 @@ impl ReplicaNode {
             journal,
             gauges: ProtocolGauges::new(),
             auditor,
+            crash_plan,
         })
+    }
+
+    /// If `point` is armed for this replica, crash-stop here: record the
+    /// firing, crash the GCS member (survivors get a view change, exactly
+    /// as `Cluster::crash` orders it), then fail this node's clients. Must
+    /// be called *without* the state lock held — `mark_crashed` takes it.
+    fn crash_point(&self, point: CrashPoint) -> bool {
+        if !self.crash_plan.fire(point, self.id) {
+            return false;
+        }
+        self.journal.record(EventKind::CrashPointFired { point });
+        self.gcs.crash_self();
+        self.mark_crashed();
+        true
     }
 
     /// Recompute the queue-depth gauges from the protocol state. Called at
@@ -704,6 +723,12 @@ impl ReplicaNode {
             return Ok(());
         }
         trace.mark(Stage::WsExtract);
+        if self.crash_point(CrashPoint::BeforeMulticast) {
+            // §5.4 case 1/2: the transaction dies with its origin; nothing
+            // was multicast, so no replica will ever see this writeset.
+            txn.abort(AbortReason::ReplicaCrashed);
+            return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
+        }
         let (reply_tx, reply_rx) = bounded(1);
         let ws = Arc::new(ws);
         {
@@ -742,6 +767,14 @@ impl ReplicaNode {
                 return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
             }
             self.journal.record(EventKind::Multicast { xact: xact.into() });
+        }
+        if self.crash_point(CrashPoint::AfterMulticastBeforeLocalCommit) {
+            // §5.4 case 3: the writeset is on the wire (survivors will
+            // commit it) but this origin dies before committing or acking —
+            // the client's commit is now in doubt and must be resolved via
+            // `inquire` at another replica. `mark_crashed` already answered
+            // our own pending entry with ReplicaCrashed.
+            return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
         }
         match reply_rx.recv() {
             Ok(Ok(job)) => {
@@ -1003,6 +1036,12 @@ impl ReplicaNode {
                 }
             };
             let (tid, xact, ws, _origin, mut trace) = picked;
+            if self.crash_point(CrashPoint::AfterDeliverBeforeCommit) {
+                // The writeset was delivered and validated here but dies
+                // uncommitted with the replica; uniform delivery means
+                // every survivor still commits it.
+                return;
+            }
             // Appliers only ever see remote writesets (local entries are
             // committed by their session thread and enter the queue already
             // marked running). A nominally-local entry without a session —

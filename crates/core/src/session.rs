@@ -72,11 +72,16 @@ pub struct Session {
     node: Arc<ReplicaNode>,
     current: Option<ActiveTxn>,
     autocommit: bool,
+    /// Client-visible id of the most recently begun transaction, surviving
+    /// its commit/abort. The failover driver needs it to resolve an
+    /// autocommit statement whose implicit commit crashed mid-flight —
+    /// by then `current` is already gone.
+    last_xact: Option<XactId>,
 }
 
 impl Session {
     pub fn new(node: Arc<ReplicaNode>) -> Session {
-        Session { node, current: None, autocommit: false }
+        Session { node, current: None, autocommit: false, last_xact: None }
     }
 
     pub fn node(&self) -> &Arc<ReplicaNode> {
@@ -106,9 +111,17 @@ impl Session {
 
     fn ensure_txn(&mut self) -> Result<&ActiveTxn, DbError> {
         if self.current.is_none() {
-            self.current = Some(self.node.begin_local()?);
+            let active = self.node.begin_local()?;
+            self.last_xact = Some(active.xact);
+            self.current = Some(active);
         }
         Ok(self.current.as_ref().expect("just ensured"))
+    }
+
+    /// Id of the most recently begun transaction on this session, even
+    /// after it committed or aborted (in-doubt resolution needs it).
+    pub fn last_xact_id(&self) -> Option<XactId> {
+        self.last_xact
     }
 }
 

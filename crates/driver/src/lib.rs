@@ -43,6 +43,10 @@ use sirep_core::{Cluster, Connection, InDoubt, Outcome, ReplicaNode, Session, Xa
 use sirep_sql::ExecResult;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Cap on the exponential in-doubt-inquiry backoff.
+const BACKOFF_CAP: Duration = Duration::from_millis(100);
 
 /// Replica choice policy (load balancing — paper §8 future work).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,7 +62,7 @@ pub enum Policy {
 }
 
 /// Driver configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DriverConfig {
     pub policy: Policy,
     /// How many replicas to try before giving up on a failover.
@@ -66,6 +70,24 @@ pub struct DriverConfig {
     /// use [`DriverConfigBuilder::max_failover_attempts`] for an explicit
     /// bound.
     pub max_failover_attempts: usize,
+    /// How many in-doubt inquiry rounds to attempt before declaring the
+    /// service [`DbError::Unavailable`]. Each round asks one replica;
+    /// between rounds the driver backs off exponentially and fails over if
+    /// it can.
+    pub inquiry_attempts: usize,
+    /// First inter-inquiry backoff; doubles per round, capped at 100 ms.
+    pub backoff_base: Duration,
+}
+
+impl Default for DriverConfig {
+    fn default() -> DriverConfig {
+        DriverConfig {
+            policy: Policy::default(),
+            max_failover_attempts: 0,
+            inquiry_attempts: 6,
+            backoff_base: Duration::from_millis(1),
+        }
+    }
 }
 
 impl DriverConfig {
@@ -119,6 +141,20 @@ impl DriverConfigBuilder {
     /// Keep failing over while any replica is alive (the default).
     pub fn unlimited_failover(mut self) -> Self {
         self.cfg.max_failover_attempts = 0;
+        self
+    }
+
+    /// Bound the in-doubt inquiry rounds (must be positive; resolution
+    /// must ask at least once).
+    pub fn inquiry_attempts(mut self, n: usize) -> Self {
+        assert!(n > 0, "in-doubt resolution needs at least one inquiry");
+        self.cfg.inquiry_attempts = n;
+        self
+    }
+
+    /// First inter-inquiry backoff (doubles per round, capped at 100 ms).
+    pub fn backoff_base(mut self, d: Duration) -> Self {
+        self.cfg.backoff_base = d;
         self
     }
 
@@ -192,6 +228,15 @@ impl DriverConnection<'_> {
         self.session.node().id()
     }
 
+    /// JDBC autocommit mode, preserved across failovers.
+    pub fn set_autocommit(&mut self, on: bool) -> Result<(), DbError> {
+        self.session.set_autocommit(on)
+    }
+
+    pub fn autocommit(&self) -> bool {
+        self.session.autocommit()
+    }
+
     fn is_crash(e: &DbError) -> bool {
         matches!(
             e,
@@ -217,7 +262,9 @@ impl DriverConnection<'_> {
         // The failover is visible in the *new* replica's journal: it is the
         // one that takes over the client.
         next.journal.record(sirep_common::EventKind::ClientFailover { from: current.id() });
+        let autocommit = self.session.autocommit();
         self.session = Session::new(next);
+        self.session.set_autocommit(autocommit).expect("fresh session has no open txn");
         self.failovers += 1;
         Ok(())
     }
@@ -226,15 +273,43 @@ impl DriverConnection<'_> {
 impl Connection for DriverConnection<'_> {
     fn execute(&mut self, sql: &str) -> Result<ExecResult, DbError> {
         let had_txn = self.session.in_transaction();
+        let prev_xact = self.session.last_xact_id();
         match self.session.execute(sql) {
             Ok(r) => Ok(r),
             Err(e) if Self::is_crash(&e) => {
-                self.reconnect()?;
+                // In autocommit mode the statement's implicit commit runs
+                // *inside* `execute`, so this crash may sit anywhere on the
+                // §5.4 case-1..3 spectrum. A fresh `last_xact_id` tells us a
+                // transaction was begun for this statement — if so its
+                // writeset may already have been multicast, and blindly
+                // re-executing would apply the statement twice.
+                let stmt_xact = if !had_txn && self.session.autocommit() {
+                    self.session.last_xact_id().filter(|x| Some(*x) != prev_xact)
+                } else {
+                    None
+                };
+                if let Err(re) = self.reconnect() {
+                    // No replica reachable. With an in-doubt autocommit
+                    // statement outstanding this is *not* a clean
+                    // connection loss — the commit may have happened.
+                    return Err(if stmt_xact.is_some() { DbError::Unavailable } else { re });
+                }
                 if had_txn {
                     // §5.4 case 2: the transaction was local to the crashed
                     // replica and is lost; the client may retry on the (now
                     // reconnected) connection.
                     Err(DbError::Aborted(AbortReason::ReplicaCrashed))
+                } else if let Some(xact) = stmt_xact {
+                    // Case 3 in autocommit clothing: resolve by id first.
+                    match self.resolve_in_doubt(xact) {
+                        // It committed. The row count died with the origin,
+                        // so report zero rather than re-running (which
+                        // would double-apply).
+                        Ok(()) => Ok(ExecResult::Affected(0)),
+                        // It committed nowhere — replaying is safe.
+                        Err(DbError::Aborted(_)) => self.session.execute(sql),
+                        Err(e) => Err(e),
+                    }
                 } else {
                     // Case 1: nothing was in flight — fully transparent.
                     self.session.execute(sql)
@@ -252,7 +327,10 @@ impl Connection for DriverConnection<'_> {
             Err(e) if Self::is_crash(&e) => {
                 // §5.4 case 3: the commit was submitted but the replica
                 // died. Fail over and resolve by transaction id.
-                self.reconnect()?;
+                if let Err(re) = self.reconnect() {
+                    // Nobody left to ask whether the commit landed.
+                    return Err(if xact.is_some() { DbError::Unavailable } else { re });
+                }
                 let Some(xact) = xact else {
                     return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
                 };
@@ -272,8 +350,20 @@ impl Connection for DriverConnection<'_> {
 }
 
 impl DriverConnection<'_> {
+    /// Resolve an in-doubt transaction by id, with bounded retry.
+    ///
+    /// Each round asks the currently pinned replica; if that replica also
+    /// crashes mid-inquiry the driver backs off exponentially and fails
+    /// over. Once `inquiry_attempts` rounds are exhausted (every replica
+    /// down, or crashing faster than we can ask), the outcome is
+    /// unknowable from here and the *terminal* [`DbError::Unavailable`] is
+    /// surfaced — the transaction may or may not have committed. The old
+    /// behavior was an unbounded loop that hung forever with the whole
+    /// cluster down.
     fn resolve_in_doubt(&mut self, xact: XactId) -> Result<(), DbError> {
-        loop {
+        let attempts = self.driver.config.inquiry_attempts.max(1);
+        let mut backoff = self.driver.config.backoff_base;
+        for round in 0..attempts {
             match self.session.node().inquire(xact) {
                 Ok(InDoubt::Known(Outcome::Committed)) => return Ok(()),
                 Ok(InDoubt::Known(Outcome::Aborted)) => {
@@ -285,11 +375,19 @@ impl DriverConnection<'_> {
                     return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
                 }
                 Err(_) => {
-                    // The replica we asked also crashed; keep failing over.
-                    self.reconnect()?;
+                    // The replica we asked also crashed. Back off, then
+                    // fail over if anyone is reachable; if not, retry the
+                    // discovery next round — a recovery may be in flight.
+                    if round + 1 == attempts {
+                        break;
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                    let _ = self.reconnect();
                 }
             }
         }
+        Err(DbError::Unavailable)
     }
 }
 
@@ -369,6 +467,61 @@ mod tests {
         c.crash(0);
         let conn = d.connect().unwrap();
         assert_eq!(conn.replica().index(), 1);
+    }
+
+    #[test]
+    fn autocommit_statement_not_double_applied_on_mid_commit_crash() {
+        use sirep_common::CrashPoint;
+        let c = cluster(3);
+        {
+            let mut s = c.session(0);
+            s.execute("INSERT INTO kv VALUES (1, 1)").unwrap();
+            s.commit().unwrap();
+        }
+        assert!(c.quiesce(std::time::Duration::from_secs(5)));
+        let d =
+            Driver::new(Arc::clone(&c), DriverConfig::builder().policy(Policy::Primary).build());
+        let mut conn = d.connect().unwrap();
+        conn.set_autocommit(true).unwrap();
+        assert_eq!(conn.replica().index(), 0);
+        // The replica dies after the writeset is multicast but before the
+        // local commit/ack: the implicit autocommit commit is in doubt,
+        // although the survivors will commit it.
+        c.arm_crash_point(CrashPoint::AfterMulticastBeforeLocalCommit, 0);
+        let r = conn.execute("UPDATE kv SET v = v + 1 WHERE k = 1").unwrap();
+        // The origin died with the row count; zero is the documented stand-in.
+        assert_eq!(r.affected(), 0);
+        assert!(conn.autocommit(), "autocommit mode must survive the failover");
+        assert!(conn.failovers() >= 1);
+        assert!(c.quiesce(std::time::Duration::from_secs(5)));
+        // Exactly one increment: the pre-fix driver re-executed the
+        // statement on the new replica and produced v = 3.
+        let mut check = c.session(1);
+        let r = check.execute("SELECT v FROM kv WHERE k = 1").unwrap();
+        assert_eq!(r.rows()[0][0], sirep_storage::Value::Int(2));
+        assert!(c.audit_is_clean());
+    }
+
+    #[test]
+    fn in_doubt_with_all_replicas_down_is_unavailable_not_a_hang() {
+        use sirep_common::CrashPoint;
+        let c = cluster(2);
+        let d = Driver::new(
+            Arc::clone(&c),
+            DriverConfig::builder()
+                .policy(Policy::Primary)
+                .inquiry_attempts(4)
+                .backoff_base(std::time::Duration::from_millis(1))
+                .build(),
+        );
+        let mut conn = d.connect().unwrap();
+        conn.execute("INSERT INTO kv VALUES (9, 9)").unwrap();
+        // Kill the only other replica, then crash the origin mid-commit:
+        // the outcome is unknowable and the pre-fix driver spun forever.
+        c.crash(1);
+        c.arm_crash_point(CrashPoint::AfterMulticastBeforeLocalCommit, 0);
+        let err = conn.commit().unwrap_err();
+        assert_eq!(err, DbError::Unavailable);
     }
 
     #[test]

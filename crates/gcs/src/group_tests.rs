@@ -322,3 +322,133 @@ fn handles_work_from_other_threads() {
     let got = collect_total(&a, 10);
     assert_eq!(got.len(), 10);
 }
+
+// --- fault injection (chaos harness substrate) ---------------------------
+
+mod faults {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultRecord};
+    use sirep_common::FaultKind;
+
+    /// Satellite regression: a member whose endpoint vanished without a
+    /// `crash()` (hung process, dropped receiver) used to be skipped
+    /// silently by `broadcast` — the message was lost for it and the view
+    /// never changed. Now the failed send marks it suspect and drives an
+    /// explicit view change.
+    #[test]
+    fn suspected_member_without_crash_gets_view_change() {
+        let group: Group<u32> = Group::new(GroupConfig::instant());
+        let a = group.join();
+        let b = group.join();
+        drain_views(&a);
+        drain_views(&b);
+        let b_id = b.id();
+        drop(b); // endpoint gone, but nobody called crash()
+        a.multicast_total(7).unwrap();
+        let mut got_msg = false;
+        let mut view = None;
+        for _ in 0..4 {
+            match a.recv_timeout(Duration::from_secs(5)) {
+                Ok(Delivery::TotalOrder { msg, .. }) => {
+                    assert_eq!(msg, 7);
+                    got_msg = true;
+                }
+                Ok(Delivery::ViewChange(v)) => {
+                    view = Some(v);
+                    break;
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(got_msg, "the survivor must still get the payload");
+        let view = view.expect("eviction must produce a view change");
+        assert!(view.contains(a.id()));
+        assert!(!view.contains(b_id), "the suspect must leave the view");
+        assert!(!group.view().contains(b_id));
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_deduped_at_the_member() {
+        let group: Group<u32> = Group::new(GroupConfig::instant());
+        let a = group.join();
+        let b = group.join();
+        drain_views(&a);
+        drain_views(&b);
+        group.install_faults(FaultConfig { dup_prob: 1.0, ..FaultConfig::quiet(7) });
+        for i in 0..5 {
+            a.multicast_total(i).unwrap();
+        }
+        // Every copy was duplicated, yet each member sees each sequence
+        // number exactly once.
+        for m in [&a, &b] {
+            let got = collect_total(m, 5);
+            assert_eq!(got.iter().map(|(s, _)| *s).collect::<Vec<_>>(), (0..5).collect::<Vec<_>>());
+            assert!(m.try_recv().is_none(), "duplicate copies must be suppressed");
+        }
+        let dups = group
+            .fault_log()
+            .iter()
+            .filter(|r| matches!(r, FaultRecord::Fault { kind: FaultKind::Duplicate, .. }))
+            .count();
+        assert_eq!(dups, 10, "2 members x 5 messages, all duplicated");
+        // The gauge accounting survived the suppressed copies.
+        assert_eq!(a.in_flight().current, 0);
+    }
+
+    #[test]
+    fn dropped_messages_are_retransmitted_not_lost() {
+        let group: Group<u32> = Group::new(GroupConfig::instant());
+        let a = group.join();
+        let b = group.join();
+        drain_views(&a);
+        drain_views(&b);
+        // Drop *every* first attempt: uniform reliable delivery must still
+        // hold — a drop only costs the simulated retransmission latency.
+        group.install_faults(FaultConfig {
+            drop_prob: 1.0,
+            retransmit_delay_ms: 0.5,
+            ..FaultConfig::quiet(11)
+        });
+        for i in 0..20 {
+            a.multicast_total(i).unwrap();
+        }
+        let got = collect_total(&b, 20);
+        assert_eq!(got.iter().map(|(_, m)| *m).collect::<Vec<_>>(), (0..20).collect::<Vec<_>>());
+        let drops = group
+            .fault_log()
+            .iter()
+            .filter(|r| matches!(r, FaultRecord::Fault { kind: FaultKind::Drop, .. }))
+            .count();
+        assert_eq!(drops, 40, "2 members x 20 messages, all first attempts dropped");
+    }
+
+    #[test]
+    fn partition_holds_and_heals_in_order() {
+        let group: Group<u32> = Group::new(GroupConfig::instant());
+        let a = group.join();
+        let b = group.join();
+        let c = group.join();
+        for m in [&a, &b, &c] {
+            drain_views(m);
+        }
+        group.partition(&[c.id()]);
+        for i in 0..10 {
+            a.multicast_total(i).unwrap();
+        }
+        let b_got = collect_total(&b, 10);
+        assert!(c.try_recv().is_none(), "deliveries to the isolated member are held");
+        // The isolated member's own multicast is buffered, not sequenced.
+        assert_eq!(c.multicast_total(99).unwrap(), HELD_SEND_SEQ);
+        assert!(b.try_recv().is_none(), "the held send must not leak before heal");
+        group.heal();
+        // The healed member catches up in exactly the order the majority
+        // saw, and only then does its buffered send get sequenced.
+        let c_got = collect_total(&c, 11);
+        assert_eq!(&c_got[..10], &b_got[..]);
+        assert_eq!(c_got[10].1, 99);
+        assert_eq!(collect_total(&b, 1)[0].1, 99);
+        let a_got = collect_total(&a, 11);
+        assert_eq!(a_got[10].1, 99);
+        assert_eq!(a.in_flight().current, 0);
+    }
+}

@@ -36,9 +36,11 @@
 //! assert!(matches!(a.recv().unwrap(), Delivery::TotalOrder { .. }));
 //! ```
 
+pub mod fault;
 pub mod group;
 
-pub use group::{Delivery, GcsError, GcsHandle, Group, GroupConfig, Member, View};
+pub use fault::{FaultConfig, FaultDecision, FaultRecord, NETWORK_REPLICA};
+pub use group::{Delivery, GcsError, GcsHandle, Group, GroupConfig, Member, View, HELD_SEND_SEQ};
 
 #[cfg(test)]
 mod group_tests;

@@ -26,9 +26,13 @@ if [[ "$QUICK" == "1" ]]; then
     cargo test --offline --workspace --lib -q
     echo "==> certification differential property test (indexed vs scan oracle)"
     cargo test --offline -p sirep-core --lib validation::differential -q
+    echo "==> chaos harness (2 pinned seeds)"
+    SIREP_CHAOS_SEEDS=2 cargo test --offline --test chaos_faults -q
 else
     echo "==> cargo test (workspace)"
     cargo test --offline --workspace -q
+    echo "==> chaos harness (16-seed sweep)"
+    SIREP_CHAOS_SEEDS=16 cargo test --offline --test chaos_faults -q
 fi
 
 echo "OK: fmt, clippy, trace-off build, tests all green."

@@ -148,3 +148,56 @@ fn recovery_transfers_indoubt_outcomes() {
     let r = c.node(2).inquire(xact).unwrap();
     assert_eq!(r, InDoubt::Known(Outcome::Committed));
 }
+
+/// The donor crash-stops in the middle of the state transfer (via the
+/// `mid_state_transfer` crash-point): the recovering replica must discard
+/// the partial transfer and restart with another donor, not install state
+/// from a dead one.
+#[test]
+fn donor_crash_mid_state_transfer_retries_with_another_donor() {
+    use sirep_common::CrashPoint;
+    let c = cluster(3);
+    c.crash(2);
+    let mut s = c.session(0);
+    for _ in 0..5 {
+        s.execute("UPDATE kv SET v = v + 1 WHERE k = 3").unwrap();
+        s.commit().unwrap();
+    }
+    assert!(c.quiesce(Q));
+    // recover() picks the lowest-id live donor first: replica 0. Arm the
+    // crash-point there so the first transfer attempt dies under us.
+    c.arm_crash_point(CrashPoint::MidStateTransfer, 0);
+    c.recover(2).unwrap();
+    assert!(c.armed_crash_points().is_empty(), "the crash-point must have fired");
+    assert!(!c.node(0).is_alive(), "the donor crash-stopped mid-transfer");
+    assert!(c.quiesce(Q));
+    // The retry used replica 1 as donor, and the recovered node is whole.
+    assert_eq!(sum_at(&c, 2), 5, "recovered replica installed a bad transfer");
+    // The recovered replica is a first-class member again.
+    let mut s2 = c.session(2);
+    s2.execute("UPDATE kv SET v = v + 1 WHERE k = 4").unwrap();
+    s2.commit().unwrap();
+    assert!(c.quiesce(Q));
+    assert_eq!(sum_at(&c, 1), 6);
+    assert!(c.audit_is_clean());
+    // The fired point is on the donor's journal (trace builds only).
+    #[cfg(feature = "trace")]
+    {
+        let events = c.journal_events();
+        let fired = events
+            .iter()
+            .find(|(id, _)| id.index() == 0)
+            .map(|(_, evs)| {
+                evs.iter().any(|e| {
+                    matches!(
+                        e.kind,
+                        sirep_common::EventKind::CrashPointFired {
+                            point: CrashPoint::MidStateTransfer
+                        }
+                    )
+                })
+            })
+            .unwrap_or(false);
+        assert!(fired, "CrashPointFired must be journaled on the donor");
+    }
+}
