@@ -100,7 +100,7 @@ impl Criterion {
             f(&mut b);
             per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
         }
-        per_iter.sort_by(|a, b| a.total_cmp(b));
+        per_iter.sort_by(f64::total_cmp);
         let min = per_iter.first().copied().unwrap_or(0.0);
         let max = per_iter.last().copied().unwrap_or(0.0);
         let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
@@ -166,7 +166,7 @@ mod tests {
             b.iter(|| {
                 ran += 1;
                 std::hint::black_box((0..100u64).sum::<u64>())
-            })
+            });
         });
         assert!(ran > 0);
     }

@@ -136,8 +136,7 @@ impl TestRunner {
         // invocations explore different inputs, like the upstream default.
         let t = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0x5EED);
+            .map_or(0x5EED, |d| d.as_nanos() as u64);
         let here = &t as *const u64 as u64;
         TestRunner { rng: TestRng::from_seed(t ^ here.rotate_left(32)) }
     }

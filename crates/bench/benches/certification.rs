@@ -63,7 +63,7 @@ fn time_ns(reps: usize, iters: usize, mut f: impl FnMut() -> bool) -> f64 {
         assert!(acc, "bench candidates must all pass");
         samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    samples.sort_by(|a, b| a.total_cmp(b));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

@@ -28,10 +28,10 @@ fn bench_writeset_intersection(c: &mut Criterion) {
     let disjoint = ws_of(100..110);
     let overlapping = ws_of(5..15);
     c.bench_function("writeset/intersect_disjoint_10x10", |b| {
-        b.iter(|| black_box(a.intersects(black_box(&disjoint))))
+        b.iter(|| black_box(a.intersects(black_box(&disjoint))));
     });
     c.bench_function("writeset/intersect_overlap_10x10", |b| {
-        b.iter(|| black_box(a.intersects(black_box(&overlapping))))
+        b.iter(|| black_box(a.intersects(black_box(&overlapping))));
     });
 }
 
@@ -54,11 +54,11 @@ fn bench_validation(c: &mut Criterion) {
     let cert = sirep_common::GlobalTid::new(900);
     let candidate = ws_of(20_000..20_010);
     c.bench_function("validation/pass_window_100", |b| {
-        b.iter(|| black_box(list.passes(black_box(cert), black_box(&candidate))))
+        b.iter(|| black_box(list.passes(black_box(cert), black_box(&candidate))));
     });
     let conflicting = ws_of(9_995..10_005);
     c.bench_function("validation/conflict_window_100", |b| {
-        b.iter(|| black_box(list.passes(black_box(cert), black_box(&conflicting))))
+        b.iter(|| black_box(list.passes(black_box(cert), black_box(&conflicting))));
     });
 }
 
@@ -77,7 +77,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
             t.mark(Stage::ValidateQueue);
             t.mark(Stage::Commit);
             stats.absorb(&black_box(t.finish()));
-        })
+        });
     });
     // The <5 % overhead claim, measured: the same certification inner loop
     // as validation/pass_window_100 with the whole tracing footprint added
@@ -96,7 +96,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
             t.mark(Stage::Commit);
             stats.absorb(&t.finish());
             pass
-        })
+        });
     });
 }
 

@@ -29,7 +29,7 @@ use std::io::Write;
 
 /// Smoke-run mode (used by CI and the test suite).
 pub fn quick() -> bool {
-    std::env::var("SIREP_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("SIREP_QUICK").is_ok_and(|v| v != "0")
 }
 
 /// The time compression factor for bench runs.

@@ -78,8 +78,9 @@ impl FaultKind {
 
 /// A named crash-point: a place in the protocol where the chaos plan can
 /// make a replica crash-stop the instant execution reaches it.  The names
-/// follow the failover cases of the paper's §5.4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// follow the failover cases of the paper's §5.4.  `Ord` so crash-plan
+/// containers can be deterministic `BTreeMap`s (declaration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CrashPoint {
     /// In `commit_local`, before the writeset is handed to the multicast:
     /// the transaction dies with its origin (§5.4 case 1/2).

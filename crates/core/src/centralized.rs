@@ -67,7 +67,7 @@ impl Connection for CentralConn {
                     if let DbError::Aborted(reason) = &e {
                         match reason {
                             AbortReason::SerializationFailure => {
-                                Metrics::inc(&self.metrics.aborts_serialization)
+                                Metrics::inc(&self.metrics.aborts_serialization);
                             }
                             AbortReason::Deadlock => Metrics::inc(&self.metrics.aborts_deadlock),
                             _ => {}

@@ -20,13 +20,15 @@
 
 use parking_lot::Mutex;
 use sirep_common::{CrashPoint, ReplicaId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Armed crash-points for one cluster. Cheap to check when nothing is
-/// armed (one short mutex hold on an empty map).
+/// armed (one short mutex hold on an empty map). A `BTreeMap` so that
+/// `armed()` enumerates in a stable order — chaos harness output must be
+/// a pure function of the seed.
 #[derive(Debug, Default)]
 pub struct CrashPlan {
-    armed: Mutex<HashMap<CrashPoint, ReplicaId>>,
+    armed: Mutex<BTreeMap<CrashPoint, ReplicaId>>,
 }
 
 impl CrashPlan {

@@ -271,6 +271,7 @@ impl Cluster {
     }
 
     pub fn node(&self, k: usize) -> Arc<ReplicaNode> {
+        // sirep-lint: allow(no-unwrap-on-protocol-paths): accessor contract — a replica id out of range is harness misuse, panicking here is the documented behavior (like slice indexing)
         Arc::clone(&self.nodes.read()[k])
     }
 
@@ -365,9 +366,17 @@ impl Cluster {
     /// connection errors and fail over.
     pub fn crash(&self, k: usize) {
         // Crash the group member first so the survivors' uniform-delivery
-        // cut is taken before local cleanup rejects anything.
-        let member = *self.member_of.lock().get(&k).expect("unknown replica");
-        self.group.crash(member);
+        // cut is taken before local cleanup rejects anything. A missing
+        // membership entry means the member is already gone from the group;
+        // the local mark_crashed below is still required (and `node(k)`
+        // still bounds-checks `k`). The copy is hoisted into its own
+        // statement so the member_of guard is released before the group
+        // and node-state locks are taken (edition-2021 `if let` keeps
+        // scrutinee temporaries alive for the whole block).
+        let member = self.member_of.lock().get(&k).copied();
+        if let Some(member) = member {
+            self.group.crash(member);
+        }
         self.node(k).mark_crashed();
     }
 
@@ -385,8 +394,12 @@ impl Cluster {
     pub fn recover(&self, k: usize) -> Result<(), DbError> {
         {
             let nodes = self.nodes.read();
-            if nodes[k].is_alive() {
-                return Err(DbError::Internal(format!("replica {k} has not crashed")));
+            match nodes.get(k) {
+                None => return Err(DbError::Internal(format!("no such replica {k}"))),
+                Some(n) if n.is_alive() => {
+                    return Err(DbError::Internal(format!("replica {k} has not crashed")));
+                }
+                Some(_) => {}
             }
         }
         // 1. Join the group: deliveries buffer in the member's queue from
@@ -470,6 +483,7 @@ impl Cluster {
             let n = Arc::clone(&node);
             self.threads.lock().push(std::thread::spawn(move || n.run_applier()));
         }
+        // sirep-lint: allow(no-unwrap-on-protocol-paths): k was bounds-checked against the nodes vec at entry to recover, and n never changes after startup
         self.nodes.write()[k] = node;
         Ok(())
     }
@@ -592,8 +606,14 @@ impl Cluster {
         let nodes = self.nodes.read().clone();
         for (k, n) in nodes.iter().enumerate() {
             if n.is_alive() {
-                let member = *self.member_of.lock().get(&k).expect("unknown replica");
-                self.group.crash(member);
+                // No membership entry means the group member is already
+                // gone (concurrent crash); still fail the node's clients.
+                // Copy hoisted so the member_of guard drops before the
+                // group lock is taken (edition-2021 if-let temporaries).
+                let member = self.member_of.lock().get(&k).copied();
+                if let Some(member) = member {
+                    self.group.crash(member);
+                }
                 n.mark_crashed();
             }
         }

@@ -252,7 +252,7 @@ where
                 expected.insert(*t, spec_k);
             }
         }
-        let present: BTreeSet<T> = s.iter().map(|op| op.txn()).collect();
+        let present: BTreeSet<T> = s.iter().map(Op::txn).collect();
         let expected_set: BTreeSet<T> = expected.keys().copied().collect();
         if present != expected_set {
             return Err(Violation::NotRowa(format!(

@@ -172,6 +172,7 @@ impl TocommitQueue {
     /// running.
     fn pop_ready(&mut self) -> Option<&QEntry> {
         let tid = self.ready.pop_first()?;
+        // sirep-lint: allow(no-unwrap-on-protocol-paths): ready ⊆ entries is the queue's structural invariant (every insert/remove maintains it); a miss is a corrupted queue, not a runtime condition
         let e = self.entries.get_mut(&tid).expect("ready tid must be queued");
         debug_assert!(!e.running && e.blockers == 0);
         e.running = true;
@@ -192,8 +193,9 @@ impl TocommitQueue {
             let Some(list) = self.waiters.get_mut(id) else { continue };
             if let Some(pos) = list.iter().position(|&t| t == tid) {
                 list.remove(pos);
+                // sirep-lint: allow(no-unwrap-on-protocol-paths): pos came from position() on this very list — in range by construction
                 for &succ in &list[pos..] {
-                    let s = self.entries.get_mut(&succ).expect("waiter must be queued");
+                    let s = self.entries.get_mut(&succ).expect("waiter must be queued"); // sirep-lint: allow(no-unwrap-on-protocol-paths): waiter lists only hold queued tids (the queue's structural invariant)
                     s.blockers -= 1;
                     if s.blockers == 0 && !s.running {
                         self.ready.insert(succ);
@@ -521,6 +523,7 @@ impl ReplicaNode {
         if !self.crash_plan.fire(point, self.id) {
             return false;
         }
+        // sirep-lint: allow(journal-gauge-under-lock): crash-stop record — mark_crashed below takes the state lock itself, so holding it here would self-deadlock; nothing races a replica that is about to die
         self.journal.record(EventKind::CrashPointFired { point });
         self.gcs.crash_self();
         self.mark_crashed();
@@ -693,11 +696,15 @@ impl ReplicaNode {
                 Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
             }
             ReplicationMode::SrcaOpt => {
-                // No synchronization: begin immediately (1-copy-SI may be
-                // lost, which is the point of the ablation).
+                // No hole-rule synchronization: begin immediately (1-copy-SI
+                // may be lost, which is the point of the ablation). The
+                // begin event is still journaled under the state lock so the
+                // journal's event order matches the bookkeeping order.
                 let txn = self.db.begin()?;
-                self.state.lock().holes.local_started();
+                let mut st = self.state.lock();
+                st.holes.local_started();
                 self.journal.record(EventKind::TxBegin { xact: xact.into() });
+                drop(st);
                 self.recorder.on_begin(xact);
                 Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
             }
@@ -736,10 +743,13 @@ impl ReplicaNode {
             // Local validation (adjustment 1): only the tocommit queue —
             // O(|ws|) probes of its waiter index.
             if st.queue.conflicts(&ws) {
+                // Journal the abort verdict at the decision point, under the
+                // lock, so it cannot interleave after a later transaction's
+                // events; only the database-side rollback runs outside.
+                self.journal.record(EventKind::Abort { xact: xact.into() });
                 drop(st);
                 txn.abort(AbortReason::ValidationFailure);
                 Metrics::inc(&self.metrics.aborts_validation);
-                self.journal.record(EventKind::Abort { xact: xact.into() });
                 return Err(DbError::Aborted(AbortReason::ValidationFailure));
             }
             let cert = st.wslist.last_tid();
@@ -980,10 +990,12 @@ impl ReplicaNode {
             self.refresh_gauges(&st);
             if m.origin == self.id {
                 if let Some(p) = st.pending_local.remove(&m.xact) {
+                    // Abort verdict is journaled under the lock (ordered with
+                    // the ValidationVerdict above); rollback runs outside.
+                    self.journal.record(EventKind::Abort { xact: m.xact.into() });
                     drop(st);
                     p.txn.abort(AbortReason::ValidationFailure);
                     Metrics::inc(&self.metrics.aborts_validation);
-                    self.journal.record(EventKind::Abort { xact: m.xact.into() });
                     let _ = p.responder.send(Err(DbError::Aborted(AbortReason::ValidationFailure)));
                     self.cond.notify_all();
                     return;
@@ -1003,6 +1015,7 @@ impl ReplicaNode {
             (st.wslist.len() > PRUNE_THRESHOLD && lv > st.last_progress_sent, lv)
         };
         if should
+            // sirep-lint: allow(multicast-under-lock): progress adverts are monotone promises, not certifications — a stale lastvalidated only delays pruning, it cannot reorder certs
             && self.gcs.multicast_fifo(ReplMsg::Progress { from: self.id, lastvalidated }).is_ok()
         {
             self.state.lock().last_progress_sent = lastvalidated;
@@ -1047,12 +1060,11 @@ impl ReplicaNode {
             // marked running). A nominally-local entry without a session —
             // transferred during recovery from before our crash — is applied
             // like any remote writeset.
+            // sirep-lint: allow(journal-gauge-under-lock): apply runs outside the state lock by design (the paper's adjustment 2 — appliers work in parallel); Apply* events are ordered per-tid by the queue's running flag, not by the lock
             self.journal.record(EventKind::ApplyStart { xact: xact.into(), tid });
-            let handle = match self.apply_remote(&ws) {
-                Some(h) => h,
-                None => return, // database crashed
-            };
+            let Some(handle) = self.apply_remote(&ws) else { return }; // database crashed
             trace.mark(Stage::Apply);
+            // sirep-lint: allow(journal-gauge-under-lock): same as ApplyStart above — apply is deliberately lock-free; finalize re-enters the lock for the commit record
             self.journal.record(EventKind::ApplyDone { xact: xact.into(), tid });
             self.finalize(tid, xact, &ws, handle, false, trace);
         }
@@ -1066,20 +1078,17 @@ impl ReplicaNode {
             if !self.is_alive() {
                 return None;
             }
-            let txn = match self.db.begin() {
-                Ok(t) => t,
-                Err(_) => return None,
-            };
+            let Ok(txn) = self.db.begin() else { return None };
             match txn.apply_writeset(ws) {
                 Ok(()) => return Some(txn),
                 Err(DbError::Aborted(AbortReason::Deadlock))
                 | Err(DbError::Aborted(AbortReason::SerializationFailure)) => {
                     Metrics::inc(&self.metrics.ws_apply_retries);
-                    continue;
                 }
                 Err(DbError::Aborted(AbortReason::Shutdown)) => return None,
                 Err(e) => {
                     // Schema divergence would be a bug: surface loudly.
+                    // sirep-lint: allow(no-unwrap-on-protocol-paths): a remote writeset that fails for a non-transient reason means the replicas' schemas diverged — continuing would silently fork the copies, so crash instead
                     panic!("writeset application failed irrecoverably: {e}");
                 }
             }

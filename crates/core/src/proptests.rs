@@ -144,8 +144,8 @@ proptest! {
             txs.insert(
                 id,
                 TxSpec::new(
-                    reads.iter().map(|k| k.to_string()),
-                    writes.iter().map(|k| k.to_string()),
+                    reads.iter().map(std::string::ToString::to_string),
+                    writes.iter().map(std::string::ToString::to_string),
                 ),
             );
             locality.insert(id, *local);
@@ -178,8 +178,8 @@ proptest! {
         flip in any::<bool>(),
     ) {
         let mut txs = BTreeMap::new();
-        txs.insert(0u32, TxSpec::new([] as [String; 0], writes_a.iter().map(|k| k.to_string())));
-        txs.insert(1u32, TxSpec::new([] as [String; 0], writes_b.iter().map(|k| k.to_string())));
+        txs.insert(0u32, TxSpec::new([] as [String; 0], writes_a.iter().map(std::string::ToString::to_string)));
+        txs.insert(1u32, TxSpec::new([] as [String; 0], writes_b.iter().map(std::string::ToString::to_string)));
         use Op::{Begin as B, Commit as C};
         let s0 = vec![B(0), C(0), B(1), C(1)];
         let s1 = if flip { vec![B(1), C(1), B(0), C(0)] } else { s0.clone() };

@@ -84,6 +84,14 @@ impl Session {
         Session { node, current: None, autocommit: false, last_xact: None }
     }
 
+    /// A fresh session with the autocommit mode preset. Unlike
+    /// `set_autocommit` on an existing session this can never fail (there
+    /// is no open transaction to commit), so failover paths that rebuild a
+    /// session have no panic or error case to handle.
+    pub fn with_autocommit(node: Arc<ReplicaNode>, on: bool) -> Session {
+        Session { node, current: None, autocommit: on, last_xact: None }
+    }
+
     pub fn node(&self) -> &Arc<ReplicaNode> {
         &self.node
     }
@@ -110,12 +118,17 @@ impl Session {
     }
 
     fn ensure_txn(&mut self) -> Result<&ActiveTxn, DbError> {
-        if self.current.is_none() {
-            let active = self.node.begin_local()?;
-            self.last_xact = Some(active.xact);
-            self.current = Some(active);
-        }
-        Ok(self.current.as_ref().expect("just ensured"))
+        // take/insert instead of an is_none + expect round-trip, so there
+        // is no panic path here at all.
+        let active = match self.current.take() {
+            Some(a) => a,
+            None => {
+                let a = self.node.begin_local()?;
+                self.last_xact = Some(a.xact);
+                a
+            }
+        };
+        Ok(self.current.insert(active))
     }
 
     /// Id of the most recently begun transaction on this session, even
@@ -150,10 +163,10 @@ impl Connection for Session {
                     if let DbError::Aborted(reason) = &e {
                         match reason {
                             AbortReason::SerializationFailure => {
-                                Metrics::inc(&self.node.metrics.aborts_serialization)
+                                Metrics::inc(&self.node.metrics.aborts_serialization);
                             }
                             AbortReason::Deadlock => {
-                                Metrics::inc(&self.node.metrics.aborts_deadlock)
+                                Metrics::inc(&self.node.metrics.aborts_deadlock);
                             }
                             _ => {}
                         }
@@ -202,6 +215,7 @@ impl System for crate::cluster::Cluster {
             return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
         }
         let pick = NEXT.fetch_add(1, Ordering::Relaxed) % alive.len();
+        // sirep-lint: allow(no-unwrap-on-protocol-paths): pick < alive.len() by the modulo, and alive was checked nonempty above
         Ok(Box::new(Session::new(Arc::clone(&alive[pick]))))
     }
 

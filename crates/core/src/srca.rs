@@ -195,7 +195,7 @@ impl Srca {
 
     /// Total queued writesets across replicas (stall diagnosis).
     pub fn queued(&self) -> usize {
-        self.shared.state.lock().queues.iter().map(|q| q.len()).sum()
+        self.shared.state.lock().queues.iter().map(std::collections::VecDeque::len).sum()
     }
 
     /// Wait for all queues to drain; returns false on timeout — which is
@@ -205,7 +205,9 @@ impl Srca {
         while std::time::Instant::now() < deadline {
             {
                 let st = self.shared.state.lock();
-                if st.queues.iter().all(|q| q.is_empty()) && st.pending.is_empty() {
+                if st.queues.iter().all(std::collections::VecDeque::is_empty)
+                    && st.pending.is_empty()
+                {
                     return true;
                 }
             }
@@ -228,7 +230,10 @@ impl Srca {
             let _ = p.responder.send(Err(DbError::Aborted(AbortReason::Shutdown)));
         }
         self.shared.cond.notify_all();
-        for h in std::mem::take(&mut *self.threads.lock()) {
+        // Hoisted so the threads guard drops before the joins (a joined
+        // thread must be able to take the lock while shutting down).
+        let handles = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -269,7 +274,7 @@ pub struct SrcaConn {
 }
 
 impl SrcaConn {
-    fn begin(&mut self) -> Result<(), DbError> {
+    fn begin(&mut self) -> Result<(XactId, TxnHandle, GlobalTid, LocalGuard), DbError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(DbError::Aborted(AbortReason::Shutdown));
         }
@@ -297,17 +302,19 @@ impl SrcaConn {
         st.holes[k].local_started();
         drop(st);
         let guard = LocalGuard { shared: Arc::clone(&self.shared), replica: k };
-        self.current = Some((xact, txn, cert, guard));
-        Ok(())
+        Ok((xact, txn, cert, guard))
     }
 }
 
 impl Connection for SrcaConn {
     fn execute(&mut self, sql: &str) -> Result<ExecResult, DbError> {
-        if self.current.is_none() {
-            self.begin()?;
-        }
-        let (_, txn, _, _) = self.current.as_ref().expect("just ensured");
+        // take/insert instead of an is_none + expect round-trip, so there
+        // is no panic path here at all.
+        let cur = match self.current.take() {
+            Some(c) => c,
+            None => self.begin()?,
+        };
+        let (_, txn, _, _) = &*self.current.insert(cur);
         let db = &self.shared.dbs[self.replica];
         match sirep_sql::execute_sql(db, txn, sql) {
             Ok(r) => Ok(r),
@@ -316,10 +323,10 @@ impl Connection for SrcaConn {
                     if let DbError::Aborted(reason) = &e {
                         match reason {
                             AbortReason::SerializationFailure => {
-                                Metrics::inc(&self.shared.metrics.aborts_serialization)
+                                Metrics::inc(&self.shared.metrics.aborts_serialization);
                             }
                             AbortReason::Deadlock => {
-                                Metrics::inc(&self.shared.metrics.aborts_deadlock)
+                                Metrics::inc(&self.shared.metrics.aborts_deadlock);
                             }
                             _ => {}
                         }
@@ -478,10 +485,9 @@ fn apply_remote(sh: &Arc<Shared>, k: usize, ws: &WriteSet) -> Option<TxnHandle> 
             Err(DbError::Aborted(AbortReason::Deadlock))
             | Err(DbError::Aborted(AbortReason::SerializationFailure)) => {
                 Metrics::inc(&sh.metrics.ws_apply_retries);
-                continue;
             }
             Err(DbError::Aborted(AbortReason::Shutdown)) => return None,
-            Err(e) => panic!("writeset application failed irrecoverably: {e}"),
+            Err(e) => panic!("writeset application failed irrecoverably: {e}"), // sirep-lint: allow(no-unwrap-on-protocol-paths): non-transient apply failure = schema divergence across copies; crashing beats a silent fork (mirrors node.rs apply_remote)
         }
     }
 }

@@ -341,7 +341,10 @@ impl TableLockCluster {
             n.db.crash();
             n.cond.notify_all();
         }
-        for h in std::mem::take(&mut *self.threads.lock()) {
+        // Hoisted so the threads guard drops before the joins (a joined
+        // thread must be able to take the lock while shutting down).
+        let handles = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
             let _ = h.join();
         }
     }

@@ -185,21 +185,17 @@ impl Driver {
         if alive.is_empty() {
             return Err(DbError::ConnectionLost { in_doubt: false });
         }
+        // Failover discovery must never panic the client thread: even the
+        // "cannot happen" empty cases route through DbError.
         let pick = match self.config.policy {
             Policy::RoundRobin => {
                 let i = self.rr.fetch_add(1, Ordering::Relaxed) % alive.len();
-                Arc::clone(&alive[i])
+                alive.get(i).map(Arc::clone)
             }
-            Policy::LeastLoaded => {
-                let n = alive.iter().min_by_key(|n| n.status().load()).expect("nonempty");
-                Arc::clone(n)
-            }
-            Policy::Primary => {
-                let n = alive.iter().min_by_key(|n| n.id()).expect("nonempty");
-                Arc::clone(n)
-            }
+            Policy::LeastLoaded => alive.iter().min_by_key(|n| n.status().load()).map(Arc::clone),
+            Policy::Primary => alive.iter().min_by_key(|n| n.id()).map(Arc::clone),
         };
-        Ok(pick)
+        pick.ok_or(DbError::ConnectionLost { in_doubt: false })
     }
 
     /// Open a failover-capable connection.
@@ -262,9 +258,10 @@ impl DriverConnection<'_> {
         // The failover is visible in the *new* replica's journal: it is the
         // one that takes over the client.
         next.journal.record(sirep_common::EventKind::ClientFailover { from: current.id() });
-        let autocommit = self.session.autocommit();
-        self.session = Session::new(next);
-        self.session.set_autocommit(autocommit).expect("fresh session has no open txn");
+        // `with_autocommit` preserves the mode without the fallible
+        // `set_autocommit` round-trip (a fresh session has nothing to
+        // commit, so that call could never legitimately fail anyway).
+        self.session = Session::with_autocommit(next, self.session.autocommit());
         self.failovers += 1;
         Ok(())
     }
@@ -529,10 +526,7 @@ mod tests {
         let c = cluster(1);
         let d = Driver::new(Arc::clone(&c), DriverConfig::default());
         c.crash(0);
-        let err = match d.connect() {
-            Err(e) => e,
-            Ok(_) => panic!("connect must fail with every replica down"),
-        };
+        let Err(err) = d.connect() else { panic!("connect must fail with every replica down") };
         assert!(matches!(err, DbError::ConnectionLost { .. }));
     }
 }

@@ -340,7 +340,7 @@ impl<M> GroupState<M> {
     where
         M: Clone,
     {
-        if self.faults.as_ref().is_some_and(|f| f.plan_heal_due()) {
+        if self.faults.as_ref().is_some_and(FaultState::plan_heal_due) {
             self.heal_locked(cfg, in_flight);
         }
         let live: Vec<u64> = self.live_ids().iter().map(|id| id.raw()).collect();
@@ -583,13 +583,13 @@ impl<M: Clone + Send + 'static> Group<M> {
     /// `None` when no plan is installed. Equal pairs mean byte-identical
     /// schedules; the chaos harness compares them across seed replays.
     pub fn fault_fingerprint(&self) -> Option<(u64, u64)> {
-        self.inner.state.lock().faults.as_ref().map(|f| f.fingerprint())
+        self.inner.state.lock().faults.as_ref().map(FaultState::fingerprint)
     }
 
     /// The retained fault schedule (bounded; the fingerprint keeps covering
     /// records past the retention cap).
     pub fn fault_log(&self) -> Vec<FaultRecord> {
-        self.inner.state.lock().faults.as_ref().map(|f| f.log()).unwrap_or_default()
+        self.inner.state.lock().faults.as_ref().map(FaultState::log).unwrap_or_default()
     }
 
     /// `(faults_injected, partitioned)` gauge readings from the installed

@@ -143,7 +143,7 @@ fn uniform_delivery_messages_precede_crash_view() {
                 assert!(!v.contains(b.id()));
                 saw_view = true;
             }
-            other => panic!("{other:?}"),
+            other @ Delivery::Fifo { .. } => panic!("{other:?}"),
         }
     }
     assert_eq!(msgs, vec![1, 2]);
@@ -277,10 +277,7 @@ mod properties {
                 }
             }
             // Keep at least one member alive to observe the full stream.
-            let observer = match alive.iter().position(|&a| a) {
-                Some(i) => i,
-                None => return Ok(()),
-            };
+            let Some(observer) = alive.iter().position(|&a| a) else { return Ok(()) };
             // Drain every alive member's stream.
             let mut streams: Vec<Vec<u32>> = vec![Vec::new(); 4];
             for (i, m) in members.iter().enumerate() {

@@ -1,0 +1,79 @@
+//! CLI for sirep-lint.
+//!
+//! ```text
+//! sirep-lint [--root <dir>] [--config <lint.toml>] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 config/usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("sirep-lint [--root <dir>] [--config <lint.toml>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = match sirep_lint::load_config_file(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sirep-lint: config error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match sirep_lint::run(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sirep-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
+    }
+    if !quiet {
+        for w in &report.warnings {
+            eprintln!("warning: {w}");
+        }
+        eprintln!(
+            "sirep-lint: {} file(s), {} violation(s), {} suppressed",
+            report.files_scanned,
+            report.violations.len(),
+            report.suppressed
+        );
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("sirep-lint: {msg}");
+    eprintln!("usage: sirep-lint [--root <dir>] [--config <lint.toml>] [--quiet]");
+    ExitCode::from(2)
+}

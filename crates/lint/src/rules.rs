@@ -1,0 +1,835 @@
+//! The invariant rules and the guard-tracking walker they share.
+//!
+//! Every rule here is named after a bug this repo actually shipped (see
+//! DESIGN.md §13 for the full war stories):
+//!
+//! - `multicast-under-lock` — PR 1's lost update: a writeset multicast
+//!   outside the node state lock let the ws_list prune watermark overtake
+//!   an in-flight certification.
+//! - `journal-gauge-under-lock` — PR 3's gauge drift: a gauge increment
+//!   after the send raced the receiver's decrement; journal events written
+//!   outside the lock interleave out of protocol order.
+//! - `no-ambient-nondeterminism` — PR 4's determinism pillar: the fault
+//!   schedule must be a pure function of `(seed, msg, member)`; one
+//!   `Instant::now` or `HashMap` iteration silently regresses seed replay.
+//! - `no-unwrap-on-protocol-paths` — commit/apply/recovery code must route
+//!   failures through `DbError`, not panic a replica thread.
+//! - `lock-ordering` — a declared partial order over the workspace's
+//!   locks, checked at every statically visible nested-acquire site.
+//!
+//! The walker is intra-procedural and token-based: it tracks lock guards
+//! created by `let g = <path>.lock()` bindings (released at scope end or
+//! `drop(g)`), statement-lived "momentary" guards from un-bound lock
+//! calls, and two forms of ambient evidence — a parameter of a lock-held
+//! type (e.g. `&NodeState` proves the node lock is held) and methods of
+//! types whose `&mut self` is only reachable under a lock (e.g.
+//! `FaultState` behind the group lock). Calls into functions that acquire
+//! locks internally are modelled by per-class `acquire-fns` patterns.
+
+use crate::scopes::Func;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE_MULTICAST: &str = "multicast-under-lock";
+pub const RULE_JOURNAL_GAUGE: &str = "journal-gauge-under-lock";
+pub const RULE_NONDET: &str = "no-ambient-nondeterminism";
+pub const RULE_NO_UNWRAP: &str = "no-unwrap-on-protocol-paths";
+pub const RULE_LOCK_ORDER: &str = "lock-ordering";
+/// Pseudo-rule for broken suppression directives (malformed syntax or a
+/// missing justification). Not suppressible, by design.
+pub const RULE_DIRECTIVE: &str = "lint-directive";
+
+pub const ALL_RULES: [&str; 5] =
+    [RULE_MULTICAST, RULE_JOURNAL_GAUGE, RULE_NONDET, RULE_NO_UNWRAP, RULE_LOCK_ORDER];
+
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+/// A lock class: how acquisitions of one logical lock appear in source.
+#[derive(Debug, Clone, Default)]
+pub struct LockClass {
+    pub name: String,
+    /// Dotted path suffixes whose call yields a guard (`state.lock`,
+    /// `nodes.read`). Scoped to `files` so the same field name can mean
+    /// different locks in different crates.
+    pub lock_exprs: Vec<String>,
+    pub files: Vec<String>,
+    /// Call-path suffixes that acquire this lock internally, from any
+    /// file (`multicast_total`, `journal.record`, `auditor.on_*`).
+    pub acquire_fns: Vec<String>,
+    /// A parameter of this type proves the lock is held (`&NodeState`).
+    pub param_types: Vec<String>,
+    /// Methods of these types run with the lock held (`&mut self` only
+    /// reachable under it).
+    pub held_in_impls: Vec<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct CallUnderLockRule {
+    pub files: Vec<String>,
+    pub calls: Vec<String>,
+    pub requires: String,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct JournalGaugeRule {
+    pub files: Vec<String>,
+    pub calls: Vec<String>,
+    /// Path segments that identify a gauge owner (`gauges`, `injected`).
+    pub gauge_owners: Vec<String>,
+    pub gauge_methods: Vec<String>,
+    pub requires: String,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct NondetRule {
+    pub files: Vec<String>,
+    /// `::`-separated paths (`Instant::now`) or bare idents (`HashMap`).
+    pub banned: Vec<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct NoUnwrapRule {
+    pub files: Vec<String>,
+    pub methods: Vec<String>,
+    pub macros: Vec<String>,
+    pub ban_indexing: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct LockOrderRule {
+    pub files: Vec<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct CheckerConfig {
+    pub classes: Vec<LockClass>,
+    /// `(outer, inner)`: holding `outer` while acquiring `inner` is legal.
+    pub order_edges: Vec<(String, String)>,
+    pub multicast: Option<CallUnderLockRule>,
+    /// One entry per scope: different files can require different locks
+    /// (node events under node-state, fault events under gcs-group).
+    pub journal_gauge: Vec<JournalGaugeRule>,
+    pub nondet: Option<NondetRule>,
+    pub no_unwrap: Option<NoUnwrapRule>,
+    pub lock_order: Option<LockOrderRule>,
+}
+
+impl CheckerConfig {
+    /// Transitive closure of the declared order; errors on a cycle.
+    pub fn order_closure(&self) -> Result<BTreeSet<(String, String)>, String> {
+        let mut closure: BTreeSet<(String, String)> = self.order_edges.iter().cloned().collect();
+        loop {
+            let mut added = false;
+            let snapshot: Vec<_> = closure.iter().cloned().collect();
+            for (a, b) in &snapshot {
+                for (c, d) in &snapshot {
+                    if b == c && !closure.contains(&(a.clone(), d.clone())) {
+                        closure.insert((a.clone(), d.clone()));
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        for (a, b) in &closure {
+            if a == b {
+                return Err(format!("lock-order cycle through `{a}`"));
+            }
+        }
+        Ok(closure)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Walker
+// ---------------------------------------------------------------------
+
+/// What the walker saw at one point in a function body.
+#[derive(Debug)]
+pub enum Event {
+    /// A lock acquisition (guard-producing lock expr or an acquire-fn
+    /// call), with the classes already held at that moment.
+    Acquire { class: String, line: u32, held_before: Vec<String> },
+    /// A dotted call `a.b.c(`, with held classes at the call.
+    Call { path: Vec<String>, line: u32, held: Vec<String> },
+    /// A macro invocation `name!(...)`.
+    Macro { name: String, line: u32 },
+    /// An index expression `expr[...]`.
+    Index { line: u32 },
+}
+
+#[derive(Debug)]
+struct Guard {
+    class: String,
+    /// Binding name for `drop(name)` release; `None` for momentary guards.
+    name: Option<String>,
+    depth: i32,
+    momentary: bool,
+    /// A `drop(name)` *deeper* than the creation depth is conditional
+    /// (the `if … { drop(st); return; }` cleanup pattern): the guard is
+    /// dead inside that block but live again on the fall-through path, so
+    /// it is marked rather than removed and revived when the block exits.
+    dropped_at: Option<i32>,
+}
+
+/// Does `path` end with dotted-pattern `pat`? A trailing `*` on the final
+/// pattern segment makes it a prefix match (`auditor.on_*`).
+fn suffix_matches(path: &[String], pat: &str) -> bool {
+    let segs: Vec<&str> = pat.split('.').collect();
+    if segs.len() > path.len() {
+        return false;
+    }
+    let tail = &path[path.len() - segs.len()..];
+    for (got, want) in tail.iter().zip(segs.iter()) {
+        if let Some(prefix) = want.strip_suffix('*') {
+            if !got.starts_with(prefix) {
+                return false;
+            }
+        } else if got != want {
+            return false;
+        }
+    }
+    true
+}
+
+/// File-suffix match with `/` normalization.
+pub fn file_matches(file: &str, pat: &str) -> bool {
+    file.ends_with(pat)
+}
+
+pub fn file_in_scope(file: &str, files: &[String]) -> bool {
+    files.iter().any(|p| file_matches(file, p))
+}
+
+/// Walk one function body, emitting [`Event`]s in token order.
+pub fn walk_body(func: &Func, file: &str, cfg: &CheckerConfig, mut emit: impl FnMut(Event)) {
+    // Ambient evidence: parameter types and impl context.
+    let mut ambient: Vec<String> = Vec::new();
+    for class in &cfg.classes {
+        let by_param = class.param_types.iter().any(|ty| func.sig_mentions_type(ty));
+        let by_impl =
+            func.impl_type.as_deref().is_some_and(|t| class.held_in_impls.iter().any(|i| i == t));
+        if by_param || by_impl {
+            ambient.push(class.name.clone());
+        }
+    }
+
+    let toks = &func.body;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    // Innermost pending `let NAME =` binding per depth.
+    let mut pending_let: BTreeMap<i32, String> = BTreeMap::new();
+
+    let held = |guards: &Vec<Guard>, ambient: &Vec<String>| -> Vec<String> {
+        let mut h: Vec<String> = ambient.clone();
+        for g in guards {
+            if g.dropped_at.is_none() && !h.contains(&g.class) {
+                h.push(g.class.clone());
+            }
+        }
+        h
+    };
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match &t.kind {
+            crate::lexer::TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            crate::lexer::TokKind::Punct('}') => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+                for g in &mut guards {
+                    // Leaving the block that conditionally dropped this
+                    // guard: the fall-through path still holds it.
+                    if g.dropped_at.is_some_and(|d| d > depth) {
+                        g.dropped_at = None;
+                    }
+                }
+                pending_let.retain(|&d, _| d <= depth);
+                i += 1;
+            }
+            crate::lexer::TokKind::Punct(';') => {
+                guards.retain(|g| !(g.momentary && g.depth >= depth));
+                pending_let.remove(&depth);
+                i += 1;
+            }
+            crate::lexer::TokKind::Punct('[') => {
+                // Index expression iff the previous token can end an
+                // expression (`x[`, `)(`..`)[`, `][`, literal`[`).
+                let is_index = i > 0
+                    && matches!(
+                        &toks[i - 1].kind,
+                        crate::lexer::TokKind::Ident(_)
+                            | crate::lexer::TokKind::Punct(')')
+                            | crate::lexer::TokKind::Punct(']')
+                            | crate::lexer::TokKind::Literal
+                    )
+                    // `keyword [` is never indexing.
+                    && !matches!(toks[i - 1].ident(), Some("return" | "in" | "else" | "match"));
+                if is_index {
+                    emit(Event::Index { line: t.line });
+                }
+                i += 1;
+            }
+            crate::lexer::TokKind::Ident(id) if id == "let" => {
+                // `let [mut] NAME =` (not `let Pat(..) =`, not let-else).
+                let mut j = i + 1;
+                if toks.get(j).and_then(|t| t.ident()) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).and_then(|t| t.ident()) {
+                    if toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+                        pending_let.insert(depth, name.to_string());
+                    }
+                }
+                i += 1;
+            }
+            crate::lexer::TokKind::Ident(id)
+                if id == "drop" && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                if let Some(name) = toks.get(i + 2).and_then(|t| t.ident()) {
+                    if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                        if let Some(pos) =
+                            guards.iter().rposition(|g| g.name.as_deref() == Some(name))
+                        {
+                            if guards[pos].depth < depth {
+                                guards[pos].dropped_at = Some(depth);
+                            } else {
+                                guards.remove(pos);
+                            }
+                        }
+                    }
+                }
+                i += 1;
+            }
+            crate::lexer::TokKind::Ident(_) => {
+                // Macro call?
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+                {
+                    emit(Event::Macro {
+                        name: t.ident().unwrap_or_default().to_string(),
+                        line: t.line,
+                    });
+                    i += 1;
+                    continue;
+                }
+                // Dotted/path call chain ending in `(`: collect it.
+                if let Some((path, end)) = call_chain(toks, i) {
+                    let line = toks[end - 1].line;
+                    // Lock expression?
+                    let mut acquired: Option<String> = None;
+                    for class in &cfg.classes {
+                        if !class.lock_exprs.is_empty() && !file_in_scope(file, &class.files) {
+                            continue;
+                        }
+                        if class.lock_exprs.iter().any(|p| suffix_matches(&path, p)) {
+                            acquired = Some(class.name.clone());
+                            break;
+                        }
+                    }
+                    if let Some(class) = acquired {
+                        let held_before = held(&guards, &ambient);
+                        emit(Event::Acquire { class: class.clone(), line, held_before });
+                        // `let g = path.lock();` binds the guard — but only
+                        // when the lock call is the whole initializer. In
+                        // `let v = *path.lock().get(&k)?;` the binding is a
+                        // value copied out and the guard is a temporary.
+                        let terminal = matching_close(toks, end)
+                            .is_some_and(|c| toks.get(c + 1).is_some_and(|t| t.is_punct(';')));
+                        let name = if terminal { pending_let.get(&depth).cloned() } else { None };
+                        guards.push(Guard {
+                            momentary: name.is_none(),
+                            name,
+                            class,
+                            depth,
+                            dropped_at: None,
+                        });
+                        i = end + 1;
+                        continue;
+                    }
+                    // Acquire-fn?
+                    for class in &cfg.classes {
+                        if class.acquire_fns.iter().any(|p| suffix_matches(&path, p)) {
+                            emit(Event::Acquire {
+                                class: class.name.clone(),
+                                line,
+                                held_before: held(&guards, &ambient),
+                            });
+                            break;
+                        }
+                    }
+                    emit(Event::Call { path, line, held: held(&guards, &ambient) });
+                    i = end + 1;
+                    continue;
+                }
+                // Method call on a complex receiver (`foo().bar(`,
+                // `xs[k].bar(`): the chain walk above can't cross `)`/`]`,
+                // but the final method name is still checkable — this is
+                // what catches `map.get(&k).expect(..)` for the no-unwrap
+                // rule and `…read().clone()` staying momentary.
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    let path = vec!["#expr".to_string(), t.ident().unwrap_or_default().to_string()];
+                    for class in &cfg.classes {
+                        if class.acquire_fns.iter().any(|p| suffix_matches(&path, p)) {
+                            emit(Event::Acquire {
+                                class: class.name.clone(),
+                                line: t.line,
+                                held_before: held(&guards, &ambient),
+                            });
+                            break;
+                        }
+                    }
+                    emit(Event::Call { path, line: t.line, held: held(&guards, &ambient) });
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_close(toks: &[crate::lexer::Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// If a call chain `a.b.c(` or `A::b(` *ends* at position `i` (i.e. `i`
+/// is the first ident of the chain), return the segment path and the
+/// index of the `(` token. Chains are consumed from their head so every
+/// call is seen exactly once.
+fn call_chain(toks: &[crate::lexer::Tok], i: usize) -> Option<(Vec<String>, usize)> {
+    // Only start at a chain head: the previous token must not be `.`/`::`
+    // (those are interior positions, already consumed by the head).
+    if i > 0 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':')) {
+        return None;
+    }
+    let mut path = vec![toks[i].ident()?.to_string()];
+    let mut j = i + 1;
+    loop {
+        if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            return Some((path, j));
+        }
+        // `.ident`
+        if toks.get(j).is_some_and(|t| t.is_punct('.')) {
+            if let Some(seg) = toks.get(j + 1).and_then(|t| t.ident()) {
+                path.push(seg.to_string());
+                j += 2;
+                continue;
+            }
+            // `.0` tuple access or `.await`: treat literal as opaque seg.
+            if toks.get(j + 1).is_some_and(|t| matches!(t.kind, crate::lexer::TokKind::Literal)) {
+                path.push("#tuple".to_string());
+                j += 2;
+                continue;
+            }
+            return None;
+        }
+        // `::ident`
+        if toks.get(j).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(seg) = toks.get(j + 2).and_then(|t| t.ident()) {
+                path.push(seg.to_string());
+                j += 3;
+                continue;
+            }
+            // `::<T>` turbofish: skip the generic list, keep scanning.
+            if toks.get(j + 2).is_some_and(|t| t.is_punct('<')) {
+                let mut depth = 1;
+                let mut k = j + 3;
+                while k < toks.len() && depth > 0 {
+                    if toks[k].is_punct('<') {
+                        depth += 1;
+                    } else if toks[k].is_punct('>') {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+                j = k;
+                continue;
+            }
+            return None;
+        }
+        return None;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/// Run all configured rules over one function.
+pub fn check_func(func: &Func, file: &str, cfg: &CheckerConfig, out: &mut Vec<Violation>) {
+    if func.is_test {
+        return;
+    }
+    let mc = cfg.multicast.as_ref().filter(|r| file_in_scope(file, &r.files));
+    let jgs: Vec<&JournalGaugeRule> =
+        cfg.journal_gauge.iter().filter(|r| file_in_scope(file, &r.files)).collect();
+    let nu = cfg.no_unwrap.as_ref().filter(|r| file_in_scope(file, &r.files));
+    let lo = cfg.lock_order.as_ref().filter(|r| file_in_scope(file, &r.files));
+    if mc.is_none() && jgs.is_empty() && nu.is_none() && lo.is_none() {
+        return;
+    }
+    let closure = cfg.order_closure().unwrap_or_default();
+    walk_body(func, file, cfg, |ev| match ev {
+        Event::Acquire { class, line, held_before } => {
+            let Some(_lo) = lo else { return };
+            for outer in &held_before {
+                if *outer == class {
+                    out.push(Violation {
+                        rule: RULE_LOCK_ORDER.into(),
+                        file: file.into(),
+                        line,
+                        msg: format!(
+                            "re-acquire of `{class}` while already held in `{}` (self-deadlock)",
+                            func.name
+                        ),
+                    });
+                } else if !closure.contains(&(outer.clone(), class.clone())) {
+                    out.push(Violation {
+                        rule: RULE_LOCK_ORDER.into(),
+                        file: file.into(),
+                        line,
+                        msg: format!(
+                            "acquiring `{class}` while holding `{outer}` in `{}` is not in the \
+                             declared lock order (add `{outer} < {class}` to lint.toml [lock-order] \
+                             if intended)",
+                            func.name
+                        ),
+                    });
+                }
+            }
+        }
+        Event::Call { path, line, held } => {
+            if let Some(r) = mc {
+                if r.calls.iter().any(|p| suffix_matches(&path, p)) && !held.contains(&r.requires) {
+                    out.push(Violation {
+                        rule: RULE_MULTICAST.into(),
+                        file: file.into(),
+                        line,
+                        msg: format!(
+                            "`{}` called in `{}` without holding `{}`: cert capture order must \
+                             equal total-order sequence order",
+                            path.join("."),
+                            func.name,
+                            r.requires
+                        ),
+                    });
+                }
+            }
+            for r in &jgs {
+                let is_journal = r.calls.iter().any(|p| suffix_matches(&path, p));
+                let is_gauge = path.len() >= 2
+                    && r.gauge_methods.iter().any(|m| path.last() == Some(m))
+                    && path[..path.len() - 1]
+                        .iter()
+                        .any(|seg| r.gauge_owners.iter().any(|o| o == seg));
+                if (is_journal || is_gauge) && !held.contains(&r.requires) {
+                    out.push(Violation {
+                        rule: RULE_JOURNAL_GAUGE.into(),
+                        file: file.into(),
+                        line,
+                        msg: format!(
+                            "`{}` in `{}` outside `{}`: events/gauges must be ordered by the \
+                             lock that guards the state transition",
+                            path.join("."),
+                            func.name,
+                            r.requires
+                        ),
+                    });
+                }
+            }
+            if let Some(r) = nu {
+                if path.len() >= 2 && r.methods.iter().any(|m| path.last() == Some(m)) {
+                    out.push(Violation {
+                        rule: RULE_NO_UNWRAP.into(),
+                        file: file.into(),
+                        line,
+                        msg: format!(
+                            "`.{}()` on a protocol path (`{}`): route the failure through \
+                             `DbError` instead of panicking a replica thread",
+                            path.last().expect("len checked"),
+                            func.name
+                        ),
+                    });
+                }
+            }
+        }
+        Event::Macro { name, line } => {
+            if let Some(r) = nu {
+                if r.macros.contains(&name) {
+                    out.push(Violation {
+                        rule: RULE_NO_UNWRAP.into(),
+                        file: file.into(),
+                        line,
+                        msg: format!(
+                            "`{name}!` on a protocol path (`{}`): route the failure through \
+                             `DbError` instead of panicking a replica thread",
+                            func.name
+                        ),
+                    });
+                }
+            }
+        }
+        Event::Index { line } => {
+            if let Some(r) = nu {
+                if r.ban_indexing {
+                    out.push(Violation {
+                        rule: RULE_NO_UNWRAP.into(),
+                        file: file.into(),
+                        line,
+                        msg: format!(
+                            "index expression on a protocol path (`{}`): use `.get(..)` and \
+                             route the miss through `DbError`",
+                            func.name
+                        ),
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// The nondeterminism rule scans raw file tokens (bans apply to `use`
+/// statements and type positions too), excluding test-fn line ranges.
+pub fn check_nondet(
+    toks: &[crate::lexer::Tok],
+    funcs: &[Func],
+    file: &str,
+    cfg: &CheckerConfig,
+    out: &mut Vec<Violation>,
+) {
+    let Some(r) = cfg.nondet.as_ref().filter(|r| file_in_scope(file, &r.files)) else {
+        return;
+    };
+    let test_ranges: Vec<(u32, u32)> = funcs
+        .iter()
+        .filter(|f| f.is_test)
+        .map(|f| (f.line, f.body.last().map_or(f.line, |t| t.line)))
+        .collect();
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    for (idx, t) in toks.iter().enumerate() {
+        let Some(id) = t.ident() else { continue };
+        for ban in &r.banned {
+            let hit = if let Some((head, tail)) = ban.split_once("::") {
+                id == head
+                    && toks.get(idx + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(idx + 2).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(idx + 3).and_then(|t| t.ident()) == Some(tail)
+            } else {
+                id == ban
+            };
+            if hit && !in_test(t.line) {
+                out.push(Violation {
+                    rule: RULE_NONDET.into(),
+                    file: file.into(),
+                    line: t.line,
+                    msg: format!(
+                        "`{ban}` in fault-schedule code: schedules must be pure functions of \
+                         (seed, msg, member) — no wall clocks, ambient RNGs, or iteration-order-\
+                         dependent containers"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scopes::extract_funcs;
+
+    fn cfg_node_state() -> CheckerConfig {
+        CheckerConfig {
+            classes: vec![
+                LockClass {
+                    name: "node-state".into(),
+                    lock_exprs: vec!["state.lock".into()],
+                    files: vec!["node.rs".into()],
+                    ..Default::default()
+                },
+                LockClass {
+                    name: "gcs-group".into(),
+                    acquire_fns: vec!["multicast_total".into(), "multicast_fifo".into()],
+                    ..Default::default()
+                },
+            ],
+            order_edges: vec![("node-state".into(), "gcs-group".into())],
+            multicast: Some(CallUnderLockRule {
+                files: vec!["node.rs".into()],
+                calls: vec!["multicast_total".into(), "multicast_fifo".into()],
+                requires: "node-state".into(),
+            }),
+            lock_order: Some(LockOrderRule { files: vec!["node.rs".into()] }),
+            ..Default::default()
+        }
+    }
+
+    fn run(src: &str, cfg: &CheckerConfig) -> Vec<Violation> {
+        let (toks, _) = lex(src);
+        let funcs = extract_funcs(&toks);
+        let mut out = Vec::new();
+        for f in &funcs {
+            check_func(f, "node.rs", cfg, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn multicast_under_named_guard_passes() {
+        let v = run(
+            "impl N { fn c(&self) { let mut st = self.state.lock(); \
+             self.gcs.multicast_total(m); } }",
+            &cfg_node_state(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn multicast_after_scope_end_fails() {
+        let v = run(
+            "impl N { fn c(&self) { { let st = self.state.lock(); } \
+             self.gcs.multicast_total(m); } }",
+            &cfg_node_state(),
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RULE_MULTICAST);
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let v = run(
+            "impl N { fn c(&self) { let st = self.state.lock(); drop(st); \
+             self.gcs.multicast_fifo(m); } }",
+            &cfg_node_state(),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn momentary_guard_dies_at_statement_end() {
+        let v = run(
+            "impl N { fn c(&self) { self.state.lock().x = 1; \
+             self.gcs.multicast_total(m); } }",
+            &cfg_node_state(),
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn undeclared_nested_acquire_is_flagged() {
+        let mut cfg = cfg_node_state();
+        cfg.order_edges.clear();
+        let v = run(
+            "impl N { fn c(&self) { let st = self.state.lock(); \
+             self.gcs.multicast_total(m); } }",
+            &cfg,
+        );
+        assert!(v.iter().any(|v| v.rule == RULE_LOCK_ORDER), "{v:?}");
+    }
+
+    #[test]
+    fn reacquire_is_flagged_as_self_deadlock() {
+        let v = run(
+            "impl N { fn c(&self) { let a = self.state.lock(); \
+             let b = self.state.lock(); } }",
+            &cfg_node_state(),
+        );
+        assert!(v.iter().any(|v| v.msg.contains("re-acquire")), "{v:?}");
+    }
+
+    #[test]
+    fn order_cycle_is_a_config_error() {
+        let cfg = CheckerConfig {
+            order_edges: vec![("a".into(), "b".into()), ("b".into(), "a".into())],
+            ..Default::default()
+        };
+        assert!(cfg.order_closure().is_err());
+    }
+
+    #[test]
+    fn param_type_evidence_counts_as_held() {
+        let mut cfg = cfg_node_state();
+        cfg.classes[0].param_types = vec!["NodeState".into()];
+        let v = run(
+            "impl N { fn refresh(&self, st: &NodeState) { self.gcs.multicast_total(m); } }",
+            &cfg,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn conditional_drop_revives_on_fallthrough() {
+        // `if … { drop(st); return; }` must not strip the guard from the
+        // fall-through path (the commit_local abort-branch pattern).
+        let v = run(
+            "impl N { fn c(&self) { let mut st = self.state.lock(); \
+             if bad { drop(st); return; } self.gcs.multicast_total(m); } }",
+            &cfg_node_state(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn value_binding_through_lock_is_momentary() {
+        // `let v = *x.lock().get(&k)…;` binds the value, not the guard.
+        let v = run(
+            "impl N { fn c(&self) { let m = *self.state.lock().get(&k); \
+             self.gcs.multicast_total(m); } }",
+            &cfg_node_state(),
+        );
+        assert_eq!(v.len(), 1, "guard must die at the `;`: {v:?}");
+    }
+
+    #[test]
+    fn chained_expect_is_flagged() {
+        let mut cfg = cfg_node_state();
+        cfg.no_unwrap = Some(NoUnwrapRule {
+            files: vec!["node.rs".into()],
+            methods: vec!["unwrap".into(), "expect".into()],
+            ..Default::default()
+        });
+        let v =
+            run("impl N { fn c(&self) { let x = self.map.get(&k).expect(\"missing\"); } }", &cfg);
+        assert!(v.iter().any(|v| v.rule == RULE_NO_UNWRAP && v.msg.contains("expect")), "{v:?}");
+    }
+
+    #[test]
+    fn test_functions_are_skipped() {
+        let v = run(
+            "#[cfg(test)] mod tests { fn t() { self.gcs.multicast_total(m); } }",
+            &cfg_node_state(),
+        );
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+// FAILS: a protocol event recorded and a gauge updated outside the lock
+// that orders the state transition they describe.
+impl Node {
+    fn after_send(&self) {
+        self.journal.record(event);
+        self.gauges.tocommit_depth.set(depth);
+    }
+}

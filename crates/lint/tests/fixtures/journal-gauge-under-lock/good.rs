@@ -1,0 +1,8 @@
+// PASSES: event and gauge are written under the node-state lock.
+impl Node {
+    fn after_send(&self) {
+        let mut st = self.state.lock();
+        self.journal.record(event);
+        self.gauges.tocommit_depth.set(st.tocommit.len());
+    }
+}

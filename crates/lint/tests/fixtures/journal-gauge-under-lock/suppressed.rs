@@ -1,0 +1,8 @@
+// PASSES: both sites carry written justifications.
+impl Node {
+    fn crash_stop(&self) {
+        // sirep-lint: allow(journal-gauge-under-lock): crash-stop record; taking the lock here would self-deadlock with mark_crashed
+        self.journal.record(event);
+        self.gauges.tocommit_depth.set(0); // sirep-lint: allow(journal-gauge-under-lock): final zeroing after the node is fenced; nothing races a dead replica
+    }
+}

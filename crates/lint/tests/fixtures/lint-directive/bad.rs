@@ -1,0 +1,10 @@
+// FAILS: a suppression without a justification and one naming an
+// unknown rule are violations in their own right.
+impl Node {
+    fn f(&self) {
+        // sirep-lint: allow(multicast-under-lock)
+        self.gcs.multicast_total(msg);
+        // sirep-lint: allow(not-a-real-rule): whatever
+        self.other();
+    }
+}

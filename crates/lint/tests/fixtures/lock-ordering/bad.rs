@@ -1,0 +1,11 @@
+// FAILS: acquires node-state while holding aux — the declared order is
+// node-state < aux, so this nesting can deadlock against a compliant
+// thread.
+impl Node {
+    fn wrong_order(&self) {
+        let a = self.aux.lock();
+        let st = self.state.lock();
+        drop(st);
+        drop(a);
+    }
+}

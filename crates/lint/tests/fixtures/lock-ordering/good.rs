@@ -1,0 +1,9 @@
+// PASSES: node-state is taken before aux, matching the declared order.
+impl Node {
+    fn right_order(&self) {
+        let st = self.state.lock();
+        let a = self.aux.lock();
+        drop(a);
+        drop(st);
+    }
+}

@@ -1,0 +1,10 @@
+// PASSES: the inverted acquisition carries a written justification.
+impl Node {
+    fn startup_only(&self) {
+        let a = self.aux.lock();
+        // sirep-lint: allow(lock-ordering): runs before any other thread exists (single-threaded startup), so the inversion cannot deadlock
+        let st = self.state.lock();
+        drop(st);
+        drop(a);
+    }
+}

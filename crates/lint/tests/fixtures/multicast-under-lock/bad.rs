@@ -1,0 +1,7 @@
+// FAILS: writeset multicast with the node-state lock not held — the cert
+// capture order can diverge from the total-order sequence order.
+impl Node {
+    fn commit(&self) {
+        self.gcs.multicast_total(msg);
+    }
+}

@@ -1,0 +1,8 @@
+// PASSES: the multicast happens under the node-state lock.
+impl Node {
+    fn commit(&self) {
+        let st = self.state.lock();
+        self.gcs.multicast_total(msg);
+        drop(st);
+    }
+}

@@ -1,0 +1,9 @@
+// FAILS: wall clock, ambient RNG, and iteration-order-dependent
+// container in fault-schedule code.
+use std::collections::HashMap;
+
+fn schedule(seed: u64) -> Decision {
+    let now = Instant::now();
+    let mut rng = thread_rng();
+    decide(now, rng.gen(), seed)
+}

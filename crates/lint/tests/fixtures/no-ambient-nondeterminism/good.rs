@@ -1,0 +1,8 @@
+// PASSES: the decision is a pure function of (seed, msg, member) and
+// uses an order-stable container.
+use std::collections::BTreeMap;
+
+fn schedule(seed: u64, msg: &Msg, member: MemberId) -> Decision {
+    let mut rng = SmallRng::seed_from_u64(seed ^ msg.hash() ^ member.raw());
+    decide(rng.gen())
+}

@@ -1,0 +1,6 @@
+// PASSES: the wall-clock read is justified (it feeds a log line, not
+// the schedule).
+fn log_stamp() -> u64 {
+    // sirep-lint: allow(no-ambient-nondeterminism): timestamp feeds the human-readable log only, never the fault schedule
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,10 @@
+// FAILS: unwrap, chained expect, bare indexing, and a panic! on a
+// protocol path.
+impl Node {
+    fn apply(&self, k: usize) {
+        let ws = self.queue.pop().unwrap();
+        let entry = self.entries.get(&k).expect("missing entry");
+        let first = ws.items[0];
+        panic!("unreachable state");
+    }
+}

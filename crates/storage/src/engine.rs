@@ -192,7 +192,7 @@ impl Database {
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.tables.read().keys().map(|k| k.to_string()).collect()
+        self.inner.tables.read().keys().map(ToString::to_string).collect()
     }
 
     /// The commit timestamp of the most recently committed update
@@ -237,7 +237,11 @@ impl Database {
     /// Kill a transaction from outside (crash simulation): wakes it if
     /// blocked inside the lock manager and dooms all further operations.
     pub fn kill(&self, txn: TxnId) {
-        if let Some(state) = self.inner.txns.lock().get(&txn).cloned() {
+        // Hoisted so the txns guard drops before the store (clippy
+        // significant_drop_in_scrutinee: if-let scrutinee temporaries
+        // live for the whole block in edition 2021).
+        let state = self.inner.txns.lock().get(&txn).cloned();
+        if let Some(state) = state {
             state.doomed.store(true, Ordering::Release);
         }
         self.inner.locks.doom(txn);
@@ -299,7 +303,7 @@ impl Database {
     pub fn stored_versions(&self, name: &str) -> usize {
         let tables = self.inner.tables.read();
         let Some(t) = tables.get(name) else { return 0 };
-        let n = t.rows.read().values().map(|c| c.len()).sum();
+        let n = t.rows.read().values().map(VersionChain::len).sum();
         n
     }
 }
@@ -358,7 +362,9 @@ impl TxnHandle {
             self.terminate(AbortReason::Shutdown);
             return Err(DbError::Aborted(AbortReason::Shutdown));
         }
-        match *self.state.status.lock() {
+        // Copy out so the status guard drops before the return path.
+        let status = *self.state.status.lock();
+        match status {
             Status::Active => Ok(()),
             Status::Aborted(r) => Err(DbError::Aborted(r)),
             Status::Committed(_) => Err(DbError::NoSuchTransaction),

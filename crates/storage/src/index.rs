@@ -65,7 +65,7 @@ impl SecondaryIndex {
 
     /// Total candidate entries (tests / introspection).
     pub fn len(&self) -> usize {
-        self.entries.values().map(|s| s.len()).sum()
+        self.entries.values().map(BTreeSet::len).sum()
     }
 
     pub fn is_empty(&self) -> bool {

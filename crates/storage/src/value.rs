@@ -191,7 +191,7 @@ impl Ord for Key {
         loop {
             match (it_a.next(), it_b.next()) {
                 (Some(a), Some(b)) => match a.total_cmp(b) {
-                    Ordering::Equal => continue,
+                    Ordering::Equal => {}
                     non_eq => return non_eq,
                 },
                 (None, None) => return Ordering::Equal,
@@ -254,7 +254,7 @@ mod tests {
     #[test]
     fn total_order_ranks_types() {
         let mut vs = [Value::Text("a".into()), Value::Int(5), Value::Null, Value::Float(1.0)];
-        vs.sort_by(|a, b| a.total_cmp(b));
+        vs.sort_by(Value::total_cmp);
         assert!(vs[0].is_null());
         assert_eq!(vs[1], Value::Float(1.0));
         assert_eq!(vs[2], Value::Int(5));

@@ -117,8 +117,8 @@ mod tests {
     use super::*;
     use crate::value::Value;
 
-    fn row(v: i64) -> Option<Arc<Row>> {
-        Some(Arc::new(vec![Value::Int(v)]))
+    fn row(v: i64) -> Arc<Row> {
+        Arc::new(vec![Value::Int(v)])
     }
 
     fn chain(specs: &[(u64, Option<i64>)]) -> VersionChain {
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn row_data_is_shared_not_cloned() {
-        let r = row(1).unwrap();
+        let r = row(1);
         let mut c = VersionChain::new();
         c.install(Version { commit_ts: CommitTs(1), row: Some(Arc::clone(&r)) });
         assert_eq!(Arc::strong_count(&r), 2);

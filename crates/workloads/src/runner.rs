@@ -232,10 +232,7 @@ pub fn run(system: &dyn System, workload: &dyn Workload, cfg: &RunConfig) -> Run
             handles.push(scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (client as u64) << 20);
                 let mut tally = ClientTally::new();
-                let mut conn = match system.connect() {
-                    Ok(c) => c,
-                    Err(_) => return tally,
-                };
+                let Ok(mut conn) = system.connect() else { return tally };
                 // Stagger client start so arrivals don't align.
                 cfg.scale.sleep(rng.gen_range(0.0..gap_ms));
                 while !stop.load(Ordering::Relaxed) {

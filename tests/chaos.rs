@@ -40,12 +40,9 @@ fn crash_recover_cycles_under_load() {
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(t);
                 'outer: while !stop.load(Ordering::Relaxed) {
-                    let mut conn = match driver.connect() {
-                        Ok(cn) => cn,
-                        Err(_) => {
-                            std::thread::sleep(Duration::from_millis(5));
-                            continue;
-                        }
+                    let Ok(mut conn) = driver.connect() else {
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
                     };
                     for _ in 0..20 {
                         if stop.load(Ordering::Relaxed) {

@@ -170,12 +170,9 @@ fn sweep_one_seed(seed: u64) {
                         .build(),
                 );
                 'outer: while !stop.load(Ordering::Relaxed) {
-                    let mut conn = match driver.connect() {
-                        Ok(cn) => cn,
-                        Err(_) => {
-                            std::thread::sleep(Duration::from_millis(5));
-                            continue;
-                        }
+                    let Ok(mut conn) = driver.connect() else {
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
                     };
                     for i in 0..20u64 {
                         if stop.load(Ordering::Relaxed) {

@@ -427,12 +427,12 @@ mod json_check {
         if b.get(*i) == Some(&b'-') {
             *i += 1;
         }
-        while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
             *i += 1;
         }
         if b.get(*i) == Some(&b'.') {
             *i += 1;
-            while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
                 *i += 1;
             }
         }
@@ -441,7 +441,7 @@ mod json_check {
             if matches!(b.get(*i), Some(b'+' | b'-')) {
                 *i += 1;
             }
-            while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
                 *i += 1;
             }
         }

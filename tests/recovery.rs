@@ -184,20 +184,16 @@ fn donor_crash_mid_state_transfer_retries_with_another_donor() {
     #[cfg(feature = "trace")]
     {
         let events = c.journal_events();
-        let fired = events
-            .iter()
-            .find(|(id, _)| id.index() == 0)
-            .map(|(_, evs)| {
-                evs.iter().any(|e| {
-                    matches!(
-                        e.kind,
-                        sirep_common::EventKind::CrashPointFired {
-                            point: CrashPoint::MidStateTransfer
-                        }
-                    )
-                })
+        let fired = events.iter().find(|(id, _)| id.index() == 0).is_some_and(|(_, evs)| {
+            evs.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    sirep_common::EventKind::CrashPointFired {
+                        point: CrashPoint::MidStateTransfer
+                    }
+                )
             })
-            .unwrap_or(false);
+        });
         assert!(fired, "CrashPointFired must be journaled on the donor");
     }
 }
