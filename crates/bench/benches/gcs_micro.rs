@@ -9,7 +9,7 @@
 
 use sirep_bench as bench;
 use sirep_common::OnlineStats;
-use sirep_gcs::{Delivery, Group, GroupConfig};
+use sirep_gcs::{Delivery, GroupConfig, SimGroup};
 use std::time::Instant;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
     println!("\n== T-4: uniform reliable total order multicast (5 members) ==");
     println!("{:>12} {:>14} {:>14} {:>12}", "rate msg/s", "mean ms", "p99-ish ms", "delivered");
     for &rate in &bench::thin(&[100.0, 200.0, 400.0, 800.0]) {
-        let group: Group<u64> = Group::new(cfg.clone());
+        let group: SimGroup<u64> = SimGroup::new(cfg.clone());
         let members: Vec<_> = (0..5).map(|_| group.join()).collect();
         for m in &members {
             while let Some(Delivery::ViewChange(_)) = m.try_recv() {}

@@ -1,0 +1,405 @@
+//! `sirep-cluster` — a real multi-process SI-Rep deployment.
+//!
+//! One binary, three roles, wired together by `scripts/multinode.sh`:
+//!
+//! - `seq`: the total-order sequencer service every middleware process
+//!   connects to (the TCP transport's analogue of the GCS daemon);
+//! - `node`: one middleware replica — an SI database plus the SRCA-Rep
+//!   protocol — joined to the group over TCP and serving clients through
+//!   the remote driver protocol;
+//! - `workload` / `check`: a client that drives money-transfer
+//!   transactions through the remote driver (tolerating the §5.4 failover
+//!   errors), then proves the deployment converged: every node returns the
+//!   identical table contents, balances conserve, and no 1-copy-SI audit
+//!   violation was recorded anywhere.
+//!
+//! Schema is deployment configuration: every `node` executes the same
+//! `--schema` DDL locally at startup (DDL is not replicated through the
+//! writeset path). A restarted node re-runs it against its empty database
+//! and then recovers all data by replaying the sequencer's history.
+
+use sirep_core::cluster::Transport;
+use sirep_core::{Cluster, ClusterConfig};
+use sirep_driver::remote::{NodeServer, RemoteConn, RemoteDriver, RemoteStatus};
+use sirep_gcs::Sequencer;
+use sirep_sql::ExecResult;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: sirep-cluster <role> [flags]
+
+roles:
+  seq       --bind <addr>
+  node      --seq <addr> --replica <k> --bind <addr> [--schema <sql>]...
+  workload  --nodes <a,b,c> [--ops <n>] [--accounts <n>] [--seed <n>] [--init]
+  check     --nodes <a,b,c> [--accounts <n>] [--timeout-secs <n>]
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("seq") => cmd_seq(&args[1..]),
+        Some("node") => cmd_node(&args[1..]),
+        Some("workload") => cmd_workload(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing (tiny, dependency-free)
+// ---------------------------------------------------------------------------
+
+struct Flags {
+    /// `(name, value)` pairs in order; boolean flags carry an empty value.
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], booleans: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            if booleans.contains(&name) {
+                pairs.push((name.to_string(), String::new()));
+            } else {
+                let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                pairs.push((name.to_string(), v.clone()));
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn all(&self, name: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("sirep-cluster: {msg}");
+    1
+}
+
+fn park_forever() -> ! {
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// seq / node
+// ---------------------------------------------------------------------------
+
+fn cmd_seq(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let bind = flags.get("bind").unwrap_or("127.0.0.1:0");
+    let seq = match Sequencer::spawn(bind) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("sequencer bind {bind} failed: {e}")),
+    };
+    println!("READY {}", seq.addr());
+    park_forever();
+}
+
+fn cmd_node(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(seq) = flags.get("seq") else { return fail("node needs --seq <addr>") };
+    let replica = match flags.num("replica", 0) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let bind = flags.get("bind").unwrap_or("127.0.0.1:0");
+
+    let config = ClusterConfig::builder()
+        .replicas(1)
+        .transport(Transport::Tcp { sequencer: seq.to_string() })
+        .first_replica(replica)
+        .build();
+    let cluster = match Cluster::try_new(config) {
+        Ok(c) => Arc::new(c),
+        Err(e) => return fail(&format!("joining the group via {seq} failed: {e}")),
+    };
+    for ddl in flags.all("schema") {
+        if let Err(e) = cluster.execute_ddl(ddl) {
+            return fail(&format!("schema statement {ddl:?} failed: {e}"));
+        }
+    }
+    let server = match NodeServer::spawn(bind, cluster, 0) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("client listener bind {bind} failed: {e}")),
+    };
+    println!("READY {}", server.addr());
+    park_forever();
+}
+
+// ---------------------------------------------------------------------------
+// workload / check
+// ---------------------------------------------------------------------------
+
+/// splitmix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const INITIAL_BALANCE: i64 = 1_000;
+
+fn split_nodes(flags: &Flags) -> Result<Vec<String>, String> {
+    let Some(nodes) = flags.get("nodes") else { return Err("--nodes <a,b,c> is required".into()) };
+    let list: Vec<String> =
+        nodes.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+    if list.is_empty() {
+        Err("--nodes is empty".into())
+    } else {
+        Ok(list)
+    }
+}
+
+fn retryable(e: &sirep_common::DbError) -> bool {
+    use sirep_common::DbError;
+    match e {
+        DbError::Aborted(r) => r.is_retryable(),
+        // An in-doubt loss must NOT be blindly retried — the work may have
+        // committed. Callers decide what an unknown outcome means for them.
+        DbError::ConnectionLost { in_doubt } => !in_doubt,
+        DbError::Unavailable => true,
+        _ => false,
+    }
+}
+
+/// Run `f` until it succeeds or fails non-retryably; rolls back between
+/// attempts so a half-done transaction never leaks into the next one.
+fn with_retries<T>(
+    conn: &mut RemoteConn<'_>,
+    attempts: usize,
+    mut f: impl FnMut(&mut RemoteConn<'_>) -> Result<T, sirep_common::DbError>,
+) -> Result<T, sirep_common::DbError> {
+    let mut last = sirep_common::DbError::Unavailable;
+    for _ in 0..attempts {
+        match f(conn) {
+            Ok(v) => return Ok(v),
+            Err(e) if retryable(&e) => {
+                last = e;
+                let _ = conn.rollback();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+fn cmd_workload(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &["init"]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let nodes = match split_nodes(&flags) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let (Ok(ops), Ok(accounts), Ok(seed)) =
+        (flags.num("ops", 200), flags.num("accounts", 32), flags.num("seed", 1))
+    else {
+        return fail("bad numeric flag");
+    };
+
+    let driver = RemoteDriver::new(nodes);
+    let mut conn = match driver.connect() {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("no node reachable: {e}")),
+    };
+
+    if flags.has("init") {
+        if let Err(e) = conn.set_autocommit(true) {
+            return fail(&format!("autocommit: {e}"));
+        }
+        for id in 0..accounts {
+            let sql = format!("INSERT INTO accounts VALUES ({id}, {INITIAL_BALANCE})");
+            let r = with_retries(&mut conn, 50, |c| match c.execute(&sql) {
+                // The row is keyed, so a seed whose outcome was lost can be
+                // resent: a duplicate means it did land the first time.
+                Err(sirep_common::DbError::DuplicateKey(_)) => Ok(ExecResult::Affected(0)),
+                Err(sirep_common::DbError::ConnectionLost { in_doubt: true }) => {
+                    Err(sirep_common::DbError::ConnectionLost { in_doubt: false })
+                }
+                other => other,
+            });
+            if let Err(e) = r {
+                return fail(&format!("seeding account {id}: {e}"));
+            }
+        }
+        println!("seeded {accounts} accounts");
+    }
+
+    if let Err(e) = conn.set_autocommit(false) {
+        return fail(&format!("autocommit off: {e}"));
+    }
+    let mut rng = Rng(seed);
+    let mut committed = 0u64;
+    let mut in_doubt = 0u64;
+    for op in 0..ops {
+        let from = rng.below(accounts);
+        let to = (from + 1 + rng.below(accounts - 1)) % accounts;
+        let amount = 1 + rng.below(20);
+        let transfer = |c: &mut RemoteConn<'_>| {
+            c.execute(&format!(
+                "UPDATE accounts SET balance = balance - {amount} WHERE id = {from}"
+            ))?;
+            c.execute(&format!(
+                "UPDATE accounts SET balance = balance + {amount} WHERE id = {to}"
+            ))?;
+            c.commit()
+        };
+        match with_retries(&mut conn, 50, transfer) {
+            Ok(()) => committed += 1,
+            // A transfer conserves the total whether or not it committed,
+            // so an unresolved outcome skews nothing the check measures.
+            Err(sirep_common::DbError::ConnectionLost { in_doubt: true }) => in_doubt += 1,
+            Err(e) => return fail(&format!("transfer {op} failed: {e}")),
+        }
+    }
+    println!(
+        "workload done: {committed}/{ops} transfers committed, {in_doubt} in doubt, {} failovers",
+        conn.failovers()
+    );
+    0
+}
+
+fn node_status(addr: &str) -> Result<RemoteStatus, String> {
+    let driver = RemoteDriver::new(vec![addr.to_string()]).connect_sweeps(1);
+    let mut conn = driver.connect().map_err(|e| format!("{addr}: {e}"))?;
+    conn.status().map_err(|e| format!("{addr}: {e}"))
+}
+
+fn read_table(addr: &str) -> Result<Vec<sirep_storage::Row>, String> {
+    let driver = RemoteDriver::new(vec![addr.to_string()]).connect_sweeps(1);
+    let mut conn = driver.connect().map_err(|e| format!("{addr}: {e}"))?;
+    conn.set_autocommit(true).map_err(|e| format!("{addr}: {e}"))?;
+    let r = conn
+        .execute("SELECT id, balance FROM accounts ORDER BY id")
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let ExecResult::Rows { rows, .. } = r else { return Err(format!("{addr}: not rows")) };
+    Ok(rows)
+}
+
+fn cmd_check(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let nodes = match split_nodes(&flags) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    let (Ok(accounts), Ok(timeout)) = (flags.num("accounts", 32), flags.num("timeout-secs", 60))
+    else {
+        return fail("bad numeric flag");
+    };
+
+    // Phase 1: convergence. Every node drains its queues and reaches the
+    // same certification watermark.
+    let deadline = Instant::now() + Duration::from_secs(timeout);
+    let statuses = loop {
+        let polled: Result<Vec<RemoteStatus>, String> =
+            nodes.iter().map(|a| node_status(a)).collect();
+        match polled {
+            Ok(list) => {
+                let drained = list.iter().all(|s| s.alive && s.queued == 0 && s.pending_local == 0);
+                let watermark = list.iter().all(|s| s.last_validated == list[0].last_validated);
+                if drained && watermark {
+                    break list;
+                }
+            }
+            Err(e) if Instant::now() >= deadline => return fail(&format!("unreachable: {e}")),
+            Err(_) => {}
+        }
+        if Instant::now() >= deadline {
+            return fail("nodes did not converge within the timeout");
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    // Phase 2: zero 1-copy-SI audit violations anywhere.
+    for (addr, s) in nodes.iter().zip(&statuses) {
+        if s.audit_violations != 0 {
+            return fail(&format!("{addr}: {} audit violations", s.audit_violations));
+        }
+    }
+
+    // Phase 3: identical contents on every node, balances conserved.
+    let tables: Result<Vec<Vec<sirep_storage::Row>>, String> =
+        nodes.iter().map(|a| read_table(a)).collect();
+    let tables = match tables {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    for (addr, t) in nodes.iter().zip(&tables) {
+        if t.len() != accounts as usize {
+            return fail(&format!("{addr}: {} rows, expected {accounts}", t.len()));
+        }
+        if *t != tables[0] {
+            return fail(&format!("{addr} diverges from {}", nodes[0]));
+        }
+    }
+    let sum: i64 = tables[0]
+        .iter()
+        .map(|row| match row.get(1) {
+            Some(sirep_storage::Value::Int(n)) => *n,
+            _ => 0,
+        })
+        .sum();
+    let expected = accounts as i64 * INITIAL_BALANCE;
+    if sum != expected {
+        return fail(&format!("balance sum {sum} != {expected}: transfers lost or duplicated"));
+    }
+
+    println!(
+        "check ok: {} nodes converged at watermark {}, {} rows identical, sum {}",
+        nodes.len(),
+        statuses[0].last_validated,
+        accounts,
+        sum
+    );
+    0
+}

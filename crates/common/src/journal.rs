@@ -21,34 +21,12 @@
 //!
 //! [`snapshot`]: Journal::snapshot
 
-use crate::ids::{GlobalTid, ReplicaId};
+use crate::ids::{GlobalTid, ReplicaId, XactId};
 #[cfg(feature = "trace")]
 use parking_lot::Mutex;
 #[cfg(feature = "trace")]
 use std::collections::VecDeque;
-use std::fmt;
 use std::time::Instant;
-
-/// Cross-crate transaction reference: the originating replica plus the
-/// origin-local sequence number.  Mirrors the core crate's `XactId` (which
-/// this crate cannot see) so journal events stay dependency-light.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TxRef {
-    pub origin: ReplicaId,
-    pub seq: u64,
-}
-
-impl TxRef {
-    pub fn new(origin: ReplicaId, seq: u64) -> TxRef {
-        TxRef { origin, seq }
-    }
-}
-
-impl fmt::Display for TxRef {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{}", self.origin, self.seq)
-    }
-}
 
 /// What a seeded fault injector did to one delivery copy.  Recorded in
 /// [`EventKind::FaultInjected`] and in the GCS fault log that the chaos
@@ -115,17 +93,17 @@ impl CrashPoint {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// A local transaction began (after any hole wait — adjustment 3).
-    TxBegin { xact: TxRef },
+    TxBegin { xact: XactId },
     /// Commit requested: the certification watermark (`ws_list.last_tid`)
     /// was captured under the state lock.
-    CertCapture { xact: TxRef, cert: GlobalTid },
+    CertCapture { xact: XactId, cert: GlobalTid },
     /// The writeset was handed to the total-order multicast.
-    Multicast { xact: TxRef },
+    Multicast { xact: XactId },
     /// The writeset came back in total order.
-    TotalOrderDeliver { xact: TxRef, cert: GlobalTid },
+    TotalOrderDeliver { xact: XactId, cert: GlobalTid },
     /// Certification outcome: `tid` is the dense global commit id assigned
     /// on a pass, `None` on a validation abort.
-    ValidationVerdict { xact: TxRef, tid: Option<GlobalTid>, passed: bool },
+    ValidationVerdict { xact: XactId, tid: Option<GlobalTid>, passed: bool },
     /// A commit-order hole opened: `tid` committed ahead of a smaller
     /// validated-but-uncommitted tid.
     HoleOpened { tid: GlobalTid },
@@ -134,13 +112,13 @@ pub enum EventKind {
     /// The certification list was pruned up to `watermark`.
     WsListPruned { watermark: GlobalTid, removed: u64 },
     /// The transaction committed at this replica with global id `tid`.
-    Commit { xact: TxRef, tid: GlobalTid },
+    Commit { xact: XactId, tid: GlobalTid },
     /// The transaction aborted at this replica (validation or local).
-    Abort { xact: TxRef },
+    Abort { xact: XactId },
     /// A remote writeset started applying at this replica.
-    ApplyStart { xact: TxRef, tid: GlobalTid },
+    ApplyStart { xact: XactId, tid: GlobalTid },
     /// A remote writeset finished applying at this replica.
-    ApplyDone { xact: TxRef, tid: GlobalTid },
+    ApplyDone { xact: XactId, tid: GlobalTid },
     /// Membership changed; `members` live replicas remain.
     ViewChange { members: u64 },
     /// A driver connection failed over to this replica after `from`
@@ -183,7 +161,7 @@ impl EventKind {
     }
 
     /// The transaction this event concerns, when it concerns one.
-    pub fn xact(&self) -> Option<TxRef> {
+    pub fn xact(&self) -> Option<XactId> {
         match *self {
             EventKind::TxBegin { xact }
             | EventKind::CertCapture { xact, .. }
@@ -372,7 +350,7 @@ mod tests {
     #[test]
     fn events_are_sequenced_and_stamped() {
         let j = Journal::new(r(3));
-        let a = TxRef::new(r(3), 1);
+        let a = XactId::new(r(3), 1);
         j.record(EventKind::TxBegin { xact: a });
         j.record(EventKind::CertCapture { xact: a, cert: GlobalTid::ZERO });
         j.record(EventKind::Commit { xact: a, tid: GlobalTid::new(1) });
@@ -391,7 +369,7 @@ mod tests {
     fn ring_drops_oldest_when_full() {
         let j = Journal::with_epoch(r(0), Instant::now(), 4);
         for seq in 0..10 {
-            j.record(EventKind::TxBegin { xact: TxRef::new(r(0), seq) });
+            j.record(EventKind::TxBegin { xact: XactId::new(r(0), seq) });
         }
         assert_eq!(j.len(), 4);
         assert_eq!(j.dropped(), 6);

@@ -21,6 +21,8 @@
 //!   (feature-gated like [`trace`]).
 //! - [`gauges`]: current-value telemetry with high-water marks for the
 //!   protocol's queue depths (feature-gated like [`trace`]).
+//! - [`wire`]: the dependency-free length-prefixed binary codec everything
+//!   crossing a process boundary encodes through.
 
 pub mod clock;
 pub mod error;
@@ -32,16 +34,16 @@ pub mod metrics;
 pub mod stats;
 pub mod sync;
 pub mod trace;
+pub mod wire;
 
 pub use clock::{precise_sleep, TimeScale};
 pub use error::{AbortReason, DbError};
 pub use gauges::{Gauge, GaugeReading, GaugeSnapshot, ProtocolGauges};
 pub use histogram::Histogram;
-pub use ids::{ClientId, GlobalTid, MemberId, ReplicaId, SessionId, TxnId};
-pub use journal::{
-    CrashPoint, Event, EventKind, FaultKind, Journal, TxRef, DEFAULT_JOURNAL_CAPACITY,
-};
+pub use ids::{ClientId, GlobalTid, MemberId, ReplicaId, SessionId, TxnId, XactId};
+pub use journal::{CrashPoint, Event, EventKind, FaultKind, Journal, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{Metrics, Rates};
 pub use stats::{ConfidenceInterval, OnlineStats};
 pub use sync::Semaphore;
 pub use trace::{Stage, StageSnapshot, StageStats, TxTrace, STAGE_COUNT};
+pub use wire::{read_frame, write_frame, Wire, WireError, WireReader, MAX_FRAME};

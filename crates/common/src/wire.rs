@@ -1,0 +1,534 @@
+//! Dependency-free length-prefixed binary codec for everything that
+//! crosses a process boundary.
+//!
+//! The in-process GCS tier ships `Arc`s; the TCP tier must ship bytes. This
+//! module is the single wire format both the replication protocol
+//! (`ReplMsg`, writesets, view changes) and the client driver frames encode
+//! through, so "no `Arc` sharing across the boundary" is enforced by
+//! construction: [`Wire::decode`] can only ever build fresh values.
+//!
+//! Format: little-endian fixed-width integers, `u32` length prefixes for
+//! strings and sequences, one `u8` discriminant per enum variant. Frames on
+//! a stream are `u32`-LE byte length followed by the payload, capped at
+//! [`MAX_FRAME`]. Decoding is total: malformed input yields [`WireError`],
+//! never a panic or an attacker-sized allocation (length prefixes are
+//! validated against the bytes actually present before reserving).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on a single frame, applied on both sides of a stream.
+/// Generous for writesets (a full TPC-W cart update is a few KiB) while
+/// bounding what a corrupt length prefix can make a peer allocate.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Why a decode failed. Decoding never panics; every malformed input maps
+/// to one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value did.
+    Truncated,
+    /// Structurally invalid bytes (bad discriminant, non-UTF-8 string, ...).
+    Corrupt(&'static str),
+    /// A declared length exceeds [`MAX_FRAME`] or the bytes on hand.
+    TooLarge,
+    /// Bytes were left over after the outermost value was decoded.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("wire: truncated input"),
+            WireError::Corrupt(what) => write!(f, "wire: corrupt input ({what})"),
+            WireError::TooLarge => f.write_str("wire: declared length too large"),
+            WireError::TrailingBytes => f.write_str("wire: trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over a byte slice being decoded.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// A length prefix for a sequence of elements each at least
+    /// `min_elem_size` bytes. Rejects prefixes that could not possibly be
+    /// satisfied by the remaining bytes, so `Vec::with_capacity` on the
+    /// result cannot be attacker-amplified.
+    pub fn seq_len(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let n = u32::decode(self)? as usize;
+        if n > MAX_FRAME || n.saturating_mul(min_elem_size.max(1)) > self.remaining() {
+            return Err(WireError::TooLarge);
+        }
+        Ok(n)
+    }
+}
+
+/// A value with a canonical binary encoding.
+///
+/// Implementations must round-trip: `decode(encode(v)) == v`, bit-identical
+/// on re-encode. `decode` must be total (no panics, no unbounded
+/// allocation) — transport code feeds it bytes straight off a socket.
+pub trait Wire: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode a complete buffer; trailing bytes are an error.
+    fn from_wire(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(<$t>::from_le_bytes(r.take_array()?))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i64);
+
+impl Wire for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::from_le_bytes(r.take_array()?)))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Corrupt("bool")),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len(1)?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Corrupt("utf-8"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(WireError::Corrupt("option tag")),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+macro_rules! wire_id {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                self.raw().encode(out);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(Self::new(u64::decode(r)?))
+            }
+        }
+    )*};
+}
+
+wire_id!(
+    crate::ids::ReplicaId,
+    crate::ids::TxnId,
+    crate::ids::GlobalTid,
+    crate::ids::ClientId,
+    crate::ids::SessionId,
+    crate::ids::MemberId
+);
+
+impl Wire for crate::ids::XactId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.origin.encode(out);
+        self.seq.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(crate::ids::XactId { origin: crate::ids::ReplicaId::decode(r)?, seq: u64::decode(r)? })
+    }
+}
+
+impl Wire for crate::error::AbortReason {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use crate::error::AbortReason::*;
+        out.push(match self {
+            SerializationFailure => 0,
+            Deadlock => 1,
+            ValidationFailure => 2,
+            UserRequested => 3,
+            ReplicaCrashed => 4,
+            Shutdown => 5,
+        });
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        use crate::error::AbortReason::*;
+        Ok(match u8::decode(r)? {
+            0 => SerializationFailure,
+            1 => Deadlock,
+            2 => ValidationFailure,
+            3 => UserRequested,
+            4 => ReplicaCrashed,
+            5 => Shutdown,
+            _ => return Err(WireError::Corrupt("abort reason tag")),
+        })
+    }
+}
+
+/// `TypeMismatch::expected` is a `&'static str`; the decoder re-interns the
+/// transported string against the finite set the engine actually emits, so
+/// the round trip is exact for every error the engine can produce (unknown
+/// strings — only possible from a corrupt or newer peer — degrade to a
+/// generic description rather than failing the decode).
+fn intern_expected(s: &str) -> &'static str {
+    match s {
+        "int" => "int",
+        "float" => "float",
+        "text" => "text",
+        "non-null primary key" => "non-null primary key",
+        _ => "a value of the column's type",
+    }
+}
+
+impl Wire for crate::error::DbError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use crate::error::DbError::*;
+        match self {
+            Aborted(reason) => {
+                out.push(0);
+                reason.encode(out);
+            }
+            UnknownTable(name) => {
+                out.push(1);
+                name.encode(out);
+            }
+            UnknownColumn(name) => {
+                out.push(2);
+                name.encode(out);
+            }
+            TypeMismatch { column, expected } => {
+                out.push(3);
+                column.encode(out);
+                expected.to_string().encode(out);
+            }
+            DuplicateKey(key) => {
+                out.push(4);
+                key.encode(out);
+            }
+            NoSuchTransaction => out.push(5),
+            Parse(msg) => {
+                out.push(6);
+                msg.encode(out);
+            }
+            Unsupported(msg) => {
+                out.push(7);
+                msg.encode(out);
+            }
+            ConnectionLost { in_doubt } => {
+                out.push(8);
+                in_doubt.encode(out);
+            }
+            Unavailable => out.push(9),
+            Internal(msg) => {
+                out.push(10);
+                msg.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        use crate::error::DbError::*;
+        Ok(match u8::decode(r)? {
+            0 => Aborted(crate::error::AbortReason::decode(r)?),
+            1 => UnknownTable(String::decode(r)?),
+            2 => UnknownColumn(String::decode(r)?),
+            3 => TypeMismatch {
+                column: String::decode(r)?,
+                expected: intern_expected(&String::decode(r)?),
+            },
+            4 => DuplicateKey(String::decode(r)?),
+            5 => NoSuchTransaction,
+            6 => Parse(String::decode(r)?),
+            7 => Unsupported(String::decode(r)?),
+            8 => ConnectionLost { in_doubt: bool::decode(r)? },
+            9 => Unavailable,
+            10 => Internal(String::decode(r)?),
+            _ => return Err(WireError::Corrupt("db error tag")),
+        })
+    }
+}
+
+/// Write one length-prefixed frame (`u32`-LE byte length, then payload).
+pub fn write_frame<W: Write, T: Wire>(w: &mut W, msg: &T) -> io::Result<()> {
+    let payload = msg.to_wire();
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, WireError::TooLarge));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame and decode it. A malformed frame maps to
+/// `io::ErrorKind::InvalidData`; EOF at a frame boundary maps to
+/// `io::ErrorKind::UnexpectedEof` (from `read_exact`).
+pub fn read_frame<R: Read, T: Wire>(r: &mut R) -> io::Result<T> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, WireError::TooLarge));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    T::from_wire(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GlobalTid, MemberId, ReplicaId, XactId};
+    use proptest::prelude::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_wire();
+        let back = T::from_wire(&bytes).expect("decode");
+        assert_eq!(&back, v);
+        assert_eq!(back.to_wire(), bytes, "re-encode must be bit-identical");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&0u8);
+        round_trip(&u16::MAX);
+        round_trip(&0xdead_beefu32);
+        round_trip(&u64::MAX);
+        round_trip(&(-42i64));
+        round_trip(&1.5f64);
+        round_trip(&f64::NAN.to_bits()); // NaN via bits: f64 isn't PartialEq-friendly
+        round_trip(&true);
+        round_trip(&String::from("héllo"));
+        round_trip(&vec![1u64, 2, 3]);
+        round_trip(&Option::<u64>::None);
+        round_trip(&Some(7u32));
+        round_trip(&(3u64, String::from("x")));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        round_trip(&ReplicaId::new(3));
+        round_trip(&GlobalTid::new(u64::MAX));
+        round_trip(&MemberId::new(9));
+        round_trip(&XactId { origin: ReplicaId::new(1), seq: XactId::seq_base(2) + 7 });
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let bytes = String::from("hello").to_wire();
+        for cut in 0..bytes.len() {
+            let r = String::from_wire(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        // Claims u32::MAX elements with 4 bytes of backing data.
+        let mut bytes = Vec::new();
+        u32::MAX.encode(&mut bytes);
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(Vec::<u64>::from_wire(&bytes), Err(WireError::TooLarge));
+        assert_eq!(String::from_wire(&bytes), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u64.to_wire();
+        bytes.push(0);
+        assert_eq!(u64::from_wire(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        assert_eq!(bool::from_wire(&[2]), Err(WireError::Corrupt("bool")));
+        assert_eq!(Option::<u8>::from_wire(&[9]), Err(WireError::Corrupt("option tag")));
+        assert!(String::from_wire(&[2, 0, 0, 0, 0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &String::from("frame one")).unwrap();
+        write_frame(&mut buf, &vec![1u64, 2, 3]).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let a: String = read_frame(&mut cursor).unwrap();
+        let b: Vec<u64> = read_frame(&mut cursor).unwrap();
+        assert_eq!(a, "frame one");
+        assert_eq!(b, vec![1, 2, 3]);
+        let eof: io::Result<String> = read_frame(&mut cursor);
+        assert_eq!(eof.unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frame_header_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        let r: io::Result<String> = read_frame(&mut cursor);
+        assert_eq!(r.unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn db_errors_round_trip() {
+        use crate::error::{AbortReason, DbError};
+        let all = [
+            DbError::Aborted(AbortReason::SerializationFailure),
+            DbError::Aborted(AbortReason::Deadlock),
+            DbError::Aborted(AbortReason::ValidationFailure),
+            DbError::Aborted(AbortReason::UserRequested),
+            DbError::Aborted(AbortReason::ReplicaCrashed),
+            DbError::Aborted(AbortReason::Shutdown),
+            DbError::UnknownTable("accounts".into()),
+            DbError::UnknownColumn("balance".into()),
+            DbError::TypeMismatch { column: "price".into(), expected: "float" },
+            DbError::TypeMismatch { column: "id".into(), expected: "non-null primary key" },
+            DbError::DuplicateKey("[Int(3)]".into()),
+            DbError::NoSuchTransaction,
+            DbError::Parse("unexpected token".into()),
+            DbError::Unsupported("JOIN".into()),
+            DbError::ConnectionLost { in_doubt: true },
+            DbError::ConnectionLost { in_doubt: false },
+            DbError::Unavailable,
+            DbError::Internal("invariant".into()),
+        ];
+        for e in all {
+            round_trip(&e);
+        }
+        assert_eq!(DbError::from_wire(&[99]), Err(WireError::Corrupt("db error tag")));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_vec_round_trips(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+            round_trip(&v);
+        }
+
+        #[test]
+        fn prop_string_round_trips(s in ".*") {
+            round_trip(&s);
+        }
+
+        #[test]
+        fn prop_xact_round_trips(origin in any::<u64>(), seq in any::<u64>()) {
+            round_trip(&XactId { origin: ReplicaId::new(origin), seq });
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Any of these may fail; none may panic.
+            let _ = Vec::<u64>::from_wire(&bytes);
+            let _ = String::from_wire(&bytes);
+            let _ = Option::<(u64, String)>::from_wire(&bytes);
+            let _ = XactId::from_wire(&bytes);
+        }
+    }
+}

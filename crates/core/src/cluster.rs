@@ -11,12 +11,26 @@ use sirep_common::{
     CrashPoint, DbError, Event, EventKind, GaugeSnapshot, Journal, MemberId, Metrics, ReplicaId,
     StageSnapshot, DEFAULT_JOURNAL_CAPACITY,
 };
-use sirep_gcs::{FaultConfig, Group, GroupConfig, NETWORK_REPLICA};
+use sirep_gcs::{FaultConfig, Group, GroupConfig, SimGroup, TcpGroup, NETWORK_REPLICA};
 use sirep_storage::{CostModel, Database};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which GCS backend carries the cluster's replication traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// The in-process simulated network: deterministic, model-time latency,
+    /// seeded fault plans. The correctness/chaos tier.
+    Sim,
+    /// Real sockets through the sequencer service at `sequencer`
+    /// (`"host:port"`). A multinode deployment runs one single-replica
+    /// cluster per process, each with its own
+    /// [`ClusterConfig::first_replica`]. Fault plans and partitions are
+    /// no-ops on this transport.
+    Tcp { sequencer: String },
+}
 
 /// Configuration for an SRCA-Rep / SRCA-Opt cluster.
 #[derive(Debug, Clone)]
@@ -27,6 +41,12 @@ pub struct ClusterConfig {
     pub cost: CostModel,
     /// Group communication latency model.
     pub gcs: GroupConfig,
+    /// Which transport backend carries replication traffic.
+    pub transport: Transport,
+    /// Logical replica id of this cluster's first node — nonzero only for
+    /// multinode TCP deployments, where each process hosts a slice of the
+    /// group.
+    pub first_replica: u64,
     /// Applier threads per replica (step III concurrency).
     pub appliers: usize,
     /// Record begin/commit histories and readsets for 1-copy-SI checking.
@@ -44,12 +64,6 @@ impl ClusterConfig {
     pub fn builder() -> ClusterConfigBuilder {
         ClusterConfigBuilder { cfg: ClusterConfig::default() }
     }
-
-    /// Test defaults: everything instantaneous, full SRCA-Rep.
-    #[deprecated(note = "use ClusterConfig::builder().replicas(n).build()")]
-    pub fn test(replicas: usize) -> ClusterConfig {
-        ClusterConfig::builder().replicas(replicas).build()
-    }
 }
 
 impl Default for ClusterConfig {
@@ -59,6 +73,8 @@ impl Default for ClusterConfig {
             mode: ReplicationMode::SrcaRep,
             cost: CostModel::free(),
             gcs: GroupConfig::instant(),
+            transport: Transport::Sim,
+            first_replica: 0,
             appliers: 2,
             track_history: false,
             outcome_cap: 1 << 16,
@@ -104,6 +120,20 @@ impl ClusterConfigBuilder {
     /// Group communication latency model.
     pub fn gcs(mut self, gcs: GroupConfig) -> Self {
         self.cfg.gcs = gcs;
+        self
+    }
+
+    /// Which transport backend carries replication traffic (default:
+    /// [`Transport::Sim`]).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.cfg.transport = transport;
+        self
+    }
+
+    /// Logical replica id of this cluster's first node (multinode TCP
+    /// deployments; default 0).
+    pub fn first_replica(mut self, first: u64) -> Self {
+        self.cfg.first_replica = first;
         self
     }
 
@@ -181,7 +211,7 @@ impl ClusterReport {
 /// A running cluster. Dropping it shuts every replica down.
 pub struct Cluster {
     nodes: RwLock<Vec<Arc<ReplicaNode>>>,
-    group: Group<ReplMsg>,
+    group: Arc<dyn Group<ReplMsg>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     config: ClusterConfig,
     /// GCS member id → logical replica id (recovered replicas re-join
@@ -200,9 +230,25 @@ pub struct Cluster {
 }
 
 impl Cluster {
+    /// Build and start a cluster, panicking on construction failure — the
+    /// right ergonomics for the sim tier, where joins cannot fail.
     pub fn new(config: ClusterConfig) -> Cluster {
-        assert!(config.replicas > 0, "a cluster needs at least one replica");
-        let group: Group<ReplMsg> = Group::new(config.gcs.clone());
+        // sirep-lint: allow(no-unwrap-on-protocol-paths): construction-time only — the sim transport's joins are infallible, and tests/benches want the panic; fallible TCP deployments use try_new
+        Cluster::try_new(config).expect("cluster construction failed")
+    }
+
+    /// Build and start a cluster. Fails if the configured transport cannot
+    /// join the group (e.g. the TCP sequencer is unreachable).
+    pub fn try_new(config: ClusterConfig) -> Result<Cluster, DbError> {
+        if config.replicas == 0 {
+            return Err(DbError::Internal("a cluster needs at least one replica".into()));
+        }
+        let group: Arc<dyn Group<ReplMsg>> = match &config.transport {
+            Transport::Sim => Arc::new(SimGroup::new(config.gcs.clone())),
+            Transport::Tcp { sequencer } => {
+                Arc::new(TcpGroup::new(sequencer.clone(), config.first_replica))
+            }
+        };
         let registry: MemberRegistry = Arc::new(Mutex::new(HashMap::new()));
         let epoch = Instant::now();
         // Hole synchronization is only promised under SRCA-Rep — SRCA-Opt
@@ -213,24 +259,32 @@ impl Cluster {
         let mut nodes = Vec::with_capacity(config.replicas);
         let mut threads = Vec::new();
         for k in 0..config.replicas {
-            let member = group.join();
-            registry.lock().insert(member.id().raw(), ReplicaId::new(k as u64));
+            let member = group
+                .join()
+                .map_err(|e| DbError::Internal(format!("transport join failed: {e}")))?;
+            let rid = ReplicaId::new(config.first_replica + k as u64);
+            registry.lock().insert(member.id().raw(), rid);
             member_of.insert(k, member.id());
             let db = Database::new(config.cost.clone());
             if config.track_history {
                 db.set_track_reads(true);
             }
             let node = ReplicaNode::new(
-                ReplicaId::new(k as u64),
+                rid,
                 db,
                 member.handle(),
                 config.mode,
                 config.outcome_cap,
                 config.track_history,
                 Arc::clone(&registry),
-                0,
+                // A TCP member's incarnation is its join count at the
+                // sequencer, so a restarted process mints transaction ids
+                // that cannot collide with its replayed, outcome-log-deduped
+                // previous life. The sim transport always reports 0 here and
+                // tracks rejoins in `recover` instead.
+                member.incarnation(),
                 None,
-                Journal::with_epoch(ReplicaId::new(k as u64), epoch, DEFAULT_JOURNAL_CAPACITY),
+                Journal::with_epoch(rid, epoch, DEFAULT_JOURNAL_CAPACITY),
                 Arc::clone(&auditor),
                 Arc::clone(&crash_plan),
             );
@@ -244,7 +298,7 @@ impl Cluster {
             }
             nodes.push(node);
         }
-        Cluster {
+        Ok(Cluster {
             nodes: RwLock::new(nodes),
             group,
             threads: Mutex::new(threads),
@@ -255,7 +309,7 @@ impl Cluster {
             epoch,
             auditor,
             crash_plan,
-        }
+        })
     }
 
     pub fn config(&self) -> &ClusterConfig {
@@ -349,7 +403,7 @@ impl Cluster {
     /// Arm a one-shot crash-point: the next time replica `k` reaches
     /// `point`, it crash-stops there (see [`crate::chaos`]).
     pub fn arm_crash_point(&self, point: CrashPoint, k: usize) {
-        self.crash_plan.arm(point, ReplicaId::new(k as u64));
+        self.crash_plan.arm(point, ReplicaId::new(self.config.first_replica + k as u64));
     }
 
     /// Disarm a crash-point that has not fired yet.
@@ -404,8 +458,12 @@ impl Cluster {
         }
         // 1. Join the group: deliveries buffer in the member's queue from
         //    here on.
-        let member = self.group.join();
-        self.registry.lock().insert(member.id().raw(), ReplicaId::new(k as u64));
+        let member = self
+            .group
+            .join()
+            .map_err(|e| DbError::Internal(format!("transport re-join failed: {e}")))?;
+        let rid = ReplicaId::new(self.config.first_replica + k as u64);
+        self.registry.lock().insert(member.id().raw(), rid);
         self.member_of.lock().insert(k, member.id());
         // 2+3. Pick a donor, barrier on a marker, pull the state transfer.
         //    A donor can die at any point in this window (including via the
@@ -416,7 +474,7 @@ impl Cluster {
             let donor = self
                 .alive()
                 .into_iter()
-                .find(|n| n.id().index() != k)
+                .find(|n| n.id() != rid)
                 .ok_or_else(|| DbError::Internal("no live donor replica".into()))?;
             // Barrier: multicast a marker through the joiner's membership
             // and wait for the donor to process it. Everything sequenced
@@ -446,7 +504,7 @@ impl Cluster {
                 donor
                     .journal
                     .record(EventKind::CrashPointFired { point: CrashPoint::MidStateTransfer });
-                self.crash(donor.id().index());
+                self.crash(donor.id().index() - self.config.first_replica as usize);
                 continue;
             }
             break snapshot;
@@ -462,7 +520,7 @@ impl Cluster {
             *e
         };
         let node = ReplicaNode::new(
-            ReplicaId::new(k as u64),
+            rid,
             db,
             member.handle(),
             self.config.mode,
@@ -471,7 +529,7 @@ impl Cluster {
             Arc::clone(&self.registry),
             incarnation,
             Some(bootstrap),
-            Journal::with_epoch(ReplicaId::new(k as u64), self.epoch, DEFAULT_JOURNAL_CAPACITY),
+            Journal::with_epoch(rid, self.epoch, DEFAULT_JOURNAL_CAPACITY),
             Arc::clone(&self.auditor),
             Arc::clone(&self.crash_plan),
         );

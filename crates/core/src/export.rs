@@ -40,10 +40,10 @@ pub fn perfetto_trace_json(journals: &[(ReplicaId, Vec<Event>)]) -> String {
         );
     }
     // Open spans keyed by (replica, xact): value is the start ts in µs.
-    let mut tx_open: Vec<((u64, sirep_common::TxRef), f64)> = Vec::new();
-    let mut apply_open: Vec<((u64, sirep_common::TxRef), f64)> = Vec::new();
-    let take = |open: &mut Vec<((u64, sirep_common::TxRef), f64)>,
-                key: (u64, sirep_common::TxRef)| {
+    let mut tx_open: Vec<((u64, sirep_common::XactId), f64)> = Vec::new();
+    let mut apply_open: Vec<((u64, sirep_common::XactId), f64)> = Vec::new();
+    let take = |open: &mut Vec<((u64, sirep_common::XactId), f64)>,
+                key: (u64, sirep_common::XactId)| {
         open.iter().position(|(k, _)| *k == key).map(|i| open.swap_remove(i).1)
     };
     for (replica, events) in journals {
@@ -244,7 +244,7 @@ pub fn prometheus_text(report: &ClusterReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sirep_common::{GlobalTid, Journal, TxRef};
+    use sirep_common::{GlobalTid, Journal, XactId};
     use std::time::Instant;
 
     fn r(k: u64) -> ReplicaId {
@@ -255,7 +255,7 @@ mod tests {
     fn perfetto_document_has_spans_and_instants() {
         let epoch = Instant::now();
         let j = Journal::with_epoch(r(0), epoch, 64);
-        let x = TxRef::new(r(0), 1);
+        let x = XactId::new(r(0), 1);
         j.record(EventKind::TxBegin { xact: x });
         j.record(EventKind::CertCapture { xact: x, cert: GlobalTid::ZERO });
         j.record(EventKind::Multicast { xact: x });
@@ -268,14 +268,14 @@ mod tests {
             assert!(doc.contains("\"name\":\"tx_begin\""));
             // The begin/commit pair produced a complete ("X") span.
             assert!(doc.contains("\"ph\":\"X\""));
-            assert!(doc.contains("\"name\":\"tx R0.1\""));
+            assert!(doc.contains("\"name\":\"tx R0.0#1\""));
         }
     }
 
     #[test]
     fn unmatched_span_starts_do_not_emit_spans() {
         let j = Journal::with_epoch(r(0), Instant::now(), 64);
-        j.record(EventKind::ApplyStart { xact: TxRef::new(r(1), 7), tid: GlobalTid::new(3) });
+        j.record(EventKind::ApplyStart { xact: XactId::new(r(1), 7), tid: GlobalTid::new(3) });
         let doc = perfetto_trace_json(&[(r(0), j.snapshot())]);
         assert!(!doc.contains("\"ph\":\"X\""));
     }

@@ -45,7 +45,7 @@ use sirep_common::{
     AbortReason, CrashPoint, DbError, EventKind, GaugeSnapshot, GlobalTid, Journal, Metrics,
     ProtocolGauges, ReplicaId, Stage, StageSnapshot, StageStats, TxTrace,
 };
-use sirep_gcs::{Delivery, GcsError, GcsHandle, Member};
+use sirep_gcs::{Cast, Delivery, GcsError, Member};
 use sirep_storage::{Database, TupleId, TxnHandle, WriteSet};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -333,6 +333,27 @@ pub enum InDoubt {
     NeverReceived,
 }
 
+impl sirep_common::wire::Wire for InDoubt {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            InDoubt::Known(outcome) => {
+                out.push(0);
+                outcome.encode(out);
+            }
+            InDoubt::NeverReceived => out.push(1),
+        }
+    }
+    fn decode(
+        r: &mut sirep_common::wire::WireReader<'_>,
+    ) -> Result<Self, sirep_common::wire::WireError> {
+        Ok(match u8::decode(r)? {
+            0 => InDoubt::Known(Outcome::decode(r)?),
+            1 => InDoubt::NeverReceived,
+            _ => return Err(sirep_common::wire::WireError::Corrupt("in-doubt tag")),
+        })
+    }
+}
+
 struct NodeState {
     wslist: WsList,
     queue: TocommitQueue,
@@ -364,7 +385,7 @@ pub(crate) type MemberRegistry = Arc<Mutex<HashMap<u64, ReplicaId>>>;
 pub struct ReplicaNode {
     id: ReplicaId,
     db: Database,
-    gcs: GcsHandle<ReplMsg>,
+    gcs: Box<dyn Cast<ReplMsg>>,
     mode: ReplicationMode,
     state: Mutex<NodeState>,
     cond: Condvar,
@@ -419,7 +440,7 @@ impl ReplicaNode {
     pub(crate) fn new(
         id: ReplicaId,
         db: Database,
-        gcs: GcsHandle<ReplMsg>,
+        gcs: Box<dyn Cast<ReplMsg>>,
         mode: ReplicationMode,
         outcome_cap: usize,
         record_history: bool,
@@ -690,7 +711,7 @@ impl ReplicaNode {
                 self.auditor.on_local_begin(self.id);
                 let txn = self.db.begin()?;
                 st.holes.local_started();
-                self.journal.record(EventKind::TxBegin { xact: xact.into() });
+                self.journal.record(EventKind::TxBegin { xact });
                 self.recorder.on_begin(xact);
                 drop(st);
                 Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
@@ -703,7 +724,7 @@ impl ReplicaNode {
                 let txn = self.db.begin()?;
                 let mut st = self.state.lock();
                 st.holes.local_started();
-                self.journal.record(EventKind::TxBegin { xact: xact.into() });
+                self.journal.record(EventKind::TxBegin { xact });
                 drop(st);
                 self.recorder.on_begin(xact);
                 Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
@@ -746,14 +767,14 @@ impl ReplicaNode {
                 // Journal the abort verdict at the decision point, under the
                 // lock, so it cannot interleave after a later transaction's
                 // events; only the database-side rollback runs outside.
-                self.journal.record(EventKind::Abort { xact: xact.into() });
+                self.journal.record(EventKind::Abort { xact });
                 drop(st);
                 txn.abort(AbortReason::ValidationFailure);
                 Metrics::inc(&self.metrics.aborts_validation);
                 return Err(DbError::Aborted(AbortReason::ValidationFailure));
             }
             let cert = st.wslist.last_tid();
-            self.journal.record(EventKind::CertCapture { xact: xact.into(), cert });
+            self.journal.record(EventKind::CertCapture { xact, cert });
             st.pending_local.insert(xact, PendingLocal { txn, responder: reply_tx, guard, trace });
             // Multicast while still holding the state lock, so that cert
             // capture order equals total-order sequence order. The ws_list
@@ -776,7 +797,7 @@ impl ReplicaNode {
                 // by the shutdown path.
                 return Err(DbError::Aborted(AbortReason::ReplicaCrashed));
             }
-            self.journal.record(EventKind::Multicast { xact: xact.into() });
+            self.journal.record(EventKind::Multicast { xact });
         }
         if self.crash_point(CrashPoint::AfterMulticastBeforeLocalCommit) {
             // §5.4 case 3: the writeset is on the wire (survivors will
@@ -835,7 +856,7 @@ impl ReplicaNode {
     // Delivery thread (step II: global validation in total order)
     // ---------------------------------------------------------------------
 
-    pub(crate) fn run_delivery(self: Arc<Self>, member: Member<ReplMsg>) {
+    pub(crate) fn run_delivery(self: Arc<Self>, member: Box<dyn Member<ReplMsg>>) {
         let idle = Duration::from_millis(10);
         loop {
             if !self.is_alive() {
@@ -879,7 +900,16 @@ impl ReplicaNode {
                     let mut view: Vec<ReplicaId> = v
                         .members
                         .iter()
-                        .map(|m| reg.get(&m.raw()).copied().unwrap_or(ReplicaId::new(m.raw())))
+                        .map(|m| {
+                            // Registry first (the sim tier's cluster-side
+                            // mapping), then the transport's own view
+                            // metadata (the TCP tier carries the replica id
+                            // in view frames), then the raw member id.
+                            reg.get(&m.raw())
+                                .copied()
+                                .or_else(|| member.replica_of(*m).map(ReplicaId::new))
+                                .unwrap_or(ReplicaId::new(m.raw()))
+                        })
                         .collect();
                     drop(reg);
                     view.sort();
@@ -930,7 +960,7 @@ impl ReplicaNode {
             // in the fork or the copied queue). Skip idempotently.
             return;
         }
-        self.journal.record(EventKind::TotalOrderDeliver { xact: m.xact.into(), cert: m.cert });
+        self.journal.record(EventKind::TotalOrderDeliver { xact: m.xact, cert: m.cert });
         self.auditor.on_deliver(self.id, m.xact, m.cert);
         {
             let view = st.view.clone();
@@ -946,7 +976,7 @@ impl ReplicaNode {
             let tid = st.wslist.append(m.xact, Arc::clone(&m.ws));
             st.holes.on_validated(tid);
             self.journal.record(EventKind::ValidationVerdict {
-                xact: m.xact.into(),
+                xact: m.xact,
                 tid: Some(tid),
                 passed: true,
             });
@@ -982,7 +1012,7 @@ impl ReplicaNode {
             st.outcomes.record(m.xact, Outcome::Aborted);
             Metrics::inc(&self.metrics.ws_discarded);
             self.journal.record(EventKind::ValidationVerdict {
-                xact: m.xact.into(),
+                xact: m.xact,
                 tid: None,
                 passed: false,
             });
@@ -992,7 +1022,7 @@ impl ReplicaNode {
                 if let Some(p) = st.pending_local.remove(&m.xact) {
                     // Abort verdict is journaled under the lock (ordered with
                     // the ValidationVerdict above); rollback runs outside.
-                    self.journal.record(EventKind::Abort { xact: m.xact.into() });
+                    self.journal.record(EventKind::Abort { xact: m.xact });
                     drop(st);
                     p.txn.abort(AbortReason::ValidationFailure);
                     Metrics::inc(&self.metrics.aborts_validation);
@@ -1061,11 +1091,11 @@ impl ReplicaNode {
             // transferred during recovery from before our crash — is applied
             // like any remote writeset.
             // sirep-lint: allow(journal-gauge-under-lock): apply runs outside the state lock by design (the paper's adjustment 2 — appliers work in parallel); Apply* events are ordered per-tid by the queue's running flag, not by the lock
-            self.journal.record(EventKind::ApplyStart { xact: xact.into(), tid });
+            self.journal.record(EventKind::ApplyStart { xact, tid });
             let Some(handle) = self.apply_remote(&ws) else { return }; // database crashed
             trace.mark(Stage::Apply);
             // sirep-lint: allow(journal-gauge-under-lock): same as ApplyStart above — apply is deliberately lock-free; finalize re-enters the lock for the commit record
-            self.journal.record(EventKind::ApplyDone { xact: xact.into(), tid });
+            self.journal.record(EventKind::ApplyDone { xact, tid });
             self.finalize(tid, xact, &ws, handle, false, trace);
         }
     }
@@ -1144,7 +1174,7 @@ impl ReplicaNode {
         } else if had_holes && !has_holes {
             self.journal.record(EventKind::HoleClosed { tid });
         }
-        self.journal.record(EventKind::Commit { xact: xact.into(), tid });
+        self.journal.record(EventKind::Commit { xact, tid });
         self.auditor.on_commit(self.id, xact, tid);
         // O(|ws| + released edges): unblocks successors as a side effect,
         // which the notify_all below wakes the appliers for.

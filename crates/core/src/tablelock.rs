@@ -27,7 +27,7 @@ use crate::msg::XactId;
 use crate::session::{Connection, System, TxnTemplate};
 use parking_lot::{Condvar, Mutex};
 use sirep_common::{AbortReason, DbError, Metrics, ReplicaId};
-use sirep_gcs::{Delivery, GcsHandle, Group, GroupConfig, Member};
+use sirep_gcs::{Delivery, GroupConfig, SimGroup, SimHandle, SimMember};
 use sirep_sql::ExecResult;
 use sirep_storage::{CostModel, Database, WriteSet};
 use std::collections::{HashMap, VecDeque};
@@ -118,7 +118,7 @@ struct TlNodeState {
 struct TlNode {
     id: ReplicaId,
     db: Database,
-    gcs: GcsHandle<TlMsg>,
+    gcs: SimHandle<TlMsg>,
     state: Mutex<TlNodeState>,
     cond: Condvar,
     shutdown: AtomicBool,
@@ -241,11 +241,11 @@ pub struct TableLockCluster {
 
 impl TableLockCluster {
     pub fn new(config: TableLockConfig) -> TableLockCluster {
-        let group: Group<TlMsg> = Group::new(config.gcs.clone());
+        let group: SimGroup<TlMsg> = SimGroup::new(config.gcs.clone());
         let mut nodes = Vec::new();
         let mut threads = Vec::new();
         for k in 0..config.replicas {
-            let member: Member<TlMsg> = group.join();
+            let member: SimMember<TlMsg> = group.join();
             let node = Arc::new(TlNode {
                 id: ReplicaId::new(k as u64),
                 db: Database::new(config.cost.clone()),

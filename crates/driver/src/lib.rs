@@ -38,6 +38,10 @@
 //! conn.commit().unwrap();
 //! ```
 
+pub mod remote;
+
+pub use remote::{NodeServer, RemoteConn, RemoteDriver, RemoteStatus};
+
 use sirep_common::{AbortReason, DbError};
 use sirep_core::{Cluster, Connection, InDoubt, Outcome, ReplicaNode, Session, XactId};
 use sirep_sql::ExecResult;
@@ -95,15 +99,6 @@ impl DriverConfig {
     /// round-robin policy, unlimited failover.
     pub fn builder() -> DriverConfigBuilder {
         DriverConfigBuilder { cfg: DriverConfig::default() }
-    }
-
-    #[deprecated(note = "use DriverConfig::builder().policy(p).build()")]
-    pub fn with_policy(policy: Policy) -> DriverConfig {
-        // Historical footgun: this constructor hard-coded
-        // `max_failover_attempts: 0` — which *looks* like "no failover" but
-        // means unlimited, same as `default()`. The builder spells the
-        // semantics out; this shim now just delegates.
-        DriverConfig::builder().policy(policy).build()
     }
 }
 

@@ -1,4 +1,7 @@
-//! The group: membership, sequencing, and delivery queues.
+//! The simulated group: membership, sequencing, and delivery queues, all in
+//! one process. This is the deterministic/chaos backend behind the
+//! [`crate::traits`] transport abstraction ([`crate::TcpGroup`] is the real
+//! network); SRCA-Rep itself only sees the traits.
 //!
 //! All sequencing decisions happen under one mutex, which makes the
 //! guarantees easy to state and verify:
@@ -18,7 +21,7 @@
 //!   same position in the message stream.
 //!
 //! Network latency is simulated at the *receiver*: each delivery carries the
-//! wall-clock instant at which it becomes visible, and [`Member::recv`]
+//! wall-clock instant at which it becomes visible, and [`SimMember::recv`]
 //! sleeps until then. Latency is a [`TimeScale`]-scaled model duration, so
 //! the paper's "3 ms per uniform reliable multicast in a LAN" (§5.2) is one
 //! config knob.
@@ -31,6 +34,7 @@
 //! heals, preserving the single total order end to end.
 
 use crate::fault::{FaultConfig, FaultRecord, FaultState, NETWORK_REPLICA};
+use crate::traits::{Delivery, GcsError, View, HELD_SEND_SEQ};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use sirep_common::journal::FaultKind;
@@ -39,17 +43,11 @@ use sirep_common::{
     DEFAULT_JOURNAL_CAPACITY,
 };
 use std::collections::HashMap;
-use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Sequence number returned by `multicast_total` when the sender is inside
-/// an active partition: the message is held unsequenced at the sequencer
-/// and gets its real (larger) sequence number when the partition heals.
-pub const HELD_SEND_SEQ: u64 = u64::MAX;
-
-/// Group configuration.
+/// SimGroup configuration.
 #[derive(Debug, Clone)]
 pub struct GroupConfig {
     /// One-way delivery latency for a uniform reliable total-order
@@ -86,59 +84,6 @@ impl GroupConfig {
         }
     }
 }
-
-/// A membership view.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct View {
-    pub id: u64,
-    pub members: Vec<MemberId>,
-}
-
-impl View {
-    pub fn contains(&self, m: MemberId) -> bool {
-        self.members.contains(&m)
-    }
-}
-
-/// What a member receives.
-#[derive(Debug, Clone)]
-pub enum Delivery<M> {
-    /// Uniform reliable total-order multicast: same position in every
-    /// member's stream. `seq` is the global sequence number;
-    /// `sequenced_at` is the wall-clock instant the message was sequenced
-    /// (sent), so receivers can attribute multicast latency precisely.
-    TotalOrder { seq: u64, sender: MemberId, sequenced_at: Instant, msg: M },
-    /// FIFO multicast: per-sender order only (still globally consistent in
-    /// this implementation, as in Spread's agreed-order service levels).
-    Fifo { sender: MemberId, msg: M },
-    /// A membership change (crash or join).
-    ViewChange(View),
-}
-
-/// Errors surfaced by group operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum GcsError {
-    /// The member was removed from the group (crashed) — its endpoint is
-    /// dead.
-    MemberCrashed,
-    /// recv() on a crashed/empty endpoint.
-    Disconnected,
-    /// recv_timeout() elapsed.
-    Timeout,
-}
-
-impl fmt::Display for GcsError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            GcsError::MemberCrashed => "member has crashed",
-            GcsError::Disconnected => "endpoint disconnected",
-            GcsError::Timeout => "timed out",
-        };
-        f.write_str(s)
-    }
-}
-
-impl std::error::Error for GcsError {}
 
 struct Timed<M> {
     visible_at: Instant,
@@ -449,8 +394,8 @@ struct GroupInner<M> {
     in_flight: Gauge,
 }
 
-/// Crash a member: shared implementation behind [`Group::crash`] and
-/// [`GcsHandle::crash_self`].
+/// Crash a member: shared implementation behind [`SimGroup::crash`] and
+/// [`SimHandle::crash_self`].
 fn crash_member<M: Clone + Send + 'static>(inner: &GroupInner<M>, id: MemberId) {
     let mut st = inner.state.lock();
     if !st.members.get(&id).is_some_and(|s| s.alive) {
@@ -460,19 +405,19 @@ fn crash_member<M: Clone + Send + 'static>(inner: &GroupInner<M>, id: MemberId) 
 }
 
 /// A simulated process group. Cloning shares the group.
-pub struct Group<M> {
+pub struct SimGroup<M> {
     inner: Arc<GroupInner<M>>,
 }
 
-impl<M> Clone for Group<M> {
+impl<M> Clone for SimGroup<M> {
     fn clone(&self) -> Self {
-        Group { inner: Arc::clone(&self.inner) }
+        SimGroup { inner: Arc::clone(&self.inner) }
     }
 }
 
-impl<M: Clone + Send + 'static> Group<M> {
-    pub fn new(config: GroupConfig) -> Group<M> {
-        Group {
+impl<M: Clone + Send + 'static> SimGroup<M> {
+    pub fn new(config: GroupConfig) -> SimGroup<M> {
+        SimGroup {
             inner: Arc::new(GroupInner {
                 state: Mutex::new(GroupState {
                     members: HashMap::new(),
@@ -490,7 +435,7 @@ impl<M: Clone + Send + 'static> Group<M> {
 
     /// Join the group: returns the new member's endpoint. All members
     /// (including the new one) receive the new view.
-    pub fn join(&self) -> Member<M> {
+    pub fn join(&self) -> SimMember<M> {
         let (tx, rx) = channel::unbounded();
         let mut st = self.inner.state.lock();
         let id = MemberId::new(st.next_member);
@@ -507,7 +452,7 @@ impl<M: Clone + Send + 'static> Group<M> {
             None,
         );
         drop(st);
-        Member { id, group: Arc::clone(&self.inner), rx, last_seq: AtomicU64::new(u64::MAX) }
+        SimMember { id, group: Arc::clone(&self.inner), rx, last_seq: AtomicU64::new(u64::MAX) }
     }
 
     /// Crash a member: it is removed from the group and every survivor
@@ -551,7 +496,7 @@ impl<M: Clone + Send + 'static> Group<M> {
     /// Installs a quiet fault plan if none is present; an already-active
     /// partition is healed first.
     ///
-    /// [`heal`]: Group::heal
+    /// [`heal`]: SimGroup::heal
     pub fn partition(&self, members: &[MemberId]) {
         let mut st = self.inner.state.lock();
         if st.faults.is_none() {
@@ -609,18 +554,18 @@ impl<M: Clone + Send + 'static> Group<M> {
 
 /// A clonable multicast-only handle (e.g. for worker threads that send but
 /// never receive).
-pub struct GcsHandle<M> {
+pub struct SimHandle<M> {
     id: MemberId,
     group: Arc<GroupInner<M>>,
 }
 
-impl<M> Clone for GcsHandle<M> {
+impl<M> Clone for SimHandle<M> {
     fn clone(&self) -> Self {
-        GcsHandle { id: self.id, group: Arc::clone(&self.group) }
+        SimHandle { id: self.id, group: Arc::clone(&self.group) }
     }
 }
 
-impl<M: Clone + Send + 'static> GcsHandle<M> {
+impl<M: Clone + Send + 'static> SimHandle<M> {
     pub fn id(&self) -> MemberId {
         self.id
     }
@@ -686,7 +631,7 @@ impl<M: Clone + Send + 'static> GcsHandle<M> {
     }
 
     /// Crash-stop this member from inside the process that backs it —
-    /// crash-point support. Identical to [`Group::crash`] on the owning
+    /// crash-point support. Identical to [`SimGroup::crash`] on the owning
     /// group: survivors get a view change after the detection delay.
     pub fn crash_self(&self) {
         crash_member(&self.group, self.id);
@@ -699,7 +644,7 @@ impl<M: Clone + Send + 'static> GcsHandle<M> {
 }
 
 /// A member endpoint: receives deliveries, can multicast.
-pub struct Member<M> {
+pub struct SimMember<M> {
     id: MemberId,
     group: Arc<GroupInner<M>>,
     rx: Receiver<Timed<M>>,
@@ -710,14 +655,14 @@ pub struct Member<M> {
     last_seq: AtomicU64,
 }
 
-impl<M: Clone + Send + 'static> Member<M> {
+impl<M: Clone + Send + 'static> SimMember<M> {
     pub fn id(&self) -> MemberId {
         self.id
     }
 
     /// A clonable handle for multicasting from other threads.
-    pub fn handle(&self) -> GcsHandle<M> {
-        GcsHandle { id: self.id, group: Arc::clone(&self.group) }
+    pub fn handle(&self) -> SimHandle<M> {
+        SimHandle { id: self.id, group: Arc::clone(&self.group) }
     }
 
     pub fn multicast_total(&self, msg: M) -> Result<u64, GcsError> {
@@ -810,5 +755,119 @@ fn wait_until(at: Instant) {
     let now = Instant::now();
     if at > now {
         precise_sleep(at - now);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport-trait impls: the sim backend behind `crate::traits`. Pure
+// delegation to the inherent methods above — the sim semantics (synchronous
+// sequencing, seeded faults, model-time latency) are unchanged.
+// ---------------------------------------------------------------------------
+
+impl<M: Clone + Send + 'static> crate::traits::Group<M> for SimGroup<M> {
+    fn join(&self) -> Result<Box<dyn crate::traits::Member<M>>, GcsError> {
+        Ok(Box::new(SimGroup::join(self)))
+    }
+
+    fn crash(&self, id: MemberId) {
+        SimGroup::crash(self, id);
+    }
+
+    fn view(&self) -> View {
+        SimGroup::view(self)
+    }
+
+    fn in_flight(&self) -> GaugeReading {
+        SimGroup::in_flight(self)
+    }
+
+    fn install_faults_with_epoch(&self, cfg: FaultConfig, epoch: Instant) {
+        SimGroup::install_faults_with_epoch(self, cfg, epoch);
+    }
+
+    fn partition(&self, members: &[MemberId]) {
+        SimGroup::partition(self, members);
+    }
+
+    fn heal(&self) {
+        SimGroup::heal(self);
+    }
+
+    fn fault_fingerprint(&self) -> Option<(u64, u64)> {
+        SimGroup::fault_fingerprint(self)
+    }
+
+    fn fault_log(&self) -> Vec<FaultRecord> {
+        SimGroup::fault_log(self)
+    }
+
+    fn fault_gauges(&self) -> Option<(GaugeReading, GaugeReading)> {
+        SimGroup::fault_gauges(self)
+    }
+
+    fn fault_journal(&self) -> Vec<Event> {
+        SimGroup::fault_journal(self)
+    }
+}
+
+impl<M: Clone + Send + 'static> crate::traits::Member<M> for SimMember<M> {
+    fn id(&self) -> MemberId {
+        SimMember::id(self)
+    }
+
+    fn handle(&self) -> Box<dyn crate::traits::Cast<M>> {
+        Box::new(SimMember::handle(self))
+    }
+
+    fn recv(&self) -> Result<Delivery<M>, GcsError> {
+        SimMember::recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Delivery<M>, GcsError> {
+        SimMember::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Option<Delivery<M>> {
+        SimMember::try_recv(self)
+    }
+
+    fn view(&self) -> View {
+        SimMember::view(self)
+    }
+
+    fn in_flight(&self) -> GaugeReading {
+        SimMember::in_flight(self)
+    }
+
+    fn leave(&self) {
+        // The sim group has no distinct graceful-leave protocol: survivors
+        // observe the same view change either way.
+        SimMember::handle(self).crash_self();
+    }
+}
+
+impl<M: Clone + Send + 'static> crate::traits::Cast<M> for SimHandle<M> {
+    fn id(&self) -> MemberId {
+        SimHandle::id(self)
+    }
+
+    fn multicast_total(&self, msg: M) -> Result<u64, GcsError> {
+        SimHandle::multicast_total(self, msg)
+    }
+
+    fn multicast_fifo(&self, msg: M) -> Result<(), GcsError> {
+        SimHandle::multicast_fifo(self, msg)
+    }
+
+    fn crash_self(&self) {
+        SimHandle::crash_self(self);
+    }
+
+    fn in_flight(&self) -> GaugeReading {
+        SimHandle::in_flight(self)
+    }
+
+    fn clone_cast(&self) -> Box<dyn crate::traits::Cast<M>> {
+        Box::new(self.clone())
     }
 }

@@ -1,18 +1,19 @@
 //! Semantics tests for the group communication system.
 
 use crate::group::*;
+use crate::traits::{Delivery, GcsError, HELD_SEND_SEQ};
 use sirep_common::{MemberId, TimeScale};
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// Drain any pending view changes (joins produce them).
-fn drain_views<M: Clone + Send + 'static>(m: &Member<M>) {
+fn drain_views<M: Clone + Send + 'static>(m: &SimMember<M>) {
     while let Some(d) = m.try_recv() {
         assert!(matches!(d, Delivery::ViewChange(_)), "unexpected early delivery");
     }
 }
 
-fn collect_total<M: Clone + Send + 'static>(m: &Member<M>, n: usize) -> Vec<(u64, M)> {
+fn collect_total<M: Clone + Send + 'static>(m: &SimMember<M>, n: usize) -> Vec<(u64, M)> {
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         match m.recv_timeout(Duration::from_secs(5)).expect("timed out") {
@@ -25,8 +26,8 @@ fn collect_total<M: Clone + Send + 'static>(m: &Member<M>, n: usize) -> Vec<(u64
 
 #[test]
 fn total_order_is_identical_across_members() {
-    let group: Group<(u64, u64)> = Group::new(GroupConfig::instant());
-    let members: Vec<Member<(u64, u64)>> = (0..4).map(|_| group.join()).collect();
+    let group: SimGroup<(u64, u64)> = SimGroup::new(GroupConfig::instant());
+    let members: Vec<SimMember<(u64, u64)>> = (0..4).map(|_| group.join()).collect();
     for m in &members {
         drain_views(m);
     }
@@ -55,7 +56,7 @@ fn total_order_is_identical_across_members() {
 
 #[test]
 fn senders_deliver_their_own_messages_in_order() {
-    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
     let a = group.join();
     drain_views(&a);
     a.multicast_total(1).unwrap();
@@ -66,7 +67,7 @@ fn senders_deliver_their_own_messages_in_order() {
 
 #[test]
 fn fifo_preserves_per_sender_order() {
-    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
     let a = group.join();
     let b = group.join();
     drain_views(&a);
@@ -86,7 +87,7 @@ fn fifo_preserves_per_sender_order() {
 
 #[test]
 fn view_changes_on_join_and_crash() {
-    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
     let a = group.join();
     match a.recv().unwrap() {
         Delivery::ViewChange(v) => assert_eq!(v.members, vec![a.id()]),
@@ -110,7 +111,7 @@ fn view_changes_on_join_and_crash() {
 
 #[test]
 fn crashed_member_cannot_multicast() {
-    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
     let a = group.join();
     let b = group.join();
     group.crash(b.id());
@@ -123,7 +124,7 @@ fn crashed_member_cannot_multicast() {
 fn uniform_delivery_messages_precede_crash_view() {
     // The §5.4 guarantee: survivors receive everything the crashed member
     // multicast before its crash, and only then the view change.
-    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
     let a = group.join();
     let b = group.join();
     drain_views(&a);
@@ -152,7 +153,7 @@ fn uniform_delivery_messages_precede_crash_view() {
 
 #[test]
 fn no_deliveries_to_crashed_member_after_crash() {
-    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
     let a = group.join();
     let b = group.join();
     drain_views(&a);
@@ -171,7 +172,7 @@ fn simulated_latency_is_applied() {
     let mut cfg = GroupConfig::instant();
     cfg.scale = TimeScale::REAL_TIME;
     cfg.total_order_delay_ms = 20.0;
-    let group: Group<u32> = Group::new(cfg);
+    let group: SimGroup<u32> = SimGroup::new(cfg);
     let a = group.join();
     drain_views(&a);
     let start = Instant::now();
@@ -186,7 +187,7 @@ fn simulated_latency_is_applied() {
 fn latency_scales_with_time_scale() {
     let mut cfg = GroupConfig::lan(TimeScale::compressed(100.0));
     cfg.total_order_delay_ms = 100.0; // → 1 ms wall at 100x
-    let group: Group<u32> = Group::new(cfg);
+    let group: SimGroup<u32> = SimGroup::new(cfg);
     let a = group.join();
     drain_views(&a);
     let start = Instant::now();
@@ -203,7 +204,7 @@ fn mixed_total_and_fifo_streams_are_monotonic() {
     cfg.total_order_delay_ms = 30.0;
     cfg.fifo_delay_ms = 0.0;
     cfg.scale = TimeScale::REAL_TIME;
-    let group: Group<&'static str> = Group::new(cfg);
+    let group: SimGroup<&'static str> = SimGroup::new(cfg);
     let a = group.join();
     let b = group.join();
     drain_views(&a);
@@ -219,7 +220,7 @@ fn mixed_total_and_fifo_streams_are_monotonic() {
 
 #[test]
 fn crash_is_idempotent_and_unknown_ids_ignored() {
-    let group: Group<u32> = Group::new(GroupConfig::instant());
+    let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
     let a = group.join();
     let b = group.join();
     group.crash(b.id());
@@ -255,8 +256,8 @@ mod properties {
         /// from a crashed sender precedes the view change that removes it.
         #[test]
         fn total_order_survives_crashes(steps in prop::collection::vec(step(), 1..40)) {
-            let group: Group<u32> = Group::new(GroupConfig::instant());
-            let members: Vec<Member<u32>> = (0..4).map(|_| group.join()).collect();
+            let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
+            let members: Vec<SimMember<u32>> = (0..4).map(|_| group.join()).collect();
             let mut alive = [true; 4];
             let mut expected: Vec<u32> = Vec::new();
             for s in &steps {
@@ -306,7 +307,7 @@ mod properties {
 
 #[test]
 fn handles_work_from_other_threads() {
-    let group: Group<u64> = Group::new(GroupConfig::instant());
+    let group: SimGroup<u64> = SimGroup::new(GroupConfig::instant());
     let a = group.join();
     drain_views(&a);
     let h = a.handle();
@@ -334,7 +335,7 @@ mod faults {
     /// explicit view change.
     #[test]
     fn suspected_member_without_crash_gets_view_change() {
-        let group: Group<u32> = Group::new(GroupConfig::instant());
+        let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
         let a = group.join();
         let b = group.join();
         drain_views(&a);
@@ -366,7 +367,7 @@ mod faults {
 
     #[test]
     fn duplicate_deliveries_are_deduped_at_the_member() {
-        let group: Group<u32> = Group::new(GroupConfig::instant());
+        let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
         let a = group.join();
         let b = group.join();
         drain_views(&a);
@@ -394,7 +395,7 @@ mod faults {
 
     #[test]
     fn dropped_messages_are_retransmitted_not_lost() {
-        let group: Group<u32> = Group::new(GroupConfig::instant());
+        let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
         let a = group.join();
         let b = group.join();
         drain_views(&a);
@@ -421,7 +422,7 @@ mod faults {
 
     #[test]
     fn partition_holds_and_heals_in_order() {
-        let group: Group<u32> = Group::new(GroupConfig::instant());
+        let group: SimGroup<u32> = SimGroup::new(GroupConfig::instant());
         let a = group.join();
         let b = group.join();
         let c = group.join();

@@ -12,15 +12,24 @@
 //! - **membership views** — crashes are detected and surviving members
 //!   receive consistent view-change notifications.
 //!
-//! The paper uses Spread; this crate is an in-process substitute whose
-//! latency (≤3 ms per uniform multicast on a LAN) is a configuration knob
-//! scaled through [`sirep_common::TimeScale`]. See `DESIGN.md` §2 for the
-//! substitution argument.
+//! The protocol layer is written against the transport traits in
+//! [`traits`] ([`Group`] / [`Member`] / [`Cast`]); two backends implement
+//! them:
+//!
+//! - [`SimGroup`] — the in-process simulated network the paper's
+//!   evaluation is reproduced on: deterministic, seeded fault injection,
+//!   model-time latency (the paper's Spread measurements — ≤3 ms per
+//!   uniform multicast on a LAN — are a configuration knob scaled through
+//!   [`sirep_common::TimeScale`]; see `DESIGN.md` §2 for the substitution
+//!   argument).
+//! - [`TcpGroup`] — a real network tier: one [`Sequencer`] service plus
+//!   length-prefixed frames over `std::net` sockets, same delivery
+//!   contract (DESIGN.md §14).
 //!
 //! ```
-//! use sirep_gcs::{Group, GroupConfig, Delivery};
+//! use sirep_gcs::{SimGroup, GroupConfig, Delivery};
 //!
-//! let group: Group<String> = Group::new(GroupConfig::instant());
+//! let group: SimGroup<String> = SimGroup::new(GroupConfig::instant());
 //! let a = group.join();
 //! let b = group.join();
 //! // Both joins delivered views; drain them.
@@ -38,9 +47,15 @@
 
 pub mod fault;
 pub mod group;
+pub mod tcp;
+pub mod traits;
 
 pub use fault::{FaultConfig, FaultDecision, FaultRecord, NETWORK_REPLICA};
-pub use group::{Delivery, GcsError, GcsHandle, Group, GroupConfig, Member, View, HELD_SEND_SEQ};
+pub use group::{GroupConfig, SimGroup, SimHandle, SimMember};
+pub use tcp::{Sequencer, TcpCast, TcpGroup, TcpMember};
+pub use traits::{Cast, Delivery, GcsError, Group, Member, View, HELD_SEND_SEQ};
 
+#[cfg(test)]
+mod conformance_tests;
 #[cfg(test)]
 mod group_tests;

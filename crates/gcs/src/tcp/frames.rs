@@ -1,0 +1,210 @@
+//! Frames on the wire between a [`TcpGroup`](crate::TcpGroup) member and
+//! the sequencer service.
+//!
+//! The sequencer is payload-agnostic: application messages cross it as
+//! opaque byte strings ([`Bytes`]), already `Wire`-encoded by the sending
+//! member, so one sequencer binary serves any `M: Wire`. Member ids and
+//! replica ids travel as raw `u64`s.
+
+use sirep_common::wire::{Wire, WireError, WireReader};
+
+/// An opaque, bulk-encoded byte payload. `Vec<u8>` through the generic
+/// `Vec<T: Wire>` impl would encode element-wise; this newtype copies the
+/// buffer in one shot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes(pub Vec<u8>);
+
+impl Wire for Bytes {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0.len() as u32).encode(out);
+        out.extend_from_slice(&self.0);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len(1)?;
+        Ok(Bytes(r.take(n)?.to_vec()))
+    }
+}
+
+/// Member → sequencer.
+///
+/// A connection becomes a *member* connection by sending [`UpFrame::Join`]
+/// first; it then carries only `Total`/`Fifo`/`Leave`. A connection that
+/// starts with `Evict` or `Query` is an *admin* connection (request/reply,
+/// no membership).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpFrame {
+    /// Join the group as (a fresh incarnation of) logical replica
+    /// `replica`.
+    Join { replica: u64 },
+    /// Uniform reliable total-order multicast: sequence and fan out.
+    Total { payload: Bytes },
+    /// FIFO multicast: fan out without consuming a sequence number.
+    Fifo { payload: Bytes },
+    /// Graceful leave; survivors observe the same view change a crash
+    /// would produce.
+    Leave,
+    /// Admin: declare `member` crashed (the test/ops analogue of the sim
+    /// backend's `Group::crash`).
+    Evict { member: u64 },
+    /// Admin: report the current view.
+    Query,
+}
+
+impl Wire for UpFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            UpFrame::Join { replica } => {
+                out.push(0);
+                replica.encode(out);
+            }
+            UpFrame::Total { payload } => {
+                out.push(1);
+                payload.encode(out);
+            }
+            UpFrame::Fifo { payload } => {
+                out.push(2);
+                payload.encode(out);
+            }
+            UpFrame::Leave => out.push(3),
+            UpFrame::Evict { member } => {
+                out.push(4);
+                member.encode(out);
+            }
+            UpFrame::Query => out.push(5),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(UpFrame::Join { replica: u64::decode(r)? }),
+            1 => Ok(UpFrame::Total { payload: Bytes::decode(r)? }),
+            2 => Ok(UpFrame::Fifo { payload: Bytes::decode(r)? }),
+            3 => Ok(UpFrame::Leave),
+            4 => Ok(UpFrame::Evict { member: u64::decode(r)? }),
+            5 => Ok(UpFrame::Query),
+            _ => Err(WireError::Corrupt("upframe tag")),
+        }
+    }
+}
+
+/// Sequencer → member.
+///
+/// `Total`/`Fifo`/`View` form the sequenced delivery stream; the sequencer
+/// retains the full stream and replays it from the beginning to every
+/// joiner, which is how a restarted replica recovers (deterministic replay
+/// instead of state transfer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownFrame {
+    /// Join handshake reply: the assigned member id and the replica's join
+    /// count (= the transaction-id incarnation the member must adopt).
+    Welcome { member: u64, incarnation: u64 },
+    /// A sequenced total-order multicast.
+    Total { seq: u64, sender: u64, payload: Bytes },
+    /// A FIFO multicast.
+    Fifo { sender: u64, payload: Bytes },
+    /// A membership view: `(member, replica)` pairs, sorted by member id.
+    View { id: u64, members: Vec<(u64, u64)> },
+    /// Admin reply to [`UpFrame::Evict`], sent once the member's socket is
+    /// shut down and the view change is sequenced.
+    Evicted,
+}
+
+impl Wire for DownFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DownFrame::Welcome { member, incarnation } => {
+                out.push(0);
+                member.encode(out);
+                incarnation.encode(out);
+            }
+            DownFrame::Total { seq, sender, payload } => {
+                out.push(1);
+                seq.encode(out);
+                sender.encode(out);
+                payload.encode(out);
+            }
+            DownFrame::Fifo { sender, payload } => {
+                out.push(2);
+                sender.encode(out);
+                payload.encode(out);
+            }
+            DownFrame::View { id, members } => {
+                out.push(3);
+                id.encode(out);
+                members.encode(out);
+            }
+            DownFrame::Evicted => out.push(4),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(DownFrame::Welcome { member: u64::decode(r)?, incarnation: u64::decode(r)? }),
+            1 => Ok(DownFrame::Total {
+                seq: u64::decode(r)?,
+                sender: u64::decode(r)?,
+                payload: Bytes::decode(r)?,
+            }),
+            2 => Ok(DownFrame::Fifo { sender: u64::decode(r)?, payload: Bytes::decode(r)? }),
+            3 => Ok(DownFrame::View { id: u64::decode(r)?, members: Vec::decode(r)? }),
+            4 => Ok(DownFrame::Evicted),
+            _ => Err(WireError::Corrupt("downframe tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_wire();
+        let back = T::from_wire(&bytes).expect("decode");
+        assert_eq!(&back, v);
+        assert_eq!(back.to_wire(), bytes);
+    }
+
+    #[test]
+    fn all_up_frame_variants_round_trip() {
+        round_trip(&UpFrame::Join { replica: 2 });
+        round_trip(&UpFrame::Total { payload: Bytes(vec![1, 2, 3]) });
+        round_trip(&UpFrame::Fifo { payload: Bytes(Vec::new()) });
+        round_trip(&UpFrame::Leave);
+        round_trip(&UpFrame::Evict { member: (3 << 32) | 1 });
+        round_trip(&UpFrame::Query);
+    }
+
+    #[test]
+    fn all_down_frame_variants_round_trip() {
+        round_trip(&DownFrame::Welcome { member: 5, incarnation: 1 });
+        round_trip(&DownFrame::Total { seq: 9, sender: 2, payload: Bytes(vec![0xff; 64]) });
+        round_trip(&DownFrame::Fifo { sender: 0, payload: Bytes(vec![7]) });
+        round_trip(&DownFrame::View { id: 4, members: vec![(0, 0), (1, 1), (1 << 32, 0)] });
+        round_trip(&DownFrame::Evicted);
+    }
+
+    #[test]
+    fn corrupt_tags_rejected() {
+        assert_eq!(UpFrame::from_wire(&[9]), Err(WireError::Corrupt("upframe tag")));
+        assert_eq!(DownFrame::from_wire(&[9]), Err(WireError::Corrupt("downframe tag")));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = UpFrame::from_wire(&bytes);
+            let _ = DownFrame::from_wire(&bytes);
+        }
+
+        #[test]
+        fn prop_truncations_rejected(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let frame = DownFrame::Total { seq: 1, sender: 2, payload: Bytes(payload) };
+            let bytes = frame.to_wire();
+            for cut in 0..bytes.len() {
+                prop_assert!(DownFrame::from_wire(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The TCP transport backend: real processes, real sockets, one sequencer.
+//!
+//! [`TcpGroup`] implements the [`crate::traits`] contract over `std::net`
+//! threads and length-prefixed frames (see [`frames`]). All sequencing
+//! happens at the [`Sequencer`] service ([`seq`]); members hold one TCP
+//! connection each, with a reader thread turning [`DownFrame`]s into the
+//! same [`Delivery`] stream the sim backend produces.
+//!
+//! Differences from the sim tier, by design (DESIGN.md §14):
+//!
+//! - `multicast_total` is **fire-and-forget**: it returns
+//!   [`HELD_SEND_SEQ`], and the authoritative sequence number arrives with
+//!   the delivery. Per-connection FIFO order still guarantees a member's
+//!   own multicasts are sequenced in submission order, which is what the
+//!   certification watermark argument needs.
+//! - There is no deterministic fault injection; the chaos tier stays on
+//!   [`crate::SimGroup`].
+//! - Latency is real, not simulated.
+
+pub mod frames;
+pub mod seq;
+
+use crate::traits::{Cast, Delivery, GcsError, Group, Member, View, HELD_SEND_SEQ};
+use crossbeam::channel::{self, Receiver};
+use frames::{Bytes, DownFrame, UpFrame};
+use parking_lot::Mutex;
+pub use seq::Sequencer;
+use sirep_common::wire::{read_frame, write_frame, Wire};
+use sirep_common::{Gauge, GaugeReading, MemberId};
+use std::collections::BTreeMap;
+use std::io;
+use std::marker::PhantomData;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A group reached through a sequencer service. `join()` assigns logical
+/// replica ids `first_replica, first_replica + 1, ...` to successive
+/// members; a multinode deployment runs one `TcpGroup` per process with
+/// `first_replica` = that process's replica id.
+pub struct TcpGroup<M> {
+    addr: String,
+    next_replica: AtomicU64,
+    /// Group-wide in-flight accounting needs the sequencer's cooperation;
+    /// this backend reports a zero gauge here and real per-endpoint depth
+    /// via `Member::in_flight`.
+    idle_gauge: Gauge,
+    _msg: PhantomData<fn() -> M>,
+}
+
+impl<M: Wire + Clone + Send + 'static> TcpGroup<M> {
+    /// A group handle speaking to the sequencer at `addr`
+    /// (e.g. `"127.0.0.1:7400"`). No connection is made until `join`.
+    pub fn new(addr: impl Into<String>, first_replica: u64) -> TcpGroup<M> {
+        TcpGroup {
+            addr: addr.into(),
+            next_replica: AtomicU64::new(first_replica),
+            idle_gauge: Gauge::new(),
+            _msg: PhantomData,
+        }
+    }
+
+    /// Join as a specific logical replica. The sequencer assigns the member
+    /// id and the replica's incarnation (join count).
+    pub fn join_as(&self, replica: u64) -> Result<TcpMember<M>, GcsError> {
+        TcpMember::connect(&self.addr, replica).map_err(io_gcs)
+    }
+
+    fn admin(&self, req: &UpFrame) -> io::Result<DownFrame> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        write_frame(&mut stream, req)?;
+        read_frame(&mut stream)
+    }
+}
+
+fn io_gcs(e: io::Error) -> GcsError {
+    GcsError::Io(e.to_string())
+}
+
+impl<M: Wire + Clone + Send + 'static> Group<M> for TcpGroup<M> {
+    fn join(&self) -> Result<Box<dyn Member<M>>, GcsError> {
+        let replica = self.next_replica.fetch_add(1, Ordering::SeqCst);
+        Ok(Box::new(self.join_as(replica)?))
+    }
+
+    fn crash(&self, id: MemberId) {
+        // Best-effort admin request; the reply is read so the eviction's
+        // view change is sequenced before this returns.
+        let _ = self.admin(&UpFrame::Evict { member: id.raw() });
+    }
+
+    fn view(&self) -> View {
+        match self.admin(&UpFrame::Query) {
+            Ok(DownFrame::View { id, members }) => {
+                View { id, members: members.into_iter().map(|(m, _)| MemberId::new(m)).collect() }
+            }
+            _ => View { id: 0, members: Vec::new() },
+        }
+    }
+
+    fn in_flight(&self) -> GaugeReading {
+        self.idle_gauge.read()
+    }
+}
+
+/// State shared between a TCP member's reader thread, its endpoint, and
+/// its multicast handles.
+struct TcpShared {
+    id: MemberId,
+    /// Write half of the member's connection; the lock keeps concurrent
+    /// multicasts' frames from interleaving mid-frame.
+    write: Mutex<TcpStream>,
+    /// Socket handle used only for shutdown (leave / crash_self).
+    sock: TcpStream,
+    /// Set once this endpoint is known dead (evicted, socket error, or
+    /// crash_self); multicasts fail fast afterwards.
+    crashed: AtomicBool,
+    /// Frames decoded by the reader but not yet received by the endpoint.
+    in_flight: Gauge,
+    /// Latest view delivered.
+    view: Mutex<View>,
+    /// Cumulative member → replica map learned from view frames (members
+    /// from *earlier* views stay resolvable, which delivery translation
+    /// needs when a writeset and the view that removed its sender race).
+    replicas: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl TcpShared {
+    fn mark_crashed(&self) {
+        self.crashed.store(true, Ordering::SeqCst);
+        let _ = self.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// A member endpoint over TCP. Created via [`TcpGroup::join_as`] /
+/// `Group::join`.
+pub struct TcpMember<M> {
+    incarnation: u64,
+    rx: Receiver<Delivery<M>>,
+    shared: Arc<TcpShared>,
+}
+
+impl<M: Wire + Clone + Send + 'static> TcpMember<M> {
+    fn connect(addr: &str, replica: u64) -> io::Result<TcpMember<M>> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &UpFrame::Join { replica })?;
+        let DownFrame::Welcome { member, incarnation } = read_frame(&mut stream)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "sequencer did not start with Welcome",
+            ));
+        };
+        let shared = Arc::new(TcpShared {
+            id: MemberId::new(member),
+            write: Mutex::new(stream.try_clone()?),
+            sock: stream.try_clone()?,
+            crashed: AtomicBool::new(false),
+            in_flight: Gauge::new(),
+            view: Mutex::new(View { id: 0, members: Vec::new() }),
+            replicas: Mutex::new(BTreeMap::new()),
+        });
+        let (tx, rx) = channel::unbounded();
+        let reader_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("sirep-tcp-member-{member}"))
+            .spawn(move || reader_loop(stream, &reader_shared, &tx))?;
+        Ok(TcpMember { incarnation, rx, shared })
+    }
+
+    /// The member id the sequencer assigned.
+    pub fn id(&self) -> MemberId {
+        self.shared.id
+    }
+
+    /// This replica's join count at the sequencer.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+}
+
+/// Decode the sequencer's frame stream into deliveries. Runs until the
+/// socket closes (eviction, sequencer shutdown, or local leave).
+fn reader_loop<M: Wire>(
+    mut stream: TcpStream,
+    shared: &TcpShared,
+    tx: &channel::Sender<Delivery<M>>,
+) {
+    // Duplicate suppression: replay-safe because the sequencer's stream is
+    // strictly increasing per connection.
+    let mut last_seq: Option<u64> = None;
+    while let Ok(frame) = read_frame::<_, DownFrame>(&mut stream) {
+        let delivery = match frame {
+            DownFrame::Total { seq, sender, payload } => {
+                if last_seq.is_some_and(|last| seq <= last) {
+                    continue;
+                }
+                last_seq = Some(seq);
+                let Ok(msg) = M::from_wire(&payload.0) else { break };
+                Delivery::TotalOrder {
+                    seq,
+                    sender: MemberId::new(sender),
+                    sequenced_at: Instant::now(),
+                    msg,
+                }
+            }
+            DownFrame::Fifo { sender, payload } => {
+                let Ok(msg) = M::from_wire(&payload.0) else { break };
+                Delivery::Fifo { sender: MemberId::new(sender), msg }
+            }
+            DownFrame::View { id, members } => {
+                let view =
+                    View { id, members: members.iter().map(|&(m, _)| MemberId::new(m)).collect() };
+                {
+                    let mut replicas = shared.replicas.lock();
+                    for &(m, r) in &members {
+                        replicas.insert(m, r);
+                    }
+                }
+                *shared.view.lock() = view.clone();
+                Delivery::ViewChange(view)
+            }
+            // Welcome is consumed during the handshake; Evicted only goes
+            // to admin connections. Either here means a confused peer.
+            DownFrame::Welcome { .. } | DownFrame::Evicted => break,
+        };
+        shared.in_flight.add(1);
+        if tx.send(delivery).is_err() {
+            break;
+        }
+    }
+    shared.mark_crashed();
+}
+
+impl<M: Wire + Clone + Send + 'static> Member<M> for TcpMember<M> {
+    fn id(&self) -> MemberId {
+        self.shared.id
+    }
+
+    fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    fn handle(&self) -> Box<dyn Cast<M>> {
+        Box::new(TcpCast { shared: Arc::clone(&self.shared), _msg: PhantomData::<fn() -> M> })
+    }
+
+    fn recv(&self) -> Result<Delivery<M>, GcsError> {
+        match self.rx.recv() {
+            Ok(d) => {
+                self.shared.in_flight.sub(1);
+                Ok(d)
+            }
+            Err(_) => Err(GcsError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Delivery<M>, GcsError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(d) => {
+                self.shared.in_flight.sub(1);
+                Ok(d)
+            }
+            Err(channel::RecvTimeoutError::Timeout) => Err(GcsError::Timeout),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(GcsError::Disconnected),
+        }
+    }
+
+    fn try_recv(&self) -> Option<Delivery<M>> {
+        let d = self.rx.try_recv().ok()?;
+        self.shared.in_flight.sub(1);
+        Some(d)
+    }
+
+    fn view(&self) -> View {
+        self.shared.view.lock().clone()
+    }
+
+    fn in_flight(&self) -> GaugeReading {
+        self.shared.in_flight.read()
+    }
+
+    fn replica_of(&self, m: MemberId) -> Option<u64> {
+        self.shared.replicas.lock().get(&m.raw()).copied()
+    }
+
+    fn leave(&self) {
+        self.shared.mark_crashed();
+    }
+}
+
+/// Multicast handle over the member's connection.
+pub struct TcpCast<M> {
+    shared: Arc<TcpShared>,
+    _msg: PhantomData<fn() -> M>,
+}
+
+impl<M: Wire + Clone + Send + 'static> TcpCast<M> {
+    fn send(&self, frame: &UpFrame) -> Result<(), GcsError> {
+        if self.shared.crashed.load(Ordering::SeqCst) {
+            return Err(GcsError::MemberCrashed);
+        }
+        let mut stream = self.shared.write.lock();
+        if let Err(e) = write_frame(&mut *stream, frame) {
+            drop(stream);
+            self.shared.mark_crashed();
+            return Err(io_gcs(e));
+        }
+        Ok(())
+    }
+}
+
+impl<M: Wire + Clone + Send + 'static> Cast<M> for TcpCast<M> {
+    fn id(&self) -> MemberId {
+        self.shared.id
+    }
+
+    /// Fire-and-forget: the frame is on the socket (in per-connection FIFO
+    /// order, which preserves this member's submission order through the
+    /// sequencer) but not yet sequenced, so this returns
+    /// [`HELD_SEND_SEQ`]. The real sequence number arrives with the
+    /// delivery. An `Err` guarantees the message will never be delivered.
+    fn multicast_total(&self, msg: M) -> Result<u64, GcsError> {
+        self.send(&UpFrame::Total { payload: Bytes(msg.to_wire()) })?;
+        Ok(HELD_SEND_SEQ)
+    }
+
+    fn multicast_fifo(&self, msg: M) -> Result<(), GcsError> {
+        self.send(&UpFrame::Fifo { payload: Bytes(msg.to_wire()) })
+    }
+
+    fn crash_self(&self) {
+        // Crash-stop: just die; the sequencer's EOF detection evicts us and
+        // sequences the view change, exactly like a process kill.
+        self.shared.mark_crashed();
+    }
+
+    fn in_flight(&self) -> GaugeReading {
+        self.shared.in_flight.read()
+    }
+
+    fn clone_cast(&self) -> Box<dyn Cast<M>> {
+        Box::new(TcpCast { shared: Arc::clone(&self.shared), _msg: PhantomData::<fn() -> M> })
+    }
+}

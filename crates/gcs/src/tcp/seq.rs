@@ -1,0 +1,298 @@
+//! The sequencer service: a single process that imposes the group's total
+//! order over TCP.
+//!
+//! One mutex-protected state mirrors the sim backend's design, and the
+//! guarantees follow the same way:
+//!
+//! - **Total order**: every `Total` frame is assigned its sequence number
+//!   and appended to every live member's outbound queue under the lock, so
+//!   all members see one consistent stream (payloads, FIFOs and view
+//!   frames interleaved identically).
+//! - **Uniform reliable delivery**: a frame the sequencer sequenced is in
+//!   every survivor's queue *before* any later eviction's view frame; a
+//!   frame still in flight from a member that gets evicted is discarded at
+//!   the reader ("before the crash view, or not at all"). Outbound sockets
+//!   are drained by per-member writer threads, so a slow or dead peer never
+//!   blocks sequencing — it gets evicted instead.
+//! - **View synchrony**: view frames are sequenced into the same stream,
+//!   so all members deliver them at the same position.
+//!
+//! The sequencer retains the complete sequenced stream and replays it to
+//! every joiner from the beginning. A restarted replica therefore recovers
+//! by deterministic replay rather than state transfer; its join bumps the
+//! replica's **incarnation** (returned in `Welcome`), which the middleware
+//! folds into fresh transaction ids so replayed-and-deduped outcomes can
+//! never collide with new ones. The log is unbounded — acceptable for the
+//! smoke tier this backend serves; a production tier would checkpoint.
+//!
+//! Failure detection is TCP-level: a member connection reaching EOF or an
+//! unwritable outbound socket evicts the member and sequences the view
+//! change. There is no failure *suspicion* — exactly the crash-stop model
+//! the paper assumes.
+
+use super::frames::{DownFrame, UpFrame};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use sirep_common::wire::{read_frame, write_frame, Wire};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Member ids pack `(join_count << 32) | replica`, so a replica's id is
+/// distinct across restarts while its low bits stay recognizable. Replica
+/// ids must therefore fit in 32 bits on this transport.
+pub const MEMBER_INCARNATION_SHIFT: u32 = 32;
+
+/// One connected member as the sequencer sees it.
+struct MemberConn {
+    replica: u64,
+    /// Outbound queue drained by this member's writer thread. Unbounded so
+    /// enqueueing under the state lock never blocks on a slow socket.
+    tx: Sender<Arc<[u8]>>,
+    /// The member's socket, kept for shutdown at eviction (wakes both the
+    /// member's reader and our writer).
+    stream: TcpStream,
+}
+
+struct SeqState {
+    next_seq: u64,
+    view_id: u64,
+    /// Join count per replica id — the incarnation handed to each joiner.
+    joins: BTreeMap<u64, u64>,
+    /// Live members, keyed by member id (sorted ⇒ deterministic fan-out
+    /// and view ordering).
+    members: BTreeMap<u64, MemberConn>,
+    /// The full sequenced stream (encoded `DownFrame`s, including view
+    /// frames), replayed to every joiner.
+    log: Vec<Arc<[u8]>>,
+}
+
+impl SeqState {
+    fn view_frame(&self) -> DownFrame {
+        DownFrame::View {
+            id: self.view_id,
+            members: self.members.iter().map(|(&id, c)| (id, c.replica)).collect(),
+        }
+    }
+
+    /// Append a frame to the log and every live member's outbound queue.
+    /// Must run under the state lock — that is what makes the stream total.
+    fn sequence(&mut self, frame: &DownFrame) {
+        let encoded: Arc<[u8]> = frame.to_wire().into();
+        self.log.push(Arc::clone(&encoded));
+        for conn in self.members.values() {
+            // A full/dead peer is detected by its writer thread; ignoring
+            // the send error here is fine because the queue outlives the
+            // member only until eviction.
+            let _ = conn.tx.send(Arc::clone(&encoded));
+        }
+    }
+
+    /// Remove members and sequence one view frame covering all of them.
+    fn evict(&mut self, ids: &[u64]) {
+        let mut changed = false;
+        for id in ids {
+            if let Some(conn) = self.members.remove(id) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                changed = true;
+            }
+        }
+        if changed {
+            self.view_id += 1;
+            let frame = self.view_frame();
+            self.sequence(&frame);
+        }
+    }
+}
+
+struct SeqInner {
+    state: Mutex<SeqState>,
+    shutdown: AtomicBool,
+}
+
+/// The sequencer service handle. Dropping it shuts the service down.
+pub struct Sequencer {
+    inner: Arc<SeqInner>,
+    addr: SocketAddr,
+    listener: TcpListener,
+}
+
+impl Sequencer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving.
+    pub fn spawn(addr: &str) -> io::Result<Sequencer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(SeqInner {
+            state: Mutex::new(SeqState {
+                next_seq: 0,
+                view_id: 0,
+                joins: BTreeMap::new(),
+                members: BTreeMap::new(),
+                log: Vec::new(),
+            }),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept_listener = listener.try_clone()?;
+        thread::Builder::new()
+            .name("sirep-seq-accept".into())
+            .spawn(move || accept_loop(&accept_listener, &accept_inner))?;
+        Ok(Sequencer { inner, addr, listener })
+    }
+
+    /// The bound address members connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total-order sequence numbers assigned so far.
+    pub fn sequenced(&self) -> u64 {
+        self.inner.state.lock().next_seq
+    }
+
+    /// Stop accepting, evict every member, and wake all service threads.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let ids: Vec<u64> = self.inner.state.lock().members.keys().copied().collect();
+        self.inner.state.lock().evict(&ids);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        // A second path for platforms where the self-connect races the
+        // accept: closing our clone is harmless either way.
+        let _ = self.listener.set_nonblocking(true);
+    }
+}
+
+impl Drop for Sequencer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<SeqInner>) {
+    loop {
+        let conn = listener.accept();
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = conn else { return };
+        let conn_inner = Arc::clone(inner);
+        let spawned = thread::Builder::new()
+            .name("sirep-seq-conn".into())
+            .spawn(move || serve_conn(stream, &conn_inner));
+        if spawned.is_err() {
+            return;
+        }
+    }
+}
+
+/// Serve one inbound connection: a member connection (starts with `Join`)
+/// or an admin connection (`Evict`/`Query` request-reply frames).
+fn serve_conn(stream: TcpStream, inner: &Arc<SeqInner>) {
+    let mut read = stream;
+    // Which member this connection speaks for, once joined.
+    let mut member: Option<u64> = None;
+    while let Ok(frame) = read_frame::<_, UpFrame>(&mut read) {
+        match (frame, member) {
+            (UpFrame::Join { replica }, None) => match handle_join(&read, inner, replica) {
+                Ok(id) => member = Some(id),
+                Err(_) => break,
+            },
+            (UpFrame::Total { payload }, Some(id)) => {
+                let mut st = inner.state.lock();
+                // An evicted member's in-flight frames are dropped: the
+                // uniform-delivery contract's "not at all" arm.
+                if st.members.contains_key(&id) {
+                    let seq = st.next_seq;
+                    st.next_seq += 1;
+                    st.sequence(&DownFrame::Total { seq, sender: id, payload });
+                }
+            }
+            (UpFrame::Fifo { payload }, Some(id)) => {
+                let mut st = inner.state.lock();
+                if st.members.contains_key(&id) {
+                    st.sequence(&DownFrame::Fifo { sender: id, payload });
+                }
+            }
+            (UpFrame::Leave, Some(id)) => {
+                inner.state.lock().evict(&[id]);
+                break;
+            }
+            (UpFrame::Evict { member }, None) => {
+                inner.state.lock().evict(&[member]);
+                if write_frame(&mut (&read), &DownFrame::Evicted).is_err() {
+                    break;
+                }
+            }
+            (UpFrame::Query, None) => {
+                let frame = inner.state.lock().view_frame();
+                if write_frame(&mut (&read), &frame).is_err() {
+                    break;
+                }
+            }
+            // Protocol violations (Join twice, payload before Join, admin
+            // frames on a member connection) end the connection.
+            _ => break,
+        }
+    }
+    if let Some(id) = member {
+        inner.state.lock().evict(&[id]);
+    }
+}
+
+/// Admit a joiner: assign its member id and incarnation, sequence the view
+/// that includes it, replay the full log to it, and start its writer.
+fn handle_join(stream: &TcpStream, inner: &Arc<SeqInner>, replica: u64) -> io::Result<u64> {
+    if replica >= (1 << MEMBER_INCARNATION_SHIFT) {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "replica id exceeds 32 bits"));
+    }
+    let write = stream.try_clone()?;
+    let (tx, rx) = channel::unbounded::<Arc<[u8]>>();
+    let id;
+    {
+        let mut st = inner.state.lock();
+        let count = st.joins.get(&replica).copied().unwrap_or(0);
+        st.joins.insert(replica, count + 1);
+        id = (count << MEMBER_INCARNATION_SHIFT) | replica;
+        // Handshake reply first, then the full replay: the log already
+        // ends with the view frame that admits this member, because we
+        // register + sequence under the same lock hold.
+        let welcome = DownFrame::Welcome { member: id, incarnation: count };
+        let _ = tx.send(welcome.to_wire().into());
+        st.members.insert(id, MemberConn { replica, tx: tx.clone(), stream: stream.try_clone()? });
+        st.view_id += 1;
+        let frame = st.view_frame();
+        // `sequence` fans out to every live member including the joiner —
+        // but the joiner must first see the history, so replay everything
+        // *before* this view into its queue, then sequence.
+        for encoded in &st.log {
+            let _ = tx.send(Arc::clone(encoded));
+        }
+        st.sequence(&frame);
+    }
+    let writer_inner = Arc::clone(inner);
+    thread::Builder::new()
+        .name("sirep-seq-writer".into())
+        .spawn(move || writer_loop(write, &rx, &writer_inner, id))?;
+    Ok(id)
+}
+
+/// Drain one member's outbound queue onto its socket. A write failure means
+/// the peer is gone: evict it so the group agrees.
+fn writer_loop(mut stream: TcpStream, rx: &Receiver<Arc<[u8]>>, inner: &Arc<SeqInner>, id: u64) {
+    use std::io::Write;
+    while let Ok(frame) = rx.recv() {
+        let len = (frame.len() as u32).to_le_bytes();
+        if stream.write_all(&len).is_err()
+            || stream.write_all(&frame).is_err()
+            || stream.flush().is_err()
+        {
+            inner.state.lock().evict(&[id]);
+            return;
+        }
+    }
+}

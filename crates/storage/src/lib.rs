@@ -50,6 +50,7 @@ pub mod lock;
 pub mod schema;
 pub mod value;
 pub mod version;
+pub mod wire;
 pub mod writeset;
 
 pub use cost::{CostGate, CostModel};

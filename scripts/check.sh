@@ -3,8 +3,11 @@
 # Offline-friendly: everything runs with --offline against the committed
 # Cargo.lock, so it works in network-less containers.
 #
-# Usage: scripts/check.sh [--quick|--tsan|--miri]
+# Usage: scripts/check.sh [--quick|--tcp|--tsan|--miri]
 #   --quick   skip the slower integration suites (unit tests only)
+#   --tcp     TCP transport tier: transport conformance suite on both
+#             backends, remote-driver protocol tests, and the 3-process
+#             multinode smoke (kill -9 + restart, zero audit violations)
 #   --tsan    ThreadSanitizer tier over the concurrency-heavy crates
 #             (nightly + rust-src; skipped with a message if unavailable)
 #   --miri    Miri tier over sirep-common / sirep-storage
@@ -21,6 +24,17 @@ MODE="${1:-full}"
 # what is present and skip with an explanation instead of failing. CI
 # installs the components and runs both tiers on every push to main.
 # Exact invocations and rationale: DESIGN.md §13.5.
+
+if [[ "$MODE" == "--tcp" ]]; then
+    echo "==> transport conformance suite (SimGroup + TcpGroup backends)"
+    cargo test --offline -p sirep-gcs --lib conformance -q
+    echo "==> remote driver protocol tests (framed client/server, failover)"
+    cargo test --offline -p sirep-driver --lib remote -q
+    echo "==> multinode smoke: sequencer + 3 middleware processes, kill -9 + restart"
+    scripts/multinode.sh 3
+    echo "OK: TCP tier green."
+    exit 0
+fi
 
 if [[ "$MODE" == "--tsan" ]]; then
     echo "==> ThreadSanitizer tier (sirep-common, sirep-storage, sirep-gcs)"

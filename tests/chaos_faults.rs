@@ -14,7 +14,7 @@
 use si_rep::common::{CrashPoint, DbError};
 use si_rep::core::{Cluster, ClusterConfig, Connection};
 use si_rep::driver::{Driver, DriverConfig};
-use si_rep::gcs::{Delivery, FaultConfig, FaultRecord, Group, GroupConfig, Member};
+use si_rep::gcs::{Delivery, FaultConfig, FaultRecord, GroupConfig, SimGroup, SimMember};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,8 +30,8 @@ const Q: Duration = Duration::from_secs(20);
 type ScriptedRun = ((u64, u64), Vec<FaultRecord>, Vec<Vec<(u64, u64)>>);
 
 fn scripted_run(seed: u64) -> ScriptedRun {
-    let group: Group<u64> = Group::new(GroupConfig::instant());
-    let members: Vec<Member<u64>> = (0..4).map(|_| group.join()).collect();
+    let group: SimGroup<u64> = SimGroup::new(GroupConfig::instant());
+    let members: Vec<SimMember<u64>> = (0..4).map(|_| group.join()).collect();
     for m in &members {
         while let Some(d) = m.try_recv() {
             assert!(matches!(d, Delivery::ViewChange(_)), "unexpected early delivery");

@@ -205,10 +205,10 @@ fn journal_records_the_protocol_lifecycle() {
 /// nothing; with it on, records are kept up to the bounded capacity.
 #[test]
 fn journal_stub_has_same_api() {
-    use si_rep::common::{EventKind, Journal, ReplicaId, TxRef};
+    use si_rep::common::{EventKind, Journal, ReplicaId, XactId};
     let j = Journal::with_epoch(ReplicaId::new(0), std::time::Instant::now(), 4);
     for seq in 0..6 {
-        j.record(EventKind::TxBegin { xact: TxRef::new(ReplicaId::new(0), seq) });
+        j.record(EventKind::TxBegin { xact: XactId::new(ReplicaId::new(0), seq) });
     }
     let events = j.snapshot();
     if cfg!(feature = "trace") {
