@@ -6,12 +6,17 @@
 //!   connects to (the TCP transport's analogue of the GCS daemon);
 //! - `node`: one middleware replica — an SI database plus the SRCA-Rep
 //!   protocol — joined to the group over TCP and serving clients through
-//!   the remote driver protocol;
+//!   the remote driver protocol, with a telemetry scrape endpoint on a
+//!   second port (DESIGN.md §15);
 //! - `workload` / `check`: a client that drives money-transfer
 //!   transactions through the remote driver (tolerating the §5.4 failover
 //!   errors), then proves the deployment converged: every node returns the
 //!   identical table contents, balances conserve, and no 1-copy-SI audit
-//!   violation was recorded anywhere.
+//!   violation was recorded anywhere;
+//! - `report` / `audit`: scrape every node's telemetry endpoint and merge
+//!   the results across processes — one cluster-wide report (JSON +
+//!   Prometheus text), one clock-aligned Perfetto trace, and a re-run of
+//!   the 1-copy-SI checks over the union of the scraped journals.
 //!
 //! Schema is deployment configuration: every `node` executes the same
 //! `--schema` DDL locally at startup (DDL is not replicated through the
@@ -19,9 +24,15 @@
 //! and then recovers all data by replaying the sequencer's history.
 
 use sirep_core::cluster::Transport;
-use sirep_core::{Cluster, ClusterConfig};
+use sirep_core::{
+    audit_scraped_journals, perfetto_trace_json, shift_events, Cluster, ClusterConfig,
+    ClusterReport,
+};
 use sirep_driver::remote::{NodeServer, RemoteConn, RemoteDriver, RemoteStatus};
-use sirep_gcs::Sequencer;
+use sirep_driver::telemetry::{
+    scrape_clock_offset, scrape_journal, scrape_report, TelemetryServer,
+};
+use sirep_gcs::{query_seq_stats, Sequencer};
 use sirep_sql::ExecResult;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,9 +42,13 @@ usage: sirep-cluster <role> [flags]
 
 roles:
   seq       --bind <addr>
-  node      --seq <addr> --replica <k> --bind <addr> [--schema <sql>]...
+  node      --seq <addr> --replica <k> --bind <addr> [--telemetry <addr>]
+            [--schema <sql>]...
   workload  --nodes <a,b,c> [--ops <n>] [--accounts <n>] [--seed <n>] [--init]
+            [--bench-json <path>] [--clients <c1,c2,..>] [--bench-secs <n>]
   check     --nodes <a,b,c> [--accounts <n>] [--timeout-secs <n>]
+  report    --telemetry <a,b,c> [--seq <addr>] --out <dir>
+  audit     --telemetry <a,b,c>
 ";
 
 fn main() {
@@ -43,6 +58,8 @@ fn main() {
         Some("node") => cmd_node(&args[1..]),
         Some("workload") => cmd_workload(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         _ => {
             eprint!("{USAGE}");
             2
@@ -153,11 +170,21 @@ fn cmd_node(args: &[String]) -> i32 {
             return fail(&format!("schema statement {ddl:?} failed: {e}"));
         }
     }
+    // Telemetry goes up before the READY line so a supervisor that has seen
+    // READY can rely on the TELEMETRY line already being in the log.
+    let tbind = flags.get("telemetry").unwrap_or("127.0.0.1:0");
+    let telemetry = match TelemetryServer::spawn(tbind, Arc::clone(&cluster)) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("telemetry bind {tbind} failed: {e}")),
+    };
+    println!("TELEMETRY {}", telemetry.addr());
     let server = match NodeServer::spawn(bind, cluster, 0) {
         Ok(s) => s,
         Err(e) => return fail(&format!("client listener bind {bind} failed: {e}")),
     };
     println!("READY {}", server.addr());
+    // Keep both servers alive for the life of the process.
+    std::mem::forget(telemetry);
     park_forever();
 }
 
@@ -244,7 +271,7 @@ fn cmd_workload(args: &[String]) -> i32 {
         return fail("bad numeric flag");
     };
 
-    let driver = RemoteDriver::new(nodes);
+    let driver = RemoteDriver::new(nodes.clone());
     let mut conn = match driver.connect() {
         Ok(c) => c,
         Err(e) => return fail(&format!("no node reachable: {e}")),
@@ -303,7 +330,182 @@ fn cmd_workload(args: &[String]) -> i32 {
         "workload done: {committed}/{ops} transfers committed, {in_doubt} in doubt, {} failovers",
         conn.failovers()
     );
+
+    // Optional e2e bench sweep: committed-transfers/sec over client counts,
+    // emitted as a BENCH_*.json row set (results/BENCH_e2e.json).
+    if let Some(path) = flags.get("bench-json") {
+        let clients_spec = flags.get("clients").unwrap_or("1,2,4");
+        let Ok(secs) = flags.num("bench-secs", 2) else { return fail("bad --bench-secs") };
+        let client_counts: Result<Vec<usize>, _> = clients_spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::parse::<usize>)
+            .collect();
+        let Ok(client_counts) = client_counts else {
+            return fail(&format!("--clients expects numbers, got {clients_spec:?}"));
+        };
+        drop(conn);
+        match run_bench(&nodes, &client_counts, secs, accounts, seed) {
+            Ok(rows) => {
+                let json = bench_json(&rows, accounts, seed);
+                if let Err(e) = json_lint(&json) {
+                    return fail(&format!("internal: bench JSON does not parse: {e}"));
+                }
+                if let Err(e) = std::fs::write(path, json + "\n") {
+                    return fail(&format!("writing {path}: {e}"));
+                }
+                println!("bench written to {path}");
+            }
+            Err(e) => return fail(&format!("bench: {e}")),
+        }
+    }
     0
+}
+
+// ---------------------------------------------------------------------------
+// e2e bench (workload --bench-json)
+// ---------------------------------------------------------------------------
+
+/// Per-client result: (committed, in_doubt, per-commit latencies in ms).
+type ClientResult = Result<(u64, u64, Vec<f64>), String>;
+
+struct BenchRow {
+    replicas: usize,
+    clients: usize,
+    secs: f64,
+    committed: u64,
+    in_doubt: u64,
+    tps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drive money transfers from `clients` concurrent connections for `secs`
+/// seconds per client count; measures whole-transfer latency (statement +
+/// statement + replicated commit) and committed throughput.
+fn run_bench(
+    nodes: &[String],
+    client_counts: &[usize],
+    secs: u64,
+    accounts: u64,
+    seed: u64,
+) -> Result<Vec<BenchRow>, String> {
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        if clients == 0 {
+            return Err("--clients entries must be positive".into());
+        }
+        let run = Duration::from_secs(secs.max(1));
+        let started = Instant::now();
+        let results: Vec<ClientResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || -> ClientResult {
+                        let driver = RemoteDriver::new(nodes.to_vec());
+                        let mut conn = driver.connect().map_err(|e| format!("client {c}: {e}"))?;
+                        conn.set_autocommit(false).map_err(|e| format!("client {c}: {e}"))?;
+                        let mut rng = Rng(seed ^ (c as u64 + 1).wrapping_mul(0x9e37_79b9));
+                        let (mut committed, mut in_doubt) = (0u64, 0u64);
+                        let mut lat_ms = Vec::new();
+                        let deadline = Instant::now() + run;
+                        while Instant::now() < deadline {
+                            let from = rng.below(accounts);
+                            let to = (from + 1 + rng.below(accounts - 1)) % accounts;
+                            let amount = 1 + rng.below(20);
+                            let t0 = Instant::now();
+                            let transfer = |conn: &mut RemoteConn<'_>| {
+                                conn.execute(&format!(
+                                    "UPDATE accounts SET balance = balance - {amount} \
+                                     WHERE id = {from}"
+                                ))?;
+                                conn.execute(&format!(
+                                    "UPDATE accounts SET balance = balance + {amount} \
+                                     WHERE id = {to}"
+                                ))?;
+                                conn.commit()
+                            };
+                            match with_retries(&mut conn, 50, transfer) {
+                                Ok(()) => {
+                                    committed += 1;
+                                    lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                }
+                                Err(sirep_common::DbError::ConnectionLost { in_doubt: true }) => {
+                                    in_doubt += 1;
+                                }
+                                Err(e) => return Err(format!("client {c}: {e}")),
+                            }
+                        }
+                        Ok((committed, in_doubt, lat_ms))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("bench client panicked".into())))
+                .collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        let (mut committed, mut in_doubt, mut lat_ms) = (0u64, 0u64, Vec::new());
+        for r in results {
+            let (c, d, mut l) = r?;
+            committed += c;
+            in_doubt += d;
+            lat_ms.append(&mut l);
+        }
+        lat_ms.sort_by(f64::total_cmp);
+        rows.push(BenchRow {
+            replicas: nodes.len(),
+            clients,
+            secs: elapsed,
+            committed,
+            in_doubt,
+            tps: committed as f64 / elapsed.max(1e-9),
+            p50_ms: quantile_ms(&lat_ms, 0.50),
+            p95_ms: quantile_ms(&lat_ms, 0.95),
+        });
+        let last = rows.last().expect("just pushed");
+        println!(
+            "bench: {} clients x {} replicas: {} committed in {:.1}s = {:.1} tps \
+             (p50 {:.2} ms, p95 {:.2} ms, {} in doubt)",
+            last.clients,
+            last.replicas,
+            last.committed,
+            last.secs,
+            last.tps,
+            last.p50_ms,
+            last.p95_ms,
+            last.in_doubt
+        );
+    }
+    Ok(rows)
+}
+
+fn bench_json(rows: &[BenchRow], accounts: u64, seed: u64) -> String {
+    let mut out = format!(
+        "{{\"bench\":\"e2e_tcp\",\"quick\":false,\"accounts\":{accounts},\"seed\":{seed},\
+         \"rows\":["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"replicas\":{},\"clients\":{},\"secs\":{:.2},\"committed\":{},\
+             \"in_doubt\":{},\"tps\":{:.2},\"p50_ms\":{:.3},\"p95_ms\":{:.3}}}",
+            r.replicas, r.clients, r.secs, r.committed, r.in_doubt, r.tps, r.p50_ms, r.p95_ms
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 fn node_status(addr: &str) -> Result<RemoteStatus, String> {
@@ -402,4 +604,432 @@ fn cmd_check(args: &[String]) -> i32 {
         sum
     );
     0
+}
+
+// ---------------------------------------------------------------------------
+// report / audit — cross-process observability (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+fn split_telemetry(flags: &Flags) -> Result<Vec<String>, String> {
+    let Some(list) = flags.get("telemetry") else {
+        return Err("--telemetry <a,b,c> is required".into());
+    };
+    let out: Vec<String> =
+        list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+    if out.is_empty() {
+        Err("--telemetry is empty".into())
+    } else {
+        Ok(out)
+    }
+}
+
+/// Scrape journals from every node and audit the union. Restart journals
+/// (same replica id twice) are separate entries and are checked per-journal;
+/// the cross-journal verdict-agreement check still spans all of them.
+fn cmd_audit(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let addrs = match split_telemetry(&flags) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let mut union = Vec::new();
+    for addr in &addrs {
+        match scrape_journal(addr) {
+            Ok(journals) => union.extend(journals),
+            Err(e) => return fail(&format!("scraping {addr}: {e}")),
+        }
+    }
+    let events: usize = union.iter().map(|(_, ev)| ev.len()).sum();
+    let violations = audit_scraped_journals(&union);
+    if violations.is_empty() {
+        println!("audit clean: {} journals, {events} events", union.len());
+        0
+    } else {
+        for v in &violations {
+            eprintln!("sirep-cluster: scraped-journal violation: {v}");
+        }
+        1
+    }
+}
+
+/// One merged view of a live cluster: scrape every node's report, journal
+/// and clock offset; write `<out>/report.json`, `<out>/report.prom` and a
+/// single clock-aligned `<out>/trace.json` Perfetto trace.
+fn cmd_report(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args, &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let addrs = match split_telemetry(&flags) {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let Some(out_dir) = flags.get("out") else { return fail("report needs --out <dir>") };
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        return fail(&format!("creating {out_dir}: {e}"));
+    }
+
+    let mut merged: Option<ClusterReport> = None;
+    let mut union = Vec::new();
+    let mut offsets: Vec<(String, i64)> = Vec::new();
+    for addr in &addrs {
+        let report = match scrape_report(addr) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("scraping report from {addr}: {e}")),
+        };
+        merged = Some(match merged.take() {
+            None => report,
+            Some(mut m) => {
+                m.absorb(report);
+                m
+            }
+        });
+        let offset_ns = match scrape_clock_offset(addr) {
+            Ok(o) => o,
+            Err(e) => return fail(&format!("clock probe via {addr}: {e}")),
+        };
+        offsets.push((addr.clone(), offset_ns));
+        match scrape_journal(addr) {
+            // Shift each journal into the sequencer's clock domain so one
+            // trace file lines events from all processes up on one axis.
+            Ok(journals) => {
+                for (replica, mut events) in journals {
+                    shift_events(&mut events, offset_ns);
+                    union.push((replica, events));
+                }
+            }
+            Err(e) => return fail(&format!("scraping journal from {addr}: {e}")),
+        }
+    }
+    let merged = merged.expect("at least one telemetry addr");
+
+    let scraped_violations = audit_scraped_journals(&union);
+    let seq_stats = match flags.get("seq") {
+        None => None,
+        Some(seq) => match query_seq_stats(seq) {
+            Ok(s) => Some(s),
+            Err(e) => return fail(&format!("sequencer stats from {seq}: {e}")),
+        },
+    };
+
+    let trace = perfetto_trace_json(&union);
+    let prom = sirep_core::prometheus_text(&merged);
+    let json = report_json(&addrs, &merged, &offsets, &scraped_violations, &seq_stats, &union);
+    for (name, text) in [("report.json", &json), ("trace.json", &trace)] {
+        if let Err(e) = json_lint(text) {
+            return fail(&format!("internal: {name} does not parse: {e}"));
+        }
+    }
+    for (name, text) in
+        [("report.json", json.as_str()), ("trace.json", trace.as_str()), ("report.prom", &prom)]
+    {
+        let path = format!("{out_dir}/{name}");
+        if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+            return fail(&format!("writing {path}: {e}"));
+        }
+    }
+
+    let events: usize = union.iter().map(|(_, ev)| ev.len()).sum();
+    println!(
+        "report ok: {} nodes merged, {} journals ({events} events), \
+         {} online + {} scraped-audit violations -> {out_dir}",
+        addrs.len(),
+        union.len(),
+        merged.violations.len(),
+        scraped_violations.len()
+    );
+    0
+}
+
+fn report_json(
+    addrs: &[String],
+    merged: &ClusterReport,
+    offsets: &[(String, i64)],
+    scraped: &[sirep_core::AuditViolation],
+    seq: &Option<sirep_gcs::SeqStats>,
+    union: &[(sirep_common::ReplicaId, Vec<sirep_common::journal::Event>)],
+) -> String {
+    let mut out = String::from("{\"report\":\"cluster\"");
+    out.push_str(&format!(",\"nodes\":{}", addrs.len()));
+
+    out.push_str(",\"clock_offsets_ns\":[");
+    for (i, (addr, off)) in offsets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"telemetry\":{},\"offset_ns\":{off}}}", json_string(addr)));
+    }
+    out.push(']');
+
+    out.push_str(",\"counters\":{");
+    for (i, (name, value)) in merged.metrics.counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+    out.push('}');
+
+    out.push_str(",\"transport\":{");
+    for (i, (name, value)) in merged.transport.counters().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{value}"));
+    }
+    for (name, reading) in merged.transport.gauges() {
+        out.push_str(&format!(
+            ",\"{name}\":{},\"{name}_high_water\":{}",
+            reading.current, reading.high_water
+        ));
+    }
+    out.push('}');
+
+    let journal_events: usize = union.iter().map(|(_, ev)| ev.len()).sum();
+    out.push_str(&format!(",\"journals\":{},\"journal_events\":{journal_events}", union.len()));
+
+    out.push_str(",\"online_violations\":[");
+    for (i, v) in merged.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(&v.to_string()));
+    }
+    out.push(']');
+    out.push_str(",\"scraped_audit_violations\":[");
+    for (i, v) in scraped.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(&v.to_string()));
+    }
+    out.push(']');
+
+    if let Some(s) = seq {
+        let backlog: u64 = s.members.iter().map(|(_, depth)| *depth).sum();
+        out.push_str(&format!(
+            ",\"seq\":{{\"log_len\":{},\"next_seq\":{},\"view_id\":{},\"members\":{},\
+             \"send_backlog\":{backlog}}}",
+            s.log_len,
+            s.next_seq,
+            s.view_id,
+            s.members.len()
+        ));
+    }
+
+    out.push_str(",\"per_node\":[");
+    for (i, n) in merged.per_node.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"replica\":{},\"alive\":{},\"queued\":{},\"pending_local\":{},\
+             \"holes_open\":{}}}",
+            n.replica.raw(),
+            n.alive,
+            n.queued,
+            n.pending_local,
+            n.holes_open
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emit/validate helpers (dependency-free)
+// ---------------------------------------------------------------------------
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Recursive-descent JSON well-formedness check, so `report.json`,
+/// `trace.json` and the bench output are guaranteed to parse before they are
+/// written (check.sh asserts on this role's exit code, not on a JSON parser
+/// it would have to ship).
+fn json_lint(text: &str) -> Result<(), String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+                self.i += 1;
+            }
+        }
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.i))
+            }
+        }
+        fn value(&mut self, depth: usize) -> Result<(), String> {
+            if depth > 128 {
+                return Err("nesting too deep".into());
+            }
+            self.ws();
+            match self.peek() {
+                Some(b'{') => {
+                    self.i += 1;
+                    self.ws();
+                    if self.peek() == Some(b'}') {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        self.ws();
+                        self.string()?;
+                        self.ws();
+                        self.eat(b':')?;
+                        self.value(depth + 1)?;
+                        self.ws();
+                        match self.peek() {
+                            Some(b',') => self.i += 1,
+                            Some(b'}') => {
+                                self.i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.i += 1;
+                    self.ws();
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        self.value(depth + 1)?;
+                        self.ws();
+                        match self.peek() {
+                            Some(b',') => self.i += 1,
+                            Some(b']') => {
+                                self.i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+                        }
+                    }
+                }
+                Some(b'"') => self.string(),
+                Some(b't') => self.lit("true"),
+                Some(b'f') => self.lit("false"),
+                Some(b'n') => self.lit("null"),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected byte {} in value position", self.i)),
+            }
+        }
+        fn lit(&mut self, word: &str) -> Result<(), String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.eat(b'"')?;
+            while let Some(c) = self.peek() {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => {
+                        let esc = self.peek().ok_or("truncated escape")?;
+                        self.i += 1;
+                        match esc {
+                            b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                            b'u' => {
+                                for _ in 0..4 {
+                                    let h = self.peek().ok_or("truncated \\u escape")?;
+                                    if !h.is_ascii_hexdigit() {
+                                        return Err(format!("bad \\u escape at byte {}", self.i));
+                                    }
+                                    self.i += 1;
+                                }
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.i)),
+                        }
+                    }
+                    c if c < 0x20 => {
+                        return Err(format!("raw control byte in string at {}", self.i))
+                    }
+                    _ => {}
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn number(&mut self) -> Result<(), String> {
+            let start = self.i;
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            let mut digits = 0;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+                digits += 1;
+            }
+            if digits == 0 {
+                return Err(format!("bad number at byte {start}"));
+            }
+            if self.peek() == Some(b'.') {
+                self.i += 1;
+                let mut frac = 0;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.i += 1;
+                    frac += 1;
+                }
+                if frac == 0 {
+                    return Err(format!("bad fraction at byte {start}"));
+                }
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                self.i += 1;
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.i += 1;
+                }
+                let mut exp = 0;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.i += 1;
+                    exp += 1;
+                }
+                if exp == 0 {
+                    return Err(format!("bad exponent at byte {start}"));
+                }
+            }
+            Ok(())
+        }
+    }
+    let mut p = P { b: text.as_bytes(), i: 0 };
+    p.value(0)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes after value at byte {}", p.i));
+    }
+    Ok(())
 }

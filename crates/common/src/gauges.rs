@@ -89,6 +89,48 @@ impl GaugeSnapshot {
 }
 
 // ======================================================================
+// Wire forms (telemetry scrapes). Snapshot types are plain data in both
+// feature configurations, so these impls are unconditional.
+// ======================================================================
+
+use crate::wire::{Wire, WireError, WireReader};
+
+impl Wire for GaugeReading {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.current.encode(out);
+        self.high_water.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(GaugeReading { current: u64::decode(r)?, high_water: u64::decode(r)? })
+    }
+}
+
+/// Fixed-arity encoding in `fields()` order — adding a gauge changes the
+/// frame layout, which the telemetry round-trip tests pin on purpose.
+impl Wire for GaugeSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for (_, reading) in self.fields() {
+            reading.encode(out);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(GaugeSnapshot {
+            tocommit_depth: GaugeReading::decode(r)?,
+            ws_list_len: GaugeReading::decode(r)?,
+            open_holes: GaugeReading::decode(r)?,
+            applier_backlog: GaugeReading::decode(r)?,
+            ready_len: GaugeReading::decode(r)?,
+            cert_index_keys: GaugeReading::decode(r)?,
+            gcs_in_flight: GaugeReading::decode(r)?,
+            faults_injected: GaugeReading::decode(r)?,
+            partitioned: GaugeReading::decode(r)?,
+        })
+    }
+}
+
+// ======================================================================
 // Real implementation (`trace` feature on — the default).
 // ======================================================================
 
@@ -235,5 +277,28 @@ mod tests {
         assert_eq!(a.tocommit_depth, GaugeReading { current: 6, high_water: 3 });
         assert_eq!(a.gcs_in_flight, GaugeReading { current: 6, high_water: 9 });
         assert_eq!(a.fields()[2].0, "open_holes");
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        let gauges = ProtocolGauges::new();
+        gauges.tocommit_depth.set(3);
+        gauges.ws_list_len.set(77);
+        gauges.open_holes.set(1);
+        let snap = gauges.snapshot(GaugeReading { current: 2, high_water: 9 });
+        let bytes = snap.to_wire();
+        let back = GaugeSnapshot::from_wire(&bytes).expect("decode");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_wire(), bytes);
+        let r = GaugeReading { current: 4, high_water: 1 << 40 };
+        assert_eq!(GaugeReading::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn wire_truncation_rejected() {
+        let bytes = GaugeSnapshot::default().to_wire();
+        for cut in 0..bytes.len() {
+            assert!(GaugeSnapshot::from_wire(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! under one bucket width while keeping the footprint fixed.
 
 /// Fixed-footprint histogram over positive values (e.g. milliseconds).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// bucket i covers [BASE * GROWTH^i, BASE * GROWTH^(i+1))
     counts: Vec<u64>,
@@ -120,6 +120,72 @@ impl Default for Histogram {
     }
 }
 
+// ======================================================================
+// Wire form (telemetry scrapes).
+// ======================================================================
+
+use crate::wire::{Wire, WireError, WireReader};
+
+/// Sparse canonical encoding: `(bucket, count)` pairs for the non-zero
+/// buckets in strictly increasing bucket order, then the underflow,
+/// overflow and total counters. Decode re-derives the dense bucket array
+/// and rejects anything non-canonical (out-of-range or unordered buckets,
+/// zero-count pairs, a total that disagrees with the parts), so a decoded
+/// histogram re-encodes bit-identically and its quantile math can trust
+/// `total` without re-summing.
+impl Wire for Histogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let nonzero: Vec<(u32, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        nonzero.encode(out);
+        self.underflow.encode(out);
+        self.overflow.encode(out);
+        self.total.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let pairs = Vec::<(u32, u64)>::decode(r)?;
+        let underflow = u64::decode(r)?;
+        let overflow = u64::decode(r)?;
+        let total = u64::decode(r)?;
+        let mut h = Histogram::new();
+        let mut last: Option<u32> = None;
+        let mut in_range: u64 = 0;
+        for (idx, count) in pairs {
+            if idx as usize >= BUCKETS {
+                return Err(WireError::Corrupt("histogram bucket index"));
+            }
+            if last.is_some_and(|l| idx <= l) {
+                return Err(WireError::Corrupt("histogram bucket order"));
+            }
+            if count == 0 {
+                return Err(WireError::Corrupt("histogram empty bucket"));
+            }
+            last = Some(idx);
+            h.counts[idx as usize] = count;
+            in_range = in_range
+                .checked_add(count)
+                .ok_or(WireError::Corrupt("histogram count overflow"))?;
+        }
+        let sum = in_range
+            .checked_add(underflow)
+            .and_then(|s| s.checked_add(overflow))
+            .ok_or(WireError::Corrupt("histogram count overflow"))?;
+        if sum != total {
+            return Err(WireError::Corrupt("histogram total mismatch"));
+        }
+        h.underflow = underflow;
+        h.overflow = overflow;
+        h.total = total;
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +274,72 @@ mod tests {
     fn bad_quantile_panics() {
         let h = Histogram::new();
         let _ = h.quantile(1.5);
+    }
+
+    fn round_trip(h: &Histogram) {
+        let bytes = h.to_wire();
+        let back = Histogram::from_wire(&bytes).expect("decode");
+        assert_eq!(&back, h);
+        assert_eq!(back.to_wire(), bytes, "re-encode must be bit-identical");
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        round_trip(&Histogram::new());
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        h.record(0.0); // underflow
+        h.record(1e12); // overflow
+        round_trip(&h);
+        // Quantiles survive the trip.
+        let back = Histogram::from_wire(&h.to_wire()).unwrap();
+        assert_eq!(back.median().to_bits(), h.median().to_bits());
+        assert_eq!(back.count(), h.count());
+    }
+
+    #[test]
+    fn wire_truncation_rejected() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(250.0);
+        let bytes = h.to_wire();
+        for cut in 0..bytes.len() {
+            assert!(Histogram::from_wire(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    /// Hand-build a frame from parts: `pairs` + underflow/overflow/total.
+    fn frame(pairs: &[(u32, u64)], under: u64, over: u64, total: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        pairs.to_vec().encode(&mut out);
+        under.encode(&mut out);
+        over.encode(&mut out);
+        total.encode(&mut out);
+        out
+    }
+
+    #[test]
+    fn wire_non_canonical_rejected() {
+        use crate::wire::WireError;
+        type Case = (&'static [(u32, u64)], u64, u64, u64, &'static str);
+        let cases: [Case; 5] = [
+            (&[(BUCKETS as u32, 1)], 0, 0, 1, "histogram bucket index"),
+            (&[(5, 1), (5, 1)], 0, 0, 2, "histogram bucket order"),
+            (&[(9, 2), (3, 1)], 0, 0, 3, "histogram bucket order"),
+            (&[(4, 0)], 0, 0, 0, "histogram empty bucket"),
+            (&[(4, 1)], 1, 1, 2, "histogram total mismatch"),
+        ];
+        for (pairs, under, over, total, why) in cases {
+            let got = Histogram::from_wire(&frame(pairs, under, over, total));
+            assert_eq!(got.unwrap_err(), WireError::Corrupt(why));
+        }
+    }
+
+    #[test]
+    fn wire_count_overflow_rejected() {
+        let got = Histogram::from_wire(&frame(&[(0, u64::MAX), (1, 1)], 0, 0, u64::MAX));
+        assert!(got.is_err());
     }
 }

@@ -202,6 +202,200 @@ pub struct Event {
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 8192;
 
 // ======================================================================
+// Wire forms (telemetry journal export). `Event` and its kinds are plain
+// data in both feature configurations, so these impls are unconditional.
+// ======================================================================
+
+use crate::wire::{Wire, WireError, WireReader};
+
+impl Wire for FaultKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            FaultKind::Drop => 0,
+            FaultKind::Duplicate => 1,
+            FaultKind::ExtraDelay => 2,
+        };
+        tag.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => FaultKind::Drop,
+            1 => FaultKind::Duplicate,
+            2 => FaultKind::ExtraDelay,
+            _ => return Err(WireError::Corrupt("fault kind tag")),
+        })
+    }
+}
+
+impl Wire for CrashPoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            CrashPoint::BeforeMulticast => 0,
+            CrashPoint::AfterMulticastBeforeLocalCommit => 1,
+            CrashPoint::AfterDeliverBeforeCommit => 2,
+            CrashPoint::MidStateTransfer => 3,
+        };
+        tag.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => CrashPoint::BeforeMulticast,
+            1 => CrashPoint::AfterMulticastBeforeLocalCommit,
+            2 => CrashPoint::AfterDeliverBeforeCommit,
+            3 => CrashPoint::MidStateTransfer,
+            _ => return Err(WireError::Corrupt("crash point tag")),
+        })
+    }
+}
+
+impl Wire for EventKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            EventKind::TxBegin { xact } => {
+                0u8.encode(out);
+                xact.encode(out);
+            }
+            EventKind::CertCapture { xact, cert } => {
+                1u8.encode(out);
+                xact.encode(out);
+                cert.encode(out);
+            }
+            EventKind::Multicast { xact } => {
+                2u8.encode(out);
+                xact.encode(out);
+            }
+            EventKind::TotalOrderDeliver { xact, cert } => {
+                3u8.encode(out);
+                xact.encode(out);
+                cert.encode(out);
+            }
+            EventKind::ValidationVerdict { xact, tid, passed } => {
+                4u8.encode(out);
+                xact.encode(out);
+                tid.encode(out);
+                passed.encode(out);
+            }
+            EventKind::HoleOpened { tid } => {
+                5u8.encode(out);
+                tid.encode(out);
+            }
+            EventKind::HoleClosed { tid } => {
+                6u8.encode(out);
+                tid.encode(out);
+            }
+            EventKind::WsListPruned { watermark, removed } => {
+                7u8.encode(out);
+                watermark.encode(out);
+                removed.encode(out);
+            }
+            EventKind::Commit { xact, tid } => {
+                8u8.encode(out);
+                xact.encode(out);
+                tid.encode(out);
+            }
+            EventKind::Abort { xact } => {
+                9u8.encode(out);
+                xact.encode(out);
+            }
+            EventKind::ApplyStart { xact, tid } => {
+                10u8.encode(out);
+                xact.encode(out);
+                tid.encode(out);
+            }
+            EventKind::ApplyDone { xact, tid } => {
+                11u8.encode(out);
+                xact.encode(out);
+                tid.encode(out);
+            }
+            EventKind::ViewChange { members } => {
+                12u8.encode(out);
+                members.encode(out);
+            }
+            EventKind::ClientFailover { from } => {
+                13u8.encode(out);
+                from.encode(out);
+            }
+            EventKind::FaultInjected { fault, msg, member } => {
+                14u8.encode(out);
+                fault.encode(out);
+                msg.encode(out);
+                member.encode(out);
+            }
+            EventKind::PartitionStarted { isolated } => {
+                15u8.encode(out);
+                isolated.encode(out);
+            }
+            EventKind::PartitionHealed { flushed } => {
+                16u8.encode(out);
+                flushed.encode(out);
+            }
+            EventKind::CrashPointFired { point } => {
+                17u8.encode(out);
+                point.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => EventKind::TxBegin { xact: XactId::decode(r)? },
+            1 => EventKind::CertCapture { xact: XactId::decode(r)?, cert: GlobalTid::decode(r)? },
+            2 => EventKind::Multicast { xact: XactId::decode(r)? },
+            3 => EventKind::TotalOrderDeliver {
+                xact: XactId::decode(r)?,
+                cert: GlobalTid::decode(r)?,
+            },
+            4 => EventKind::ValidationVerdict {
+                xact: XactId::decode(r)?,
+                tid: Option::<GlobalTid>::decode(r)?,
+                passed: bool::decode(r)?,
+            },
+            5 => EventKind::HoleOpened { tid: GlobalTid::decode(r)? },
+            6 => EventKind::HoleClosed { tid: GlobalTid::decode(r)? },
+            7 => EventKind::WsListPruned {
+                watermark: GlobalTid::decode(r)?,
+                removed: u64::decode(r)?,
+            },
+            8 => EventKind::Commit { xact: XactId::decode(r)?, tid: GlobalTid::decode(r)? },
+            9 => EventKind::Abort { xact: XactId::decode(r)? },
+            10 => EventKind::ApplyStart { xact: XactId::decode(r)?, tid: GlobalTid::decode(r)? },
+            11 => EventKind::ApplyDone { xact: XactId::decode(r)?, tid: GlobalTid::decode(r)? },
+            12 => EventKind::ViewChange { members: u64::decode(r)? },
+            13 => EventKind::ClientFailover { from: ReplicaId::decode(r)? },
+            14 => EventKind::FaultInjected {
+                fault: FaultKind::decode(r)?,
+                msg: u64::decode(r)?,
+                member: u64::decode(r)?,
+            },
+            15 => EventKind::PartitionStarted { isolated: u64::decode(r)? },
+            16 => EventKind::PartitionHealed { flushed: u64::decode(r)? },
+            17 => EventKind::CrashPointFired { point: CrashPoint::decode(r)? },
+            _ => return Err(WireError::Corrupt("event kind tag")),
+        })
+    }
+}
+
+impl Wire for Event {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seq.encode(out);
+        self.at_ns.encode(out);
+        self.replica.encode(out);
+        self.kind.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Event {
+            seq: u64::decode(r)?,
+            at_ns: u64::decode(r)?,
+            replica: ReplicaId::decode(r)?,
+            kind: EventKind::decode(r)?,
+        })
+    }
+}
+
+// ======================================================================
 // Real implementation (`trace` feature on — the default).
 // ======================================================================
 
@@ -422,5 +616,85 @@ mod tests {
             CrashPoint::AfterMulticastBeforeLocalCommit.name(),
             "after_multicast_before_local_commit"
         );
+    }
+
+    use crate::wire::{Wire, WireError};
+    use proptest::prelude::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_wire();
+        let back = T::from_wire(&bytes).expect("decode");
+        assert_eq!(&back, v);
+        assert_eq!(back.to_wire(), bytes, "re-encode must be bit-identical");
+    }
+
+    /// One instance of every `EventKind` variant, for exhaustive wire tests.
+    fn all_kinds() -> Vec<EventKind> {
+        let x = XactId::new(r(2), 9);
+        let t = GlobalTid::new(41);
+        vec![
+            EventKind::TxBegin { xact: x },
+            EventKind::CertCapture { xact: x, cert: t },
+            EventKind::Multicast { xact: x },
+            EventKind::TotalOrderDeliver { xact: x, cert: t },
+            EventKind::ValidationVerdict { xact: x, tid: Some(t), passed: true },
+            EventKind::ValidationVerdict { xact: x, tid: None, passed: false },
+            EventKind::HoleOpened { tid: t },
+            EventKind::HoleClosed { tid: t },
+            EventKind::WsListPruned { watermark: t, removed: 3 },
+            EventKind::Commit { xact: x, tid: t },
+            EventKind::Abort { xact: x },
+            EventKind::ApplyStart { xact: x, tid: t },
+            EventKind::ApplyDone { xact: x, tid: t },
+            EventKind::ViewChange { members: 3 },
+            EventKind::ClientFailover { from: r(1) },
+            EventKind::FaultInjected { fault: FaultKind::ExtraDelay, msg: 17, member: 2 },
+            EventKind::PartitionStarted { isolated: 1 },
+            EventKind::PartitionHealed { flushed: 8 },
+            EventKind::CrashPointFired { point: CrashPoint::AfterDeliverBeforeCommit },
+        ]
+    }
+
+    #[test]
+    fn wire_round_trips_every_event_kind() {
+        for kind in all_kinds() {
+            round_trip(&kind);
+            round_trip(&Event { seq: 7, at_ns: 123_456_789, replica: r(2), kind });
+        }
+        round_trip(&vec![
+            Event { seq: 0, at_ns: 1, replica: r(0), kind: EventKind::ViewChange { members: 1 } },
+            Event {
+                seq: 1,
+                at_ns: 2,
+                replica: r(0),
+                kind: EventKind::TxBegin { xact: XactId::new(r(0), 0) },
+            },
+        ]);
+    }
+
+    #[test]
+    fn wire_corrupt_tags_rejected() {
+        assert_eq!(EventKind::from_wire(&[18]), Err(WireError::Corrupt("event kind tag")));
+        assert_eq!(FaultKind::from_wire(&[3]), Err(WireError::Corrupt("fault kind tag")));
+        assert_eq!(CrashPoint::from_wire(&[4]), Err(WireError::Corrupt("crash point tag")));
+    }
+
+    #[test]
+    fn wire_truncation_rejected() {
+        for kind in all_kinds() {
+            let bytes = Event { seq: 1, at_ns: 2, replica: r(1), kind }.to_wire();
+            for cut in 0..bytes.len() {
+                assert!(Event::from_wire(&bytes[..cut]).is_err(), "{kind:?} cut at {cut}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_event_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Event::from_wire(&bytes);
+            let _ = EventKind::from_wire(&bytes);
+            let _ = Vec::<Event>::from_wire(&bytes);
+        }
     }
 }

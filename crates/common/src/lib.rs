@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod stats;
 pub mod sync;
 pub mod trace;
+pub mod transport;
 pub mod wire;
 
 pub use clock::{precise_sleep, TimeScale};
@@ -46,4 +47,8 @@ pub use metrics::{Metrics, Rates};
 pub use stats::{ConfidenceInterval, OnlineStats};
 pub use sync::Semaphore;
 pub use trace::{Stage, StageSnapshot, StageStats, TxTrace, STAGE_COUNT};
-pub use wire::{read_frame, write_frame, Wire, WireError, WireReader, MAX_FRAME};
+pub use transport::TransportSnapshot;
+pub use wire::{
+    read_frame, read_frame_counted, write_frame, write_frame_counted, Wire, WireError, WireReader,
+    MAX_FRAME,
+};

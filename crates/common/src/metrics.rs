@@ -167,6 +167,42 @@ impl Metrics {
     }
 }
 
+/// Wire form (telemetry scrapes): the 12 counter values in `counters()`
+/// declaration order. A decoded `Metrics` is a snapshot — its atomics carry
+/// the scraped values and can be merged like any local snapshot.
+impl crate::wire::Wire for Metrics {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for (_, value) in self.counters() {
+            value.encode(out);
+        }
+    }
+
+    fn decode(r: &mut crate::wire::WireReader<'_>) -> Result<Self, crate::wire::WireError> {
+        let m = Metrics::new();
+        macro_rules! read {
+            ($($f:ident),*) => {
+                $(m.$f.store(u64::decode(r)?, Ordering::Relaxed);)*
+            };
+        }
+        // Must mirror `counters()` order exactly.
+        read!(
+            commits_update,
+            commits_readonly,
+            aborts_validation,
+            aborts_serialization,
+            aborts_deadlock,
+            aborts_user,
+            ws_apply_retries,
+            begins_delayed_by_holes,
+            begins_total,
+            commits_delayed_for_holes,
+            ws_delivered,
+            ws_discarded
+        );
+        Ok(m)
+    }
+}
+
 /// Derived protocol event rates (see [`Metrics::rates`]).
 #[derive(Debug, Clone, Copy)]
 pub struct Rates {
@@ -259,5 +295,31 @@ mod tests {
         let s = m.summary();
         assert!(s.contains("commits=1"));
         assert!(s.contains("holes"));
+    }
+
+    #[test]
+    fn wire_round_trips_every_counter() {
+        use crate::wire::Wire;
+        let m = Metrics::new();
+        // Distinct value per counter so a field-order mixup can't cancel out.
+        m.commits_update.store(1, Ordering::Relaxed);
+        m.commits_readonly.store(2, Ordering::Relaxed);
+        m.aborts_validation.store(3, Ordering::Relaxed);
+        m.aborts_serialization.store(4, Ordering::Relaxed);
+        m.aborts_deadlock.store(5, Ordering::Relaxed);
+        m.aborts_user.store(6, Ordering::Relaxed);
+        m.ws_apply_retries.store(7, Ordering::Relaxed);
+        m.begins_delayed_by_holes.store(8, Ordering::Relaxed);
+        m.begins_total.store(9, Ordering::Relaxed);
+        m.commits_delayed_for_holes.store(10, Ordering::Relaxed);
+        m.ws_delivered.store(11, Ordering::Relaxed);
+        m.ws_discarded.store(12, Ordering::Relaxed);
+        let bytes = m.to_wire();
+        let back = Metrics::from_wire(&bytes).expect("decode");
+        assert_eq!(back.counters(), m.counters());
+        assert_eq!(back.to_wire(), bytes);
+        for cut in 0..bytes.len() {
+            assert!(Metrics::from_wire(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 }

@@ -250,7 +250,7 @@ impl StageStats {
 /// Owned copy of a [`StageStats`] registry, detached from its locks —
 /// what [`StageStats::snapshot`] returns and what reports embed.
 #[cfg(feature = "trace")]
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageSnapshot {
     hists: [Histogram; STAGE_COUNT],
 }
@@ -384,7 +384,7 @@ impl StageStats {
 }
 
 #[cfg(not(feature = "trace"))]
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageSnapshot;
 
 #[cfg(not(feature = "trace"))]
@@ -407,6 +407,59 @@ impl StageSnapshot {
     }
     pub fn breakdown_table(&self) -> String {
         String::from("(tracing compiled out: build with the `trace` feature)\n")
+    }
+}
+
+// ======================================================================
+// Wire form (telemetry scrapes).
+// ======================================================================
+
+/// Sparse canonical encoding shared by both cfg variants: a `Vec` of
+/// `(stage_tag, histogram)` pairs for the stages with at least one sample,
+/// in strictly increasing stage order. The trace-off build encodes the
+/// empty list and decodes-and-discards, so mixed-feature deployments
+/// exchange frames without either side panicking.
+impl crate::wire::Wire for StageSnapshot {
+    #[cfg(feature = "trace")]
+    fn encode(&self, out: &mut Vec<u8>) {
+        let nonempty: Vec<(u8, Histogram)> = Stage::ALL
+            .iter()
+            .filter(|&&s| self.count(s) > 0)
+            .map(|&s| (s as u8, self.hists[s as usize].clone()))
+            .collect();
+        nonempty.encode(out);
+    }
+
+    #[cfg(not(feature = "trace"))]
+    fn encode(&self, out: &mut Vec<u8>) {
+        Vec::<(u8, crate::histogram::Histogram)>::new().encode(out);
+    }
+
+    fn decode(r: &mut crate::wire::WireReader<'_>) -> Result<Self, crate::wire::WireError> {
+        use crate::wire::WireError;
+        let pairs = Vec::<(u8, crate::histogram::Histogram)>::decode(r)?;
+        let mut last: Option<u8> = None;
+        #[allow(unused_mut)]
+        let mut snap = StageSnapshot::default();
+        for (tag, hist) in pairs {
+            if tag as usize >= STAGE_COUNT {
+                return Err(WireError::Corrupt("stage tag"));
+            }
+            if last.is_some_and(|l| tag <= l) {
+                return Err(WireError::Corrupt("stage order"));
+            }
+            if hist.count() == 0 {
+                return Err(WireError::Corrupt("stage empty histogram"));
+            }
+            last = Some(tag);
+            #[cfg(feature = "trace")]
+            {
+                snap.hists[tag as usize] = hist;
+            }
+            #[cfg(not(feature = "trace"))]
+            let _ = hist;
+        }
+        Ok(snap)
     }
 }
 
@@ -493,5 +546,58 @@ mod tests {
         let stats = StageStats::new();
         stats.absorb(&TxTrace::start());
         assert!(stats.snapshot().is_empty());
+    }
+
+    use crate::wire::{Wire, WireError};
+
+    fn round_trip(snap: &StageSnapshot) {
+        let bytes = snap.to_wire();
+        let back = StageSnapshot::from_wire(&bytes).expect("decode");
+        assert_eq!(&back, snap);
+        assert_eq!(back.to_wire(), bytes, "re-encode must be bit-identical");
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        round_trip(&StageSnapshot::default());
+        let stats = StageStats::new();
+        stats.record_ms(Stage::Execute, 12.5);
+        stats.record_ms(Stage::Execute, 1.25);
+        stats.record_ms(Stage::Commit, 0.4);
+        stats.record_ms(Stage::Total, 14.0);
+        let snap = stats.snapshot();
+        round_trip(&snap);
+        let back = StageSnapshot::from_wire(&snap.to_wire()).unwrap();
+        assert_eq!(back.count(Stage::Execute), 2);
+        assert_eq!(back.median(Stage::Execute).to_bits(), snap.median(Stage::Execute).to_bits());
+    }
+
+    #[test]
+    fn wire_truncation_rejected() {
+        let stats = StageStats::new();
+        stats.record_ms(Stage::Apply, 3.0);
+        stats.record_ms(Stage::Total, 9.0);
+        let bytes = stats.snapshot().to_wire();
+        for cut in 0..bytes.len() {
+            assert!(StageSnapshot::from_wire(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wire_non_canonical_rejected() {
+        let mut one = crate::histogram::Histogram::new();
+        one.record(1.0);
+        let frame = |pairs: &[(u8, crate::histogram::Histogram)]| {
+            let mut out = Vec::new();
+            pairs.to_vec().encode(&mut out);
+            out
+        };
+        let got = StageSnapshot::from_wire(&frame(&[(STAGE_COUNT as u8, one.clone())]));
+        assert_eq!(got.unwrap_err(), WireError::Corrupt("stage tag"));
+        let got = StageSnapshot::from_wire(&frame(&[(3, one.clone()), (1, one.clone())]));
+        assert_eq!(got.unwrap_err(), WireError::Corrupt("stage order"));
+        let empty = crate::histogram::Histogram::new();
+        let got = StageSnapshot::from_wire(&frame(&[(0, empty)]));
+        assert_eq!(got.unwrap_err(), WireError::Corrupt("stage empty histogram"));
     }
 }

@@ -359,19 +359,32 @@ impl Wire for crate::error::DbError {
 
 /// Write one length-prefixed frame (`u32`-LE byte length, then payload).
 pub fn write_frame<W: Write, T: Wire>(w: &mut W, msg: &T) -> io::Result<()> {
+    write_frame_counted(w, msg).map(|_| ())
+}
+
+/// [`write_frame`], returning the bytes put on the wire (header + payload)
+/// so transport instrumentation can count traffic without re-encoding.
+pub fn write_frame_counted<W: Write, T: Wire>(w: &mut W, msg: &T) -> io::Result<u64> {
     let payload = msg.to_wire();
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, WireError::TooLarge));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&payload)?;
-    w.flush()
+    w.flush()?;
+    Ok(4 + payload.len() as u64)
 }
 
 /// Read one length-prefixed frame and decode it. A malformed frame maps to
 /// `io::ErrorKind::InvalidData`; EOF at a frame boundary maps to
 /// `io::ErrorKind::UnexpectedEof` (from `read_exact`).
 pub fn read_frame<R: Read, T: Wire>(r: &mut R) -> io::Result<T> {
+    read_frame_counted(r).map(|(v, _)| v)
+}
+
+/// [`read_frame`], returning the bytes taken off the wire (header +
+/// payload) alongside the value.
+pub fn read_frame_counted<R: Read, T: Wire>(r: &mut R) -> io::Result<(T, u64)> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
@@ -380,7 +393,8 @@ pub fn read_frame<R: Read, T: Wire>(r: &mut R) -> io::Result<T> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    T::from_wire(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    let v = T::from_wire(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok((v, 4 + len as u64))
 }
 
 #[cfg(test)]

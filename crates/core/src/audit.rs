@@ -79,7 +79,7 @@ impl std::fmt::Display for AuditKind {
 
 /// One detected invariant violation (always a real type, even without the
 /// `trace` feature, so reports keep a stable shape).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditViolation {
     pub kind: AuditKind,
     /// The replica whose report tripped the check.
@@ -91,6 +91,51 @@ pub struct AuditViolation {
 impl std::fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[{}] {}: {}", self.replica, self.kind, self.detail)
+    }
+}
+
+// Telemetry wire forms (both feature configurations — the types are plain
+// data either way), so scraped cluster reports can carry violations across
+// process boundaries.
+
+impl sirep_common::wire::Wire for AuditKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            AuditKind::CommitOrderDivergence => 0,
+            AuditKind::FirstCommitterWins => 1,
+            AuditKind::HoleSyncViolation => 2,
+            AuditKind::PruneWatermarkViolation => 3,
+        });
+    }
+
+    fn decode(
+        r: &mut sirep_common::wire::WireReader<'_>,
+    ) -> Result<Self, sirep_common::wire::WireError> {
+        Ok(match u8::decode(r)? {
+            0 => AuditKind::CommitOrderDivergence,
+            1 => AuditKind::FirstCommitterWins,
+            2 => AuditKind::HoleSyncViolation,
+            3 => AuditKind::PruneWatermarkViolation,
+            _ => return Err(sirep_common::wire::WireError::Corrupt("audit kind tag")),
+        })
+    }
+}
+
+impl sirep_common::wire::Wire for AuditViolation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.replica.encode(out);
+        self.detail.encode(out);
+    }
+
+    fn decode(
+        r: &mut sirep_common::wire::WireReader<'_>,
+    ) -> Result<Self, sirep_common::wire::WireError> {
+        Ok(AuditViolation {
+            kind: AuditKind::decode(r)?,
+            replica: ReplicaId::decode(r)?,
+            detail: String::decode(r)?,
+        })
     }
 }
 

@@ -9,7 +9,7 @@ use crate::session::Session;
 use parking_lot::{Mutex, RwLock};
 use sirep_common::{
     CrashPoint, DbError, Event, EventKind, GaugeSnapshot, Journal, MemberId, Metrics, ReplicaId,
-    StageSnapshot, DEFAULT_JOURNAL_CAPACITY,
+    StageSnapshot, TransportSnapshot, DEFAULT_JOURNAL_CAPACITY,
 };
 use sirep_gcs::{FaultConfig, Group, GroupConfig, SimGroup, TcpGroup, NETWORK_REPLICA};
 use sirep_storage::{CostModel, Database};
@@ -183,6 +183,9 @@ pub struct ClusterReport {
     /// Invariant violations the online 1-copy-SI auditor has recorded
     /// (always empty on a correct run — the test suites assert this).
     pub violations: Vec<AuditViolation>,
+    /// Wire-level transport counters rolled up over all replicas (empty on
+    /// the sim transport, which never serializes).
+    pub transport: TransportSnapshot,
     /// One status snapshot per replica, in replica-id order.
     pub per_node: Vec<NodeStatus>,
 }
@@ -195,6 +198,45 @@ impl std::ops::Deref for ClusterReport {
 }
 
 impl ClusterReport {
+    /// Build a report by merging per-replica status snapshots: counters
+    /// summed, stage histograms merged, gauge currents summed with
+    /// high-water marks maxed, transport counters rolled up. This is the
+    /// same aggregation [`Cluster::metrics`] performs in-process, exposed so
+    /// the `report` role can run it over *scraped* snapshots from other
+    /// processes.
+    ///
+    /// Note: `gauges.gcs_in_flight` is the sum of every node's own reading;
+    /// in-process callers override it with a single group-wide read (see
+    /// [`Cluster::metrics`]).
+    pub fn from_statuses(per_node: Vec<NodeStatus>, violations: Vec<AuditViolation>) -> Self {
+        let metrics = Metrics::new();
+        let mut stages = StageSnapshot::default();
+        let mut gauges = GaugeSnapshot::default();
+        let mut transport = TransportSnapshot::default();
+        for status in &per_node {
+            metrics.merge(&status.metrics);
+            stages.merge(&status.stages);
+            gauges.absorb(&status.gauges);
+            transport.absorb(&status.transport);
+        }
+        ClusterReport { metrics, stages, gauges, violations, transport, per_node }
+    }
+
+    /// Merge another process's report into this one (the multinode `report`
+    /// role scrapes one report per node process and folds them together).
+    /// Counters sum, histograms merge, gauge currents sum / high-waters
+    /// max, violation lists concatenate, and the per-node snapshots are
+    /// re-sorted by replica id.
+    pub fn absorb(&mut self, other: ClusterReport) {
+        self.metrics.merge(&other.metrics);
+        self.stages.merge(&other.stages);
+        self.gauges.absorb(&other.gauges);
+        self.transport.absorb(&other.transport);
+        self.violations.extend(other.violations);
+        self.per_node.extend(other.per_node);
+        self.per_node.sort_by_key(|s| s.replica.raw());
+    }
+
     /// The per-stage p50/p95/p99 breakdown table
     /// ([`StageSnapshot::breakdown_table`]).
     pub fn breakdown_table(&self) -> String {
@@ -205,6 +247,30 @@ impl ClusterReport {
     /// ([`crate::export::prometheus_text`]).
     pub fn prometheus_text(&self) -> String {
         crate::export::prometheus_text(self)
+    }
+}
+
+impl sirep_common::wire::Wire for ClusterReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.metrics.encode(out);
+        self.stages.encode(out);
+        self.gauges.encode(out);
+        self.violations.encode(out);
+        self.transport.encode(out);
+        self.per_node.encode(out);
+    }
+
+    fn decode(
+        r: &mut sirep_common::wire::WireReader<'_>,
+    ) -> Result<Self, sirep_common::wire::WireError> {
+        Ok(ClusterReport {
+            metrics: Metrics::decode(r)?,
+            stages: StageSnapshot::decode(r)?,
+            gauges: GaugeSnapshot::decode(r)?,
+            violations: Vec::<AuditViolation>::decode(r)?,
+            transport: TransportSnapshot::decode(r)?,
+            per_node: Vec::<NodeStatus>::decode(r)?,
+        })
     }
 }
 
@@ -314,6 +380,14 @@ impl Cluster {
 
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Nanoseconds since this cluster's shared journal epoch — "journal
+    /// time" now. The telemetry clock handshake samples this around a
+    /// sequencer time probe to compute the offset that maps this process's
+    /// journal timestamps onto the sequencer's timeline.
+    pub fn epoch_elapsed_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
     }
 
     pub fn len(&self) -> usize {
@@ -551,26 +625,21 @@ impl Cluster {
     /// to [`Metrics`] for counter access.
     pub fn metrics(&self) -> ClusterReport {
         let nodes = self.nodes.read().clone();
-        let metrics = Metrics::new();
-        let mut stages = StageSnapshot::default();
-        let mut gauges = GaugeSnapshot::default();
-        let mut per_node = Vec::with_capacity(nodes.len());
-        for n in &nodes {
-            let status = n.status();
-            metrics.merge(&status.metrics);
-            stages.merge(&status.stages);
-            gauges.absorb(&status.gauges);
-            per_node.push(status);
-        }
+        let per_node: Vec<NodeStatus> = nodes.iter().map(|n| n.status()).collect();
+        let mut report = ClusterReport::from_statuses(per_node, self.auditor.violations());
         // Every node reports the same group-wide in-flight gauge, so the
-        // absorb above over-counts it |nodes| times — read it once instead.
-        gauges.gcs_in_flight = self.group.in_flight();
+        // merge above over-counts it |nodes| times — read it once instead.
+        report.gauges.gcs_in_flight = self.group.in_flight();
         // Fault gauges live on the group's fault plan, not on any node.
         if let Some((injected, partitioned)) = self.group.fault_gauges() {
-            gauges.faults_injected = injected;
-            gauges.partitioned = partitioned;
+            report.gauges.faults_injected = injected;
+            report.gauges.partitioned = partitioned;
         }
-        ClusterReport { metrics, stages, gauges, violations: self.auditor.violations(), per_node }
+        // The group-level rollup also covers retired (crashed / re-joined)
+        // endpoints and reconnect/eviction churn the per-node snapshots
+        // cannot see.
+        report.transport = self.group.transport();
+        report
     }
 
     /// Violations the online 1-copy-SI auditor has recorded so far.

@@ -231,6 +231,21 @@ pub fn prometheus_text(report: &ClusterReport) -> String {
         let _ = writeln!(out, "# TYPE sirep_stage_overflow_total counter");
         out.push_str(&overflow);
     }
+    // --- transport --------------------------------------------------------
+    // Wire-level counters from the TCP tier (all zero on the sim transport,
+    // which never serializes); emitted unconditionally so dashboards see a
+    // stable series set.
+    for (name, value) in report.transport.counters() {
+        let _ = writeln!(out, "# HELP sirep_transport_{name}_total Transport counter {name}.");
+        let _ = writeln!(out, "# TYPE sirep_transport_{name}_total counter");
+        let _ = writeln!(out, "sirep_transport_{name}_total {value}");
+    }
+    for (name, reading) in report.transport.gauges() {
+        let _ = writeln!(out, "# HELP sirep_transport_{name} Transport gauge {name}.");
+        let _ = writeln!(out, "# TYPE sirep_transport_{name} gauge");
+        let _ = writeln!(out, "sirep_transport_{name} {}", reading.current);
+        let _ = writeln!(out, "sirep_transport_{name}_high_water {}", reading.high_water);
+    }
     // --- auditor ----------------------------------------------------------
     let _ = writeln!(
         out,

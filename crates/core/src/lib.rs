@@ -17,6 +17,7 @@
 //! | [`tablelock`] | §6.3 | the reimplemented table-level-locking protocol of [20] |
 //! | [`recorder`] | — | execution recording feeding the 1-copy-SI checker |
 //! | [`audit`] | Thm 1/§4.3.3 | online auditor for the protocol's correctness invariants |
+//! | [`offline`] | Thm 1/§4.3.3 | post-hoc auditor over journals scraped from other processes |
 //! | [`export`] | — | Perfetto trace and Prometheus text renderers |
 //!
 //! ## Quick start
@@ -47,6 +48,7 @@ pub mod holes;
 pub mod model;
 pub mod msg;
 pub mod node;
+pub mod offline;
 pub mod recorder;
 pub mod session;
 pub mod srca;
@@ -56,7 +58,7 @@ pub mod validation;
 pub use audit::{AuditKind, AuditViolation, Auditor};
 pub use centralized::Centralized;
 pub use chaos::CrashPlan;
-pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ClusterReport};
+pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ClusterReport, Transport};
 pub use export::{perfetto_trace_json, prometheus_text};
 pub use holes::HoleTracker;
 pub use model::{
@@ -65,6 +67,7 @@ pub use model::{
 };
 pub use msg::{Outcome, ReplMsg, WsMsg, XactId};
 pub use node::{InDoubt, NodeStatus, ReplicaNode, ReplicationMode};
+pub use offline::{audit_scraped_journals, shift_events, OFFLINE_VIOLATION_CAP};
 pub use session::{Connection, Session, System, TxnTemplate};
 pub use validation::{CertEntry, WsList};
 

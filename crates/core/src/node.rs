@@ -43,7 +43,7 @@ use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use sirep_common::{
     AbortReason, CrashPoint, DbError, EventKind, GaugeSnapshot, GlobalTid, Journal, Metrics,
-    ProtocolGauges, ReplicaId, Stage, StageSnapshot, StageStats, TxTrace,
+    ProtocolGauges, ReplicaId, Stage, StageSnapshot, StageStats, TransportSnapshot, TxTrace,
 };
 use sirep_gcs::{Cast, Delivery, GcsError, Member};
 use sirep_storage::{Database, TupleId, TxnHandle, WriteSet};
@@ -313,6 +313,9 @@ pub struct NodeStatus {
     /// Queue-depth gauges with high-water marks (zeros when the `trace`
     /// feature is disabled).
     pub gauges: GaugeSnapshot,
+    /// Wire-level counters of this replica's GCS endpoint (empty on the
+    /// sim transport, which has no wire).
+    pub transport: TransportSnapshot,
 }
 
 impl NodeStatus {
@@ -320,6 +323,47 @@ impl NodeStatus {
     /// flight at this replica.
     pub fn load(&self) -> usize {
         self.queued + self.pending_local + self.running_locals
+    }
+}
+
+/// Telemetry wire form: fixed field order, `usize` counters as `u64`.
+/// Scraped by the per-process telemetry service and merged by the
+/// multinode `report` role.
+impl sirep_common::wire::Wire for NodeStatus {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.replica.encode(out);
+        self.alive.encode(out);
+        self.last_validated.encode(out);
+        (self.queued as u64).encode(out);
+        (self.pending_local as u64).encode(out);
+        self.holes_open.encode(out);
+        (self.running_locals as u64).encode(out);
+        (self.waiting_to_start as u64).encode(out);
+        self.view.encode(out);
+        self.metrics.encode(out);
+        self.stages.encode(out);
+        self.gauges.encode(out);
+        self.transport.encode(out);
+    }
+
+    fn decode(
+        r: &mut sirep_common::wire::WireReader<'_>,
+    ) -> Result<Self, sirep_common::wire::WireError> {
+        Ok(NodeStatus {
+            replica: ReplicaId::decode(r)?,
+            alive: bool::decode(r)?,
+            last_validated: GlobalTid::decode(r)?,
+            queued: u64::decode(r)? as usize,
+            pending_local: u64::decode(r)? as usize,
+            holes_open: bool::decode(r)?,
+            running_locals: u64::decode(r)? as usize,
+            waiting_to_start: u64::decode(r)? as usize,
+            view: Vec::decode(r)?,
+            metrics: Metrics::decode(r)?,
+            stages: StageSnapshot::decode(r)?,
+            gauges: GaugeSnapshot::decode(r)?,
+            transport: TransportSnapshot::decode(r)?,
+        })
     }
 }
 
@@ -606,6 +650,7 @@ impl ReplicaNode {
             metrics: Metrics::clone(&self.metrics),
             stages: self.stages.snapshot(),
             gauges: self.gauges.snapshot(self.gcs.in_flight()),
+            transport: self.gcs.transport(),
         }
     }
 

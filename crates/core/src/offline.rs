@@ -1,0 +1,434 @@
+//! Offline auditing of *scraped* protocol journals.
+//!
+//! The online [`crate::audit::Auditor`] sits inside one process and sees
+//! every verdict as it happens. On the multinode TCP tier each node process
+//! has its own auditor, which can only check that process's slice of the
+//! cluster. The `sirep-cluster report`/`audit` roles therefore scrape every
+//! node's journal export and re-run the checks that *can* be evaluated
+//! post-hoc over the union:
+//!
+//! - **per-journal** — validation-pass tids strictly increasing, commit
+//!   events agreeing with the recorded verdict, prune watermarks monotone,
+//!   hole open/close alternation (adjustments 1–3 of the paper's §4;
+//!   hole events mark transitions of the hole *set* between empty and
+//!   nonempty, so two opens without a close between them — or a close
+//!   from the empty state — mean the tracker lost count);
+//! - **cross-journal** — every replica that validated a transaction reached
+//!   the same verdict and assigned the same global commit id (the heart of
+//!   1-copy-SI's "same decision everywhere").
+//!
+//! What it **cannot** check: first-committer-wins itself. Journals record
+//! verdicts, not writesets, so the offline pass can confirm the replicas
+//! *agreed*, not that the agreement was the one SI mandates. That remains
+//! the online auditor's job (and the sim tier's history checker). See
+//! DESIGN.md §15.
+//!
+//! Journals are bounded rings, so a scraped journal may be missing its
+//! oldest events. A journal whose minimum sequence number is nonzero has
+//! been truncated; the hole-alternation check then takes its initial
+//! state from the first hole event it sees instead of assuming "no holes"
+//! (the transition that established the state may have been dropped).
+//! Two entries may carry the same [`ReplicaId`] — a node that was killed
+//! and restarted exports a fresh journal — and the per-journal checks
+//! treat each entry independently.
+
+use crate::audit::{AuditKind, AuditViolation};
+use sirep_common::{Event, EventKind, GlobalTid, ReplicaId, XactId};
+use std::collections::BTreeMap;
+
+/// Stop after this many violations — one real bug tends to cascade.
+pub const OFFLINE_VIOLATION_CAP: usize = 64;
+
+/// Re-run the post-hoc 1-copy-SI checks over scraped journals (one entry
+/// per scraped node process; duplicate replica ids are fine and mean the
+/// node restarted). Returns all violations found, capped at
+/// [`OFFLINE_VIOLATION_CAP`].
+pub fn audit_scraped_journals(journals: &[(ReplicaId, Vec<Event>)]) -> Vec<AuditViolation> {
+    let mut out = Vec::new();
+    // Transaction → (verdict, first replica that recorded it). `None` means
+    // validation-abort; verdicts must agree across every replica.
+    let mut verdicts: BTreeMap<XactId, (Option<GlobalTid>, ReplicaId)> = BTreeMap::new();
+    for (replica, events) in journals {
+        audit_one_journal(*replica, events, &mut verdicts, &mut out);
+        if out.len() >= OFFLINE_VIOLATION_CAP {
+            break;
+        }
+    }
+    out.truncate(OFFLINE_VIOLATION_CAP);
+    out
+}
+
+fn audit_one_journal(
+    replica: ReplicaId,
+    events: &[Event],
+    verdicts: &mut BTreeMap<XactId, (Option<GlobalTid>, ReplicaId)>,
+    out: &mut Vec<AuditViolation>,
+) {
+    // Ring truncation: the journal drops oldest-first, and `seq` is dense
+    // from 0, so a nonzero minimum means the prefix is gone and the hole
+    // state at the journal's start is unknown.
+    let truncated = events.first().is_some_and(|e| e.seq > 0);
+    let mut push = |kind: AuditKind, detail: String| {
+        if out.len() < OFFLINE_VIOLATION_CAP {
+            out.push(AuditViolation { kind, replica, detail });
+        }
+    };
+    let mut last_passed: Option<GlobalTid> = None;
+    let mut last_watermark: Option<GlobalTid> = None;
+    // Hole events mark transitions of the hole set (empty <-> nonempty);
+    // the tid is the commit that *caused* the transition, so an open and
+    // its matching close carry different tids. `None` = unknown (truncated
+    // prefix): adopt whatever the first hole event implies.
+    let mut holes_open: Option<bool> = if truncated { None } else { Some(false) };
+    let mut last_hole_tid: Option<GlobalTid> = None;
+    // This journal's own verdicts, for the commit-vs-verdict check.
+    let mut local_verdicts: BTreeMap<XactId, Option<GlobalTid>> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::ValidationVerdict { xact, tid, passed } => {
+                if passed != tid.is_some() {
+                    push(
+                        AuditKind::CommitOrderDivergence,
+                        format!(
+                            "verdict for {xact:?} is internally inconsistent: passed={passed} tid={tid:?}"
+                        ),
+                    );
+                }
+                if let Some(t) = tid {
+                    if let Some(prev) = last_passed {
+                        if t.raw() <= prev.raw() {
+                            push(
+                                AuditKind::CommitOrderDivergence,
+                                format!(
+                                    "validation-pass tids not strictly increasing: {} after {}",
+                                    t.raw(),
+                                    prev.raw()
+                                ),
+                            );
+                        }
+                    }
+                    last_passed = Some(t);
+                }
+                local_verdicts.insert(xact, tid);
+                match verdicts.get(&xact) {
+                    None => {
+                        verdicts.insert(xact, (tid, replica));
+                    }
+                    Some(&(other, who)) if other != tid => {
+                        push(
+                            AuditKind::CommitOrderDivergence,
+                            format!(
+                                "verdict for {xact:?} diverges: {tid:?} here vs {other:?} at replica {}",
+                                who.raw()
+                            ),
+                        );
+                    }
+                    Some(_) => {}
+                }
+            }
+            EventKind::Commit { xact, tid } => {
+                if let Some(&verdict) = local_verdicts.get(&xact) {
+                    if verdict != Some(tid) {
+                        push(
+                            AuditKind::CommitOrderDivergence,
+                            format!(
+                                "commit of {xact:?} at tid {} contradicts its verdict {verdict:?}",
+                                tid.raw()
+                            ),
+                        );
+                    }
+                }
+            }
+            EventKind::WsListPruned { watermark, .. } => {
+                if let Some(prev) = last_watermark {
+                    if watermark.raw() < prev.raw() {
+                        push(
+                            AuditKind::PruneWatermarkViolation,
+                            format!(
+                                "prune watermark moved backwards: {} after {}",
+                                watermark.raw(),
+                                prev.raw()
+                            ),
+                        );
+                    }
+                }
+                last_watermark = Some(watermark);
+            }
+            EventKind::HoleOpened { tid } => {
+                if holes_open == Some(true) {
+                    push(
+                        AuditKind::HoleSyncViolation,
+                        format!(
+                            "holes opened by commit {} while already open: tracker lost a close",
+                            tid.raw()
+                        ),
+                    );
+                }
+                holes_open = Some(true);
+                last_hole_tid = Some(tid);
+            }
+            EventKind::HoleClosed { tid } => {
+                if holes_open == Some(false) {
+                    push(
+                        AuditKind::HoleSyncViolation,
+                        format!("holes closed by commit {} without a recorded open", tid.raw()),
+                    );
+                }
+                holes_open = Some(false);
+            }
+            _ => {}
+        }
+    }
+    // A quiesced node must end with its hole set empty; `audit`/`report`
+    // scrape after the deployment's convergence check, so a dangling open
+    // means the tracker (or adjustment 3) wedged.
+    if holes_open == Some(true) {
+        let tid = last_hole_tid.map_or(0, GlobalTid::raw);
+        push(
+            AuditKind::HoleSyncViolation,
+            format!("holes still open at end of journal (opened by commit {tid})"),
+        );
+    }
+}
+
+/// Shift every event's timestamp by a signed nanosecond offset (saturating
+/// at both ends). The `report` role measures each node's clock offset
+/// against the sequencer via the time-probe handshake and shifts its
+/// journal onto the sequencer's timeline before rendering the merged
+/// Perfetto trace — without this, spans from different processes interleave
+/// nonsensically.
+pub fn shift_events(events: &mut [Event], offset_ns: i64) {
+    for e in events.iter_mut() {
+        e.at_ns = if offset_ns >= 0 {
+            e.at_ns.saturating_add(offset_ns as u64)
+        } else {
+            e.at_ns.saturating_sub(offset_ns.unsigned_abs())
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(k: u64) -> ReplicaId {
+        ReplicaId::new(k)
+    }
+
+    fn ev(seq: u64, replica: ReplicaId, kind: EventKind) -> Event {
+        Event { seq, at_ns: seq * 1000, replica, kind }
+    }
+
+    fn x(origin: u64, n: u64) -> XactId {
+        XactId::new(r(origin), n)
+    }
+
+    fn t(n: u64) -> GlobalTid {
+        GlobalTid::new(n)
+    }
+
+    /// A clean two-replica history: same verdicts, increasing tids, a
+    /// properly paired hole, monotone pruning.
+    fn clean_journals() -> Vec<(ReplicaId, Vec<Event>)> {
+        let mk = |rep: u64| {
+            let rid = r(rep);
+            vec![
+                ev(
+                    0,
+                    rid,
+                    EventKind::ValidationVerdict { xact: x(0, 1), tid: Some(t(1)), passed: true },
+                ),
+                ev(1, rid, EventKind::Commit { xact: x(0, 1), tid: t(1) }),
+                ev(
+                    2,
+                    rid,
+                    EventKind::ValidationVerdict { xact: x(1, 1), tid: Some(t(2)), passed: true },
+                ),
+                ev(3, rid, EventKind::HoleOpened { tid: t(2) }),
+                ev(4, rid, EventKind::HoleClosed { tid: t(2) }),
+                ev(5, rid, EventKind::Commit { xact: x(1, 1), tid: t(2) }),
+                ev(
+                    6,
+                    rid,
+                    EventKind::ValidationVerdict { xact: x(0, 2), tid: None, passed: false },
+                ),
+                ev(7, rid, EventKind::WsListPruned { watermark: t(1), removed: 1 }),
+                ev(8, rid, EventKind::WsListPruned { watermark: t(2), removed: 1 }),
+            ]
+        };
+        vec![(r(0), mk(0)), (r(1), mk(1))]
+    }
+
+    #[test]
+    fn clean_history_has_no_violations() {
+        assert_eq!(audit_scraped_journals(&clean_journals()), Vec::new());
+    }
+
+    #[test]
+    fn diverging_verdicts_are_flagged() {
+        let mut js = clean_journals();
+        // Replica 1 disagrees about x(0,1): says it aborted.
+        js[1].1[0] =
+            ev(0, r(1), EventKind::ValidationVerdict { xact: x(0, 1), tid: None, passed: false });
+        // Its commit then also contradicts its own (new) verdict.
+        let v = audit_scraped_journals(&js);
+        assert!(v
+            .iter()
+            .any(|v| v.kind == AuditKind::CommitOrderDivergence && v.detail.contains("diverges")));
+        assert!(v.iter().all(|v| v.replica == r(1)));
+    }
+
+    #[test]
+    fn non_monotone_pass_tids_are_flagged() {
+        let rid = r(0);
+        let js = vec![(
+            rid,
+            vec![
+                ev(
+                    0,
+                    rid,
+                    EventKind::ValidationVerdict { xact: x(0, 1), tid: Some(t(5)), passed: true },
+                ),
+                ev(
+                    1,
+                    rid,
+                    EventKind::ValidationVerdict { xact: x(0, 2), tid: Some(t(5)), passed: true },
+                ),
+            ],
+        )];
+        let v = audit_scraped_journals(&js);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, AuditKind::CommitOrderDivergence);
+        assert!(v[0].detail.contains("strictly increasing"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn commit_contradicting_verdict_is_flagged() {
+        let rid = r(2);
+        let js = vec![(
+            rid,
+            vec![
+                ev(
+                    0,
+                    rid,
+                    EventKind::ValidationVerdict { xact: x(2, 1), tid: Some(t(3)), passed: true },
+                ),
+                ev(1, rid, EventKind::Commit { xact: x(2, 1), tid: t(4) }),
+            ],
+        )];
+        let v = audit_scraped_journals(&js);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("contradicts"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn backwards_watermark_is_flagged() {
+        let rid = r(0);
+        let js = vec![(
+            rid,
+            vec![
+                ev(0, rid, EventKind::WsListPruned { watermark: t(9), removed: 2 }),
+                ev(1, rid, EventKind::WsListPruned { watermark: t(4), removed: 0 }),
+            ],
+        )];
+        let v = audit_scraped_journals(&js);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, AuditKind::PruneWatermarkViolation);
+    }
+
+    #[test]
+    fn unmatched_hole_close_flagged_only_when_not_truncated() {
+        let rid = r(0);
+        let fresh = vec![(rid, vec![ev(0, rid, EventKind::HoleClosed { tid: t(7) })])];
+        let v = audit_scraped_journals(&fresh);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, AuditKind::HoleSyncViolation);
+        // Same journal but ring-truncated (min seq > 0): the open may have
+        // been dropped, so the close is forgiven.
+        let truncated = vec![(rid, vec![ev(10, rid, EventKind::HoleClosed { tid: t(7) })])];
+        assert_eq!(audit_scraped_journals(&truncated), Vec::new());
+    }
+
+    #[test]
+    fn open_and_close_with_different_tids_is_clean() {
+        // The real recorder tags each transition with the commit that
+        // caused it: the commit that jumped ahead opens, the commit that
+        // drained the last hole closes. The tids differ by design.
+        let rid = r(0);
+        let js = vec![(
+            rid,
+            vec![
+                ev(0, rid, EventKind::HoleOpened { tid: t(213) }),
+                ev(1, rid, EventKind::HoleClosed { tid: t(165) }),
+            ],
+        )];
+        assert_eq!(audit_scraped_journals(&js), Vec::new());
+    }
+
+    #[test]
+    fn double_open_without_close_is_flagged() {
+        let rid = r(0);
+        let js = vec![(
+            rid,
+            vec![
+                ev(0, rid, EventKind::HoleOpened { tid: t(3) }),
+                ev(1, rid, EventKind::HoleOpened { tid: t(4) }),
+                ev(2, rid, EventKind::HoleClosed { tid: t(5) }),
+            ],
+        )];
+        let v = audit_scraped_journals(&js);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, AuditKind::HoleSyncViolation);
+        assert!(v[0].detail.contains("already open"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn hole_left_open_is_flagged() {
+        let rid = r(1);
+        let js = vec![(rid, vec![ev(0, rid, EventKind::HoleOpened { tid: t(3) })])];
+        let v = audit_scraped_journals(&js);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, AuditKind::HoleSyncViolation);
+        assert!(v[0].detail.contains("still open"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn duplicate_replica_entries_are_independent() {
+        // A restarted node exports a fresh journal under the same replica
+        // id; per-journal state (watermarks, holes) must not leak across.
+        let rid = r(0);
+        let js = vec![
+            (rid, vec![ev(0, rid, EventKind::WsListPruned { watermark: t(9), removed: 2 })]),
+            (rid, vec![ev(0, rid, EventKind::WsListPruned { watermark: t(1), removed: 0 })]),
+        ];
+        assert_eq!(audit_scraped_journals(&js), Vec::new());
+    }
+
+    #[test]
+    fn violation_count_is_capped() {
+        let rid = r(0);
+        let events: Vec<Event> = (0..(OFFLINE_VIOLATION_CAP as u64 + 40))
+            .map(|i| ev(i, rid, EventKind::HoleClosed { tid: t(i) }))
+            .collect();
+        let v = audit_scraped_journals(&[(rid, events)]);
+        assert_eq!(v.len(), OFFLINE_VIOLATION_CAP);
+    }
+
+    #[test]
+    fn shift_events_is_signed_and_saturating() {
+        let rid = r(0);
+        let mut events = vec![
+            ev(0, rid, EventKind::ViewChange { members: 1 }),
+            ev(5, rid, EventKind::ViewChange { members: 2 }),
+        ];
+        shift_events(&mut events, 100);
+        assert_eq!(events[0].at_ns, 100);
+        assert_eq!(events[1].at_ns, 5100);
+        shift_events(&mut events, -200);
+        assert_eq!(events[0].at_ns, 0, "saturates at zero");
+        assert_eq!(events[1].at_ns, 4900);
+        shift_events(&mut events, i64::MAX);
+        shift_events(&mut events, i64::MAX);
+        assert_eq!(events[1].at_ns, u64::MAX, "saturates at the top");
+    }
+}

@@ -39,8 +39,14 @@
 //! ```
 
 pub mod remote;
+pub mod telemetry;
 
 pub use remote::{NodeServer, RemoteConn, RemoteDriver, RemoteStatus};
+pub use telemetry::{
+    scrape_clock_offset, scrape_gauges, scrape_journal, scrape_prometheus, scrape_report,
+    scrape_status, scrape_with_timeout, TelemetryReq, TelemetryResp, TelemetryServer,
+    SCRAPE_TIMEOUT,
+};
 
 use sirep_common::{AbortReason, DbError};
 use sirep_core::{Cluster, Connection, InDoubt, Outcome, ReplicaNode, Session, XactId};

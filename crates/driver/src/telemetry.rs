@@ -1,0 +1,531 @@
+//! Per-node telemetry service + scrape client: the cross-process
+//! observability plane (DESIGN.md §15).
+//!
+//! Every `sirep-cluster` node process embeds a [`TelemetryServer`] next to
+//! its client-facing [`NodeServer`](crate::NodeServer). It answers
+//! [`Wire`]-framed scrape requests with point-in-time snapshots:
+//!
+//! - [`TelemetryReq::Status`] — one [`NodeStatus`] per replica hosted here;
+//! - [`TelemetryReq::Report`] — the process's merged [`ClusterReport`]
+//!   (counters, stage histograms, gauges, transport rollup, auditor
+//!   violations, per-node statuses);
+//! - [`TelemetryReq::Prometheus`] — the report rendered as Prometheus text;
+//! - [`TelemetryReq::Journal`] — the raw protocol event journals, for the
+//!   scraped-journal auditor and the merged Perfetto trace;
+//! - [`TelemetryReq::Gauges`] — just the queue-depth gauge rollup;
+//! - [`TelemetryReq::ClockProbe`] — the clock handshake: the node samples
+//!   its own journal clock around a live sequencer time probe and returns
+//!   the signed offset that maps its journal timestamps onto the
+//!   sequencer's timeline (`0` on the sim transport, which shares one
+//!   process and one epoch anyway).
+//!
+//! **Lock discipline**: every response is fully materialized (owned data,
+//! short internal locks inside `Cluster` accessors) *before* the first
+//! response byte is written — no node-state lock is ever held across a
+//! socket write, so a stalled scraper cannot back-pressure the commit path.
+//!
+//! **Scrape totality**: the client helpers put a timeout on the socket and
+//! decode with the same total `Wire` discipline as the transport tier — a
+//! node killed mid-frame yields `Err`, never a panic or a hang.
+
+use sirep_common::wire::{read_frame, write_frame, Wire, WireError, WireReader};
+use sirep_common::{Event, GaugeSnapshot, ReplicaId};
+use sirep_core::{Cluster, ClusterReport, NodeStatus, Transport};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Default socket timeout for scrape round trips: long enough for a busy
+/// node to snapshot, short enough that `report` over a dead node fails
+/// promptly.
+pub const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One telemetry request frame, scraper → node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryReq {
+    /// Per-replica status snapshots for every replica this process hosts.
+    Status,
+    /// The process-local merged [`ClusterReport`].
+    Report,
+    /// The report rendered in Prometheus text exposition format.
+    Prometheus,
+    /// The raw protocol event journals (for offline audit / trace merge).
+    Journal,
+    /// The queue-depth gauge rollup only.
+    Gauges,
+    /// Run the clock handshake against the sequencer and report the offset.
+    ClockProbe,
+}
+
+impl Wire for TelemetryReq {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            TelemetryReq::Status => 0,
+            TelemetryReq::Report => 1,
+            TelemetryReq::Prometheus => 2,
+            TelemetryReq::Journal => 3,
+            TelemetryReq::Gauges => 4,
+            TelemetryReq::ClockProbe => 5,
+        });
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => TelemetryReq::Status,
+            1 => TelemetryReq::Report,
+            2 => TelemetryReq::Prometheus,
+            3 => TelemetryReq::Journal,
+            4 => TelemetryReq::Gauges,
+            5 => TelemetryReq::ClockProbe,
+            _ => return Err(WireError::Corrupt("telemetry req tag")),
+        })
+    }
+}
+
+/// One telemetry response frame, node → scraper. (No `PartialEq`:
+/// [`ClusterReport`] carries live atomic counters; equality is
+/// byte-equality of the wire form.)
+#[derive(Debug, Clone)]
+pub enum TelemetryResp {
+    Status(Vec<NodeStatus>),
+    Report(Box<ClusterReport>),
+    Prometheus(String),
+    Journal(Vec<(ReplicaId, Vec<Event>)>),
+    Gauges(GaugeSnapshot),
+    /// Signed nanoseconds to *add* to this node's journal timestamps to land
+    /// them on the sequencer's timeline.
+    Clock {
+        offset_ns: i64,
+    },
+    /// The node could not answer (e.g. the sequencer was unreachable during
+    /// a clock probe).
+    Err(String),
+}
+
+impl Wire for TelemetryResp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TelemetryResp::Status(statuses) => {
+                out.push(0);
+                statuses.encode(out);
+            }
+            TelemetryResp::Report(report) => {
+                out.push(1);
+                report.encode(out);
+            }
+            TelemetryResp::Prometheus(text) => {
+                out.push(2);
+                text.encode(out);
+            }
+            TelemetryResp::Journal(journals) => {
+                out.push(3);
+                journals.encode(out);
+            }
+            TelemetryResp::Gauges(gauges) => {
+                out.push(4);
+                gauges.encode(out);
+            }
+            TelemetryResp::Clock { offset_ns } => {
+                out.push(5);
+                offset_ns.encode(out);
+            }
+            TelemetryResp::Err(msg) => {
+                out.push(6);
+                msg.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => TelemetryResp::Status(Vec::<NodeStatus>::decode(r)?),
+            1 => TelemetryResp::Report(Box::new(ClusterReport::decode(r)?)),
+            2 => TelemetryResp::Prometheus(String::decode(r)?),
+            3 => TelemetryResp::Journal(Vec::<(ReplicaId, Vec<Event>)>::decode(r)?),
+            4 => TelemetryResp::Gauges(GaugeSnapshot::decode(r)?),
+            5 => TelemetryResp::Clock { offset_ns: i64::decode(r)? },
+            6 => TelemetryResp::Err(String::decode(r)?),
+            _ => return Err(WireError::Corrupt("telemetry resp tag")),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Scrape endpoint embedded in every node process: accepts connections,
+/// serves any number of request frames per connection, one thread per
+/// scraper (scrapers are few and short-lived).
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Bind `bind` (e.g. `"127.0.0.1:0"`) and serve telemetry for `cluster`.
+    pub fn spawn(bind: &str, cluster: Arc<Cluster>) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let accept = thread::Builder::new().name("telemetry-server".into()).spawn(move || {
+            for conn in listener.incoming() {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                let Ok(stream) = conn else { continue };
+                let cluster = cluster.clone();
+                let _ = thread::Builder::new()
+                    .name("telemetry-conn".into())
+                    .spawn(move || serve_scraper(stream, &cluster));
+            }
+        })?;
+        Ok(TelemetryServer { addr, stop, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new scrapers.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_scraper(mut stream: TcpStream, cluster: &Arc<Cluster>) {
+    // A scraper that stalls mid-request must not pin this thread forever.
+    let _ = stream.set_read_timeout(Some(SCRAPE_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SCRAPE_TIMEOUT));
+    loop {
+        let Ok(req) = read_frame::<_, TelemetryReq>(&mut stream) else { return };
+        // Materialize the whole response before writing: `Cluster` accessors
+        // take their internal locks briefly and return owned data, so no
+        // shared lock spans the socket write below.
+        let resp = handle_req(cluster, req);
+        if write_frame(&mut stream, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_req(cluster: &Arc<Cluster>, req: TelemetryReq) -> TelemetryResp {
+    match req {
+        TelemetryReq::Status => {
+            TelemetryResp::Status(cluster.nodes().iter().map(|n| n.status()).collect())
+        }
+        TelemetryReq::Report => TelemetryResp::Report(Box::new(cluster.metrics())),
+        TelemetryReq::Prometheus => TelemetryResp::Prometheus(cluster.metrics().prometheus_text()),
+        TelemetryReq::Journal => TelemetryResp::Journal(cluster.journal_events()),
+        TelemetryReq::Gauges => TelemetryResp::Gauges(cluster.metrics().gauges),
+        TelemetryReq::ClockProbe => match clock_probe(cluster) {
+            Ok(offset_ns) => TelemetryResp::Clock { offset_ns },
+            Err(e) => TelemetryResp::Err(format!("clock probe failed: {e}")),
+        },
+    }
+}
+
+/// The clock handshake: sample this process's journal clock around a live
+/// sequencer time probe; the probe's midpoint is the best estimate of when
+/// the sequencer read its clock, so `seq_now - midpoint` maps journal time
+/// onto sequencer time. On the sim transport every replica already shares
+/// one epoch, so the offset is zero by construction.
+fn clock_probe(cluster: &Arc<Cluster>) -> io::Result<i64> {
+    match &cluster.config().transport {
+        Transport::Sim => Ok(0),
+        Transport::Tcp { sequencer } => {
+            let t0 = cluster.epoch_elapsed_ns();
+            let seq_now = sirep_gcs::probe_seq_time(sequencer)?;
+            let t1 = cluster.epoch_elapsed_ns();
+            let midpoint = t0 + (t1 - t0) / 2;
+            Ok(seq_now as i64 - midpoint as i64)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scrape client
+// ---------------------------------------------------------------------------
+
+/// One request/response round trip with an explicit timeout. Any transport
+/// or decode failure — connection refused, node killed mid-frame, corrupt
+/// bytes — is an `Err`; decode is total, so malicious or truncated input
+/// cannot panic, and the timeout bounds a node that stops mid-response.
+pub fn scrape_with_timeout(
+    addr: &str,
+    req: TelemetryReq,
+    timeout: Duration,
+) -> io::Result<TelemetryResp> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, &req)?;
+    read_frame(&mut stream)
+}
+
+fn scrape(addr: &str, req: TelemetryReq) -> io::Result<TelemetryResp> {
+    scrape_with_timeout(addr, req, SCRAPE_TIMEOUT)
+}
+
+fn unexpected(what: &str, got: TelemetryResp) -> io::Error {
+    let msg = match got {
+        TelemetryResp::Err(e) => format!("telemetry {what}: node reported: {e}"),
+        other => format!("telemetry {what}: unexpected response {other:?}"),
+    };
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Scrape one [`NodeStatus`] per replica hosted at `addr`.
+pub fn scrape_status(addr: &str) -> io::Result<Vec<NodeStatus>> {
+    match scrape(addr, TelemetryReq::Status)? {
+        TelemetryResp::Status(s) => Ok(s),
+        other => Err(unexpected("status", other)),
+    }
+}
+
+/// Scrape the process-local merged [`ClusterReport`] at `addr`.
+pub fn scrape_report(addr: &str) -> io::Result<ClusterReport> {
+    match scrape(addr, TelemetryReq::Report)? {
+        TelemetryResp::Report(r) => Ok(*r),
+        other => Err(unexpected("report", other)),
+    }
+}
+
+/// Scrape the Prometheus text exposition at `addr`.
+pub fn scrape_prometheus(addr: &str) -> io::Result<String> {
+    match scrape(addr, TelemetryReq::Prometheus)? {
+        TelemetryResp::Prometheus(t) => Ok(t),
+        other => Err(unexpected("prometheus", other)),
+    }
+}
+
+/// Scrape the raw protocol event journals at `addr`.
+pub fn scrape_journal(addr: &str) -> io::Result<Vec<(ReplicaId, Vec<Event>)>> {
+    match scrape(addr, TelemetryReq::Journal)? {
+        TelemetryResp::Journal(j) => Ok(j),
+        other => Err(unexpected("journal", other)),
+    }
+}
+
+/// Scrape the queue-depth gauge rollup at `addr`.
+pub fn scrape_gauges(addr: &str) -> io::Result<GaugeSnapshot> {
+    match scrape(addr, TelemetryReq::Gauges)? {
+        TelemetryResp::Gauges(g) => Ok(g),
+        other => Err(unexpected("gauges", other)),
+    }
+}
+
+/// Ask the node at `addr` to run the clock handshake; returns the signed
+/// nanosecond offset that maps its journal timestamps onto the sequencer's
+/// timeline.
+pub fn scrape_clock_offset(addr: &str) -> io::Result<i64> {
+    match scrape(addr, TelemetryReq::ClockProbe)? {
+        TelemetryResp::Clock { offset_ns } => Ok(offset_ns),
+        other => Err(unexpected("clock probe", other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sirep_core::{ClusterConfig, Connection};
+    use std::io::{Read as _, Write as _};
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_wire();
+        let back = T::from_wire(&bytes).expect("decode");
+        assert_eq!(&back, v);
+        assert_eq!(back.to_wire(), bytes, "re-encode must be bit-identical");
+        for cut in 0..bytes.len() {
+            assert!(T::from_wire(&bytes[..cut]).is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    /// Round trip by wire-form equality, for types without `PartialEq`.
+    fn round_trip_bytes<T: Wire + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_wire();
+        let back = T::from_wire(&bytes).expect("decode");
+        assert_eq!(back.to_wire(), bytes, "re-encode must be bit-identical");
+        for cut in 0..bytes.len() {
+            assert!(T::from_wire(&bytes[..cut]).is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        for req in [
+            TelemetryReq::Status,
+            TelemetryReq::Report,
+            TelemetryReq::Prometheus,
+            TelemetryReq::Journal,
+            TelemetryReq::Gauges,
+            TelemetryReq::ClockProbe,
+        ] {
+            round_trip(&req);
+        }
+        assert_eq!(TelemetryReq::from_wire(&[6]), Err(WireError::Corrupt("telemetry req tag")));
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        // Use a live (sim) cluster so the payloads carry real shapes.
+        let cluster = Cluster::new(ClusterConfig::builder().replicas(2).build());
+        cluster.execute_ddl("CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap();
+        let mut s = cluster.session(0);
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        s.commit().unwrap();
+        assert!(cluster.quiesce(Duration::from_secs(5)));
+
+        round_trip_bytes(&TelemetryResp::Status(
+            cluster.nodes().iter().map(|n| n.status()).collect::<Vec<_>>(),
+        ));
+        round_trip_bytes(&TelemetryResp::Report(Box::new(cluster.metrics())));
+        round_trip_bytes(&TelemetryResp::Prometheus(cluster.metrics().prometheus_text()));
+        round_trip_bytes(&TelemetryResp::Journal(cluster.journal_events()));
+        round_trip_bytes(&TelemetryResp::Gauges(cluster.metrics().gauges));
+        round_trip_bytes(&TelemetryResp::Clock { offset_ns: -1_234_567 });
+        round_trip_bytes(&TelemetryResp::Err("sequencer unreachable".into()));
+        assert!(matches!(
+            TelemetryResp::from_wire(&[7]),
+            Err(WireError::Corrupt("telemetry resp tag"))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = TelemetryReq::from_wire(&bytes);
+            let _ = TelemetryResp::from_wire(&bytes);
+        }
+    }
+
+    #[test]
+    fn end_to_end_scrape_over_sim_cluster() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::builder().replicas(3).build()));
+        cluster.execute_ddl("CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap();
+        for i in 0..5 {
+            let mut s = cluster.session(i % 3);
+            s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+            s.commit().unwrap();
+        }
+        assert!(cluster.quiesce(Duration::from_secs(5)));
+
+        let server = TelemetryServer::spawn("127.0.0.1:0", Arc::clone(&cluster)).expect("bind");
+        let addr = server.addr().to_string();
+
+        let statuses = scrape_status(&addr).expect("status");
+        assert_eq!(statuses.len(), 3);
+        assert!(statuses.iter().all(|s| s.alive));
+
+        let report = scrape_report(&addr).expect("report");
+        assert_eq!(report.commits(), cluster.metrics().commits());
+        assert!(report.violations.is_empty());
+        assert_eq!(report.per_node.len(), 3);
+
+        let prom = scrape_prometheus(&addr).expect("prometheus");
+        assert!(prom.contains("sirep_commits_update_total"));
+        assert!(prom.contains("sirep_transport_frames_in_total"));
+
+        if cfg!(feature = "trace") {
+            let journals = scrape_journal(&addr).expect("journal");
+            assert_eq!(journals.len(), 3);
+            assert!(journals.iter().any(|(_, events)| !events.is_empty()));
+        }
+
+        let _ = scrape_gauges(&addr).expect("gauges");
+        assert_eq!(scrape_clock_offset(&addr).expect("clock"), 0, "sim shares one epoch");
+
+        // Several requests on one scraper connection also work.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        write_frame(&mut stream, &TelemetryReq::Status).unwrap();
+        let _: TelemetryResp = read_frame(&mut stream).unwrap();
+        write_frame(&mut stream, &TelemetryReq::Gauges).unwrap();
+        let _: TelemetryResp = read_frame(&mut stream).unwrap();
+    }
+
+    /// A node killed mid-frame must surface as `Err` at the scraper —
+    /// never a panic, never a hang (satellite: scrape resilience).
+    #[test]
+    fn killed_mid_frame_is_an_error_not_a_hang() {
+        // A fake "node" that reads the request, then writes a frame header
+        // promising 1 MiB and dies after 10 bytes of payload.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 64];
+            let _ = conn.read(&mut buf);
+            let _ = conn.write_all(&(1u32 << 20).to_le_bytes());
+            let _ = conn.write_all(&[0u8; 10]);
+            // Drop: RST/EOF mid-frame.
+        });
+        let err = scrape_with_timeout(&addr, TelemetryReq::Report, Duration::from_secs(2))
+            .expect_err("truncated frame must error");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+            ),
+            "got {err:?}"
+        );
+        t.join().unwrap();
+    }
+
+    /// A node that accepts and then goes silent must hit the read timeout.
+    #[test]
+    fn silent_node_times_out() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            // Hold the connection open, never respond.
+            thread::sleep(Duration::from_millis(500));
+            drop(conn);
+        });
+        let start = std::time::Instant::now();
+        let err = scrape_with_timeout(&addr, TelemetryReq::Status, Duration::from_millis(100))
+            .expect_err("silent node must time out");
+        assert!(
+            matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            "got {err:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(2), "timeout must be prompt");
+        t.join().unwrap();
+    }
+
+    /// Corrupt response bytes decode to `Err` (total decode), and a corrupt
+    /// *request* makes the server drop the connection rather than wedge.
+    #[test]
+    fn corrupt_frames_are_rejected_end_to_end() {
+        let cluster = Arc::new(Cluster::new(ClusterConfig::builder().replicas(1).build()));
+        let server = TelemetryServer::spawn("127.0.0.1:0", Arc::clone(&cluster)).expect("bind");
+        let addr = server.addr().to_string();
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        // Valid length prefix, garbage tag.
+        stream.write_all(&1u32.to_le_bytes()).unwrap();
+        stream.write_all(&[200u8]).unwrap();
+        let mut buf = Vec::new();
+        let n = stream.read_to_end(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server must hang up on a corrupt request, not answer");
+    }
+}

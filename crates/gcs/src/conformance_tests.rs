@@ -14,6 +14,13 @@
 //!   of the crashed sender's submissions, all before the crash view — the
 //!   "not at all" arm lets a fire-and-forget transport drop in-flight
 //!   tails, where the sim tier delivers everything sent before the crash.
+//! - `Group::in_flight` is **per-process** on the TCP backend: it sums the
+//!   pending-send and receive-queue gauges of the endpoints *this handle*
+//!   created (the sim tier counts group-wide, because it owns every
+//!   queue), and its high-water mark is the max over endpoints rather
+//!   than a true group-wide concurrent peak. It is no longer the silent
+//!   zero it once was — `tcp_only::in_flight_gauge_is_honest` pins the
+//!   honest behaviour.
 //!
 //! Sim-only semantics (simulated latency, deterministic faults, synchronous
 //! sequencing) stay in `group_tests.rs`.
@@ -403,6 +410,149 @@ mod tcp_only {
         let second = group.join_as(7).expect("rejoin");
         assert_eq!(second.incarnation(), 1, "join count must survive the restart");
         assert_eq!(second.id().raw(), (1 << MEMBER_INCARNATION_SHIFT) | 7);
+    }
+
+    /// The fix for the old silent-zero gauge: `Group::in_flight` on the
+    /// TCP backend reports real pending-send + receive-queue depth for
+    /// this process's endpoints (see the module docs for the documented
+    /// per-process weakening versus the sim tier).
+    #[test]
+    fn in_flight_gauge_is_honest() {
+        let b = tcp();
+        let a = b.group.join().expect("join");
+        await_members(a.as_ref(), 1);
+        let h = a.handle();
+        for k in 0..5u64 {
+            h.multicast_total(k).expect("multicast");
+        }
+        collect_total(a.as_ref(), 5);
+        // Everything sent has been sequenced (our own deliveries came
+        // back) and everything delivered has been received: current must
+        // be zero, and the high-water mark must prove the gauge moved.
+        let reading = b.group.in_flight();
+        assert_eq!(reading.current, 0, "in-flight must drain to zero: {reading:?}");
+        assert!(reading.high_water >= 1, "gauge never moved: {reading:?}");
+    }
+
+    #[test]
+    fn transport_counters_track_wire_traffic() {
+        let b = tcp();
+        let a = b.group.join().expect("join");
+        let c = b.group.join().expect("join");
+        await_members(a.as_ref(), 2);
+        await_members(c.as_ref(), 2);
+        let h = a.handle();
+        for k in 0..3u64 {
+            h.multicast_total(k).expect("multicast");
+        }
+        collect_total(a.as_ref(), 3);
+        collect_total(c.as_ref(), 3);
+
+        let ta = a.transport();
+        assert_eq!(ta.frames_out, 3, "sender frames_out: {ta:?}");
+        assert!(ta.bytes_out > 0 && ta.bytes_in > 0, "byte counters never moved: {ta:?}");
+        // The reader saw at least the 3 totals plus view frames.
+        assert!(ta.frames_in >= 4, "reader frames_in: {ta:?}");
+        assert_eq!(ta.decode_failures, 0);
+        assert_eq!(ta.pending_sends.current, 0, "sends all sequenced: {ta:?}");
+        assert!(ta.pending_sends.high_water >= 1);
+        let tc = c.transport();
+        assert_eq!(tc.frames_out, 0, "c never multicast: {tc:?}");
+        assert!(tc.frames_in >= 3, "c delivered a's multicasts: {tc:?}");
+
+        // The group rollup covers both endpoints and counts churn.
+        let tg = b.group.transport();
+        assert_eq!(tg.frames_out, 3);
+        assert!(tg.frames_in >= ta.frames_in + tc.frames_in);
+        assert_eq!(tg.evictions, 0);
+        c.leave();
+        await_members(a.as_ref(), 1);
+        assert!(b.group.transport().evictions >= 1, "leave must count as an eviction");
+    }
+
+    /// Dropped endpoints fold their final counters into the group rollup,
+    /// so `Group::transport()` stays monotonic across member churn.
+    #[test]
+    fn group_rollup_survives_member_drop() {
+        let b = tcp();
+        let a = b.group.join().expect("join");
+        await_members(a.as_ref(), 1);
+        let h = a.handle();
+        for k in 0..3u64 {
+            h.multicast_total(k).expect("multicast");
+        }
+        collect_total(a.as_ref(), 3);
+        a.leave();
+        drop(h);
+        drop(a);
+        // The reader thread releases its handle asynchronously after the
+        // socket shutdown; poll until the retired fold lands.
+        let deadline = Instant::now() + TIMEOUT;
+        loop {
+            let t = b.group.transport();
+            if t.frames_out == 3 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "retired counters never folded in: {t:?}");
+            thread::sleep(STEP);
+        }
+    }
+
+    /// The sequencer's admin scrape: log length, next sequence number,
+    /// view id and per-member fan-out backlog.
+    #[test]
+    fn sequencer_stats_scrape() {
+        let seq = Sequencer::spawn("127.0.0.1:0").expect("bind");
+        let addr = seq.addr().to_string();
+        let group = TcpGroup::<u64>::new(addr.clone(), 0);
+        let a = group.join_as(0).expect("join");
+        await_members(&a, 1);
+        let h = Member::handle(&a);
+        for k in 0..4u64 {
+            h.multicast_total(k).expect("multicast");
+        }
+        collect_total(&a, 4);
+        let stats = crate::tcp::query_seq_stats(&addr).expect("stats scrape");
+        assert_eq!(stats.next_seq, 4, "{stats:?}");
+        // Log holds the join view plus the 4 sequenced multicasts.
+        assert!(stats.log_len >= 5, "{stats:?}");
+        assert!(stats.view_id >= 1, "{stats:?}");
+        assert_eq!(stats.members.len(), 1);
+        assert_eq!(stats.members[0].0, a.id().raw());
+        // Everything has been written out; backlog may lag the writer by a
+        // moment but must drain.
+        let deadline = Instant::now() + TIMEOUT;
+        loop {
+            let s = crate::tcp::query_seq_stats(&addr).expect("stats scrape");
+            if s.backlog() == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "fan-out backlog never drained: {s:?}");
+            thread::sleep(STEP);
+        }
+    }
+
+    /// The clock-probe leg: the sequencer's monotonic clock is readable
+    /// and monotonic across probes.
+    #[test]
+    fn sequencer_time_probe_is_monotonic() {
+        let seq = Sequencer::spawn("127.0.0.1:0").expect("bind");
+        let addr = seq.addr().to_string();
+        let t0 = crate::tcp::probe_seq_time(&addr).expect("probe");
+        let t1 = crate::tcp::probe_seq_time(&addr).expect("probe");
+        assert!(t1 >= t0, "sequencer clock went backwards: {t0} -> {t1}");
+    }
+
+    /// Rejoins are counted as reconnects in the group rollup.
+    #[test]
+    fn rejoin_counts_as_reconnect() {
+        let seq = Sequencer::spawn("127.0.0.1:0").expect("bind");
+        let group = TcpGroup::<u64>::new(seq.addr().to_string(), 0);
+        let first = group.join_as(7).expect("join");
+        assert_eq!(Group::transport(&group).reconnects, 0);
+        first.leave();
+        let _second = group.join_as(7).expect("rejoin");
+        assert_eq!(Group::transport(&group).reconnects, 1);
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub enum UpFrame {
     Evict { member: u64 },
     /// Admin: report the current view.
     Query,
+    /// Admin: report sequencer-side observability counters
+    /// ([`DownFrame::Stats`]).
+    Stats,
+    /// Admin: report the sequencer's monotonic clock ([`DownFrame::Time`]) —
+    /// one leg of the cross-process clock-offset handshake that aligns
+    /// per-node Perfetto tracks onto the sequencer's timeline.
+    TimeProbe,
 }
 
 impl Wire for UpFrame {
@@ -72,6 +79,8 @@ impl Wire for UpFrame {
                 member.encode(out);
             }
             UpFrame::Query => out.push(5),
+            UpFrame::Stats => out.push(6),
+            UpFrame::TimeProbe => out.push(7),
         }
     }
 
@@ -83,6 +92,8 @@ impl Wire for UpFrame {
             3 => Ok(UpFrame::Leave),
             4 => Ok(UpFrame::Evict { member: u64::decode(r)? }),
             5 => Ok(UpFrame::Query),
+            6 => Ok(UpFrame::Stats),
+            7 => Ok(UpFrame::TimeProbe),
             _ => Err(WireError::Corrupt("upframe tag")),
         }
     }
@@ -108,6 +119,15 @@ pub enum DownFrame {
     /// Admin reply to [`UpFrame::Evict`], sent once the member's socket is
     /// shut down and the view change is sequenced.
     Evicted,
+    /// Admin reply to [`UpFrame::Stats`]: the sequencer's observability
+    /// counters — total-order log length, next sequence number, view id,
+    /// and per-member `(member, send_queue_depth)` pairs (frames queued for
+    /// that member's writer thread, i.e. the fan-out backlog broken down by
+    /// destination), sorted by member id.
+    Stats { log_len: u64, next_seq: u64, view_id: u64, members: Vec<(u64, u64)> },
+    /// Admin reply to [`UpFrame::TimeProbe`]: nanoseconds on the
+    /// sequencer's monotonic clock since it started serving.
+    Time { now_ns: u64 },
 }
 
 impl Wire for DownFrame {
@@ -135,6 +155,17 @@ impl Wire for DownFrame {
                 members.encode(out);
             }
             DownFrame::Evicted => out.push(4),
+            DownFrame::Stats { log_len, next_seq, view_id, members } => {
+                out.push(5);
+                log_len.encode(out);
+                next_seq.encode(out);
+                view_id.encode(out);
+                members.encode(out);
+            }
+            DownFrame::Time { now_ns } => {
+                out.push(6);
+                now_ns.encode(out);
+            }
         }
     }
 
@@ -149,6 +180,13 @@ impl Wire for DownFrame {
             2 => Ok(DownFrame::Fifo { sender: u64::decode(r)?, payload: Bytes::decode(r)? }),
             3 => Ok(DownFrame::View { id: u64::decode(r)?, members: Vec::decode(r)? }),
             4 => Ok(DownFrame::Evicted),
+            5 => Ok(DownFrame::Stats {
+                log_len: u64::decode(r)?,
+                next_seq: u64::decode(r)?,
+                view_id: u64::decode(r)?,
+                members: Vec::decode(r)?,
+            }),
+            6 => Ok(DownFrame::Time { now_ns: u64::decode(r)? }),
             _ => Err(WireError::Corrupt("downframe tag")),
         }
     }
@@ -174,6 +212,8 @@ mod tests {
         round_trip(&UpFrame::Leave);
         round_trip(&UpFrame::Evict { member: (3 << 32) | 1 });
         round_trip(&UpFrame::Query);
+        round_trip(&UpFrame::Stats);
+        round_trip(&UpFrame::TimeProbe);
     }
 
     #[test]
@@ -183,12 +223,28 @@ mod tests {
         round_trip(&DownFrame::Fifo { sender: 0, payload: Bytes(vec![7]) });
         round_trip(&DownFrame::View { id: 4, members: vec![(0, 0), (1, 1), (1 << 32, 0)] });
         round_trip(&DownFrame::Evicted);
+        round_trip(&DownFrame::Stats {
+            log_len: 100,
+            next_seq: 42,
+            view_id: 7,
+            members: vec![(0, 3), (1 << 32, 0)],
+        });
+        round_trip(&DownFrame::Time { now_ns: 1_234_567_890 });
     }
 
     #[test]
     fn corrupt_tags_rejected() {
         assert_eq!(UpFrame::from_wire(&[9]), Err(WireError::Corrupt("upframe tag")));
         assert_eq!(DownFrame::from_wire(&[9]), Err(WireError::Corrupt("downframe tag")));
+    }
+
+    #[test]
+    fn stats_frame_truncations_rejected() {
+        let frame = DownFrame::Stats { log_len: 1, next_seq: 2, view_id: 3, members: vec![(4, 5)] };
+        let bytes = frame.to_wire();
+        for cut in 0..bytes.len() {
+            assert!(DownFrame::from_wire(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     proptest! {

@@ -16,6 +16,19 @@
 //! - There is no deterministic fault injection; the chaos tier stays on
 //!   [`crate::SimGroup`].
 //! - Latency is real, not simulated.
+//!
+//! ## Telemetry
+//!
+//! Every endpoint counts its wire traffic (frames/bytes in and out, decode
+//! failures) and tracks two gauges: `pending_sends` — total-order
+//! multicasts submitted but not yet sequenced (the [`HELD_SEND_SEQ`]
+//! window, closed when the member's own delivery comes back) — and the
+//! receive-queue depth. [`TcpGroup`] keeps a weak registry of the
+//! endpoints it created plus a `retired` rollup that dropped endpoints
+//! fold their final counters into, so `Group::transport()` stays monotonic
+//! across member churn without the registry retaining dead sockets.
+//! `Group::in_flight` reports the honest sum over live endpoints rather
+//! than the silent zero this backend used to return.
 
 pub mod frames;
 pub mod seq;
@@ -25,15 +38,66 @@ use crossbeam::channel::{self, Receiver};
 use frames::{Bytes, DownFrame, UpFrame};
 use parking_lot::Mutex;
 pub use seq::Sequencer;
-use sirep_common::wire::{read_frame, write_frame, Wire};
-use sirep_common::{Gauge, GaugeReading, MemberId};
+use sirep_common::wire::{read_frame, read_frame_counted, write_frame, write_frame_counted, Wire};
+use sirep_common::{Gauge, GaugeReading, MemberId, TransportSnapshot};
 use std::collections::BTreeMap;
 use std::io;
 use std::marker::PhantomData;
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
+
+/// Read timeout for one-shot admin scrapes ([`query_seq_stats`],
+/// [`probe_seq_time`]): a hung or half-dead sequencer turns into an `Err`,
+/// never a stuck report role.
+const ADMIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Group-level telemetry shared by a [`TcpGroup`] and every endpoint it
+/// created.
+struct GroupTelemetry {
+    /// Endpoints created through this group handle. Weak so a dropped
+    /// member releases its socket state; reaped lazily on read.
+    live: Mutex<Vec<Weak<TcpShared>>>,
+    /// Final counters folded in by dropped endpoints (gauge currents
+    /// zeroed, high-waters kept) — keeps the rollup monotonic across
+    /// member churn.
+    retired: Mutex<TransportSnapshot>,
+    /// Joins that returned incarnation > 0: restart recoveries.
+    reconnects: AtomicU64,
+    /// Endpoints that died (eviction, socket error, leave, crash_self).
+    evictions: AtomicU64,
+}
+
+impl GroupTelemetry {
+    fn new() -> GroupTelemetry {
+        GroupTelemetry {
+            live: Mutex::new(Vec::new()),
+            retired: Mutex::new(TransportSnapshot::default()),
+            reconnects: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Upgradeable live endpoints, dropping the dead weak refs as we go.
+    fn live_endpoints(&self) -> Vec<Arc<TcpShared>> {
+        let mut live = self.live.lock();
+        live.retain(|w| w.strong_count() > 0);
+        live.iter().filter_map(Weak::upgrade).collect()
+    }
+
+    /// The group-wide rollup: retired + every live endpoint + the
+    /// group-level churn counters.
+    fn rollup(&self) -> TransportSnapshot {
+        let mut snap = *self.retired.lock();
+        for shared in self.live_endpoints() {
+            snap.absorb(&shared.transport_snapshot());
+        }
+        snap.reconnects += self.reconnects.load(Ordering::Relaxed);
+        snap.evictions += self.evictions.load(Ordering::Relaxed);
+        snap
+    }
+}
 
 /// A group reached through a sequencer service. `join()` assigns logical
 /// replica ids `first_replica, first_replica + 1, ...` to successive
@@ -42,10 +106,7 @@ use std::time::{Duration, Instant};
 pub struct TcpGroup<M> {
     addr: String,
     next_replica: AtomicU64,
-    /// Group-wide in-flight accounting needs the sequencer's cooperation;
-    /// this backend reports a zero gauge here and real per-endpoint depth
-    /// via `Member::in_flight`.
-    idle_gauge: Gauge,
+    telemetry: Arc<GroupTelemetry>,
     _msg: PhantomData<fn() -> M>,
 }
 
@@ -56,7 +117,7 @@ impl<M: Wire + Clone + Send + 'static> TcpGroup<M> {
         TcpGroup {
             addr: addr.into(),
             next_replica: AtomicU64::new(first_replica),
-            idle_gauge: Gauge::new(),
+            telemetry: Arc::new(GroupTelemetry::new()),
             _msg: PhantomData,
         }
     }
@@ -64,7 +125,13 @@ impl<M: Wire + Clone + Send + 'static> TcpGroup<M> {
     /// Join as a specific logical replica. The sequencer assigns the member
     /// id and the replica's incarnation (join count).
     pub fn join_as(&self, replica: u64) -> Result<TcpMember<M>, GcsError> {
-        TcpMember::connect(&self.addr, replica).map_err(io_gcs)
+        let member =
+            TcpMember::connect(&self.addr, replica, Arc::clone(&self.telemetry)).map_err(io_gcs)?;
+        if member.incarnation() > 0 {
+            self.telemetry.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        self.telemetry.live.lock().push(Arc::downgrade(&member.shared));
+        Ok(member)
     }
 
     fn admin(&self, req: &UpFrame) -> io::Result<DownFrame> {
@@ -99,8 +166,25 @@ impl<M: Wire + Clone + Send + 'static> Group<M> for TcpGroup<M> {
         }
     }
 
+    /// In-flight from this process's perspective: multicasts submitted but
+    /// not yet sequenced plus deliveries queued but not yet received,
+    /// summed over this handle's endpoints. Unlike the sim backend this
+    /// cannot see other processes' queues, and the high-water mark is the
+    /// max over endpoints rather than a true group-wide peak — the
+    /// conformance suite documents this weakening.
     fn in_flight(&self) -> GaugeReading {
-        self.idle_gauge.read()
+        let mut total = GaugeReading::default();
+        for shared in self.telemetry.live_endpoints() {
+            for reading in [shared.pending_sends.read(), shared.in_flight.read()] {
+                total.current += reading.current;
+                total.high_water = total.high_water.max(reading.high_water);
+            }
+        }
+        total
+    }
+
+    fn transport(&self) -> TransportSnapshot {
+        self.telemetry.rollup()
     }
 }
 
@@ -118,6 +202,17 @@ struct TcpShared {
     crashed: AtomicBool,
     /// Frames decoded by the reader but not yet received by the endpoint.
     in_flight: Gauge,
+    /// Total-order multicasts submitted but not yet sequenced (closed when
+    /// our own delivery comes back; zeroed when the endpoint dies, since
+    /// an evicted member's in-flight sends are dropped by the sequencer).
+    pending_sends: Gauge,
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_out: AtomicU64,
+    decode_failures: AtomicU64,
+    /// Group-level telemetry to fold our final counters into on drop.
+    telemetry: Arc<GroupTelemetry>,
     /// Latest view delivered.
     view: Mutex<View>,
     /// Cumulative member → replica map learned from view frames (members
@@ -128,8 +223,43 @@ struct TcpShared {
 
 impl TcpShared {
     fn mark_crashed(&self) {
-        self.crashed.store(true, Ordering::SeqCst);
+        if !self.crashed.swap(true, Ordering::SeqCst) {
+            // First death only: count one eviction and retire the pending
+            // window — frames an evicted member had in flight are dropped
+            // by the sequencer ("not at all"), so they will never come
+            // back to decrement the gauge.
+            self.telemetry.evictions.fetch_add(1, Ordering::Relaxed);
+            self.pending_sends.set(0);
+        }
         let _ = self.sock.shutdown(Shutdown::Both);
+    }
+
+    /// This endpoint's counters. `reconnects`/`evictions` stay zero here —
+    /// they are group-level churn, counted once by [`GroupTelemetry`].
+    fn transport_snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            decode_failures: self.decode_failures.load(Ordering::Relaxed),
+            reconnects: 0,
+            evictions: 0,
+            pending_sends: self.pending_sends.read(),
+            recv_queue: self.in_flight.read(),
+        }
+    }
+}
+
+impl Drop for TcpShared {
+    fn drop(&mut self) {
+        // Fold the final counters into the group rollup so they survive
+        // the endpoint. Currents are transient state of a now-dead socket:
+        // zero them, keep the high-water marks.
+        let mut snap = self.transport_snapshot();
+        snap.pending_sends.current = 0;
+        snap.recv_queue.current = 0;
+        self.telemetry.retired.lock().absorb(&snap);
     }
 }
 
@@ -142,7 +272,11 @@ pub struct TcpMember<M> {
 }
 
 impl<M: Wire + Clone + Send + 'static> TcpMember<M> {
-    fn connect(addr: &str, replica: u64) -> io::Result<TcpMember<M>> {
+    fn connect(
+        addr: &str,
+        replica: u64,
+        telemetry: Arc<GroupTelemetry>,
+    ) -> io::Result<TcpMember<M>> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         write_frame(&mut stream, &UpFrame::Join { replica })?;
@@ -158,6 +292,13 @@ impl<M: Wire + Clone + Send + 'static> TcpMember<M> {
             sock: stream.try_clone()?,
             crashed: AtomicBool::new(false),
             in_flight: Gauge::new(),
+            pending_sends: Gauge::new(),
+            frames_in: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            decode_failures: AtomicU64::new(0),
+            telemetry,
             view: Mutex::new(View { id: 0, members: Vec::new() }),
             replicas: Mutex::new(BTreeMap::new()),
         });
@@ -190,14 +331,24 @@ fn reader_loop<M: Wire>(
     // Duplicate suppression: replay-safe because the sequencer's stream is
     // strictly increasing per connection.
     let mut last_seq: Option<u64> = None;
-    while let Ok(frame) = read_frame::<_, DownFrame>(&mut stream) {
+    while let Ok((frame, bytes)) = read_frame_counted::<_, DownFrame>(&mut stream) {
+        shared.frames_in.fetch_add(1, Ordering::Relaxed);
+        shared.bytes_in.fetch_add(bytes, Ordering::Relaxed);
         let delivery = match frame {
             DownFrame::Total { seq, sender, payload } => {
                 if last_seq.is_some_and(|last| seq <= last) {
                     continue;
                 }
                 last_seq = Some(seq);
-                let Ok(msg) = M::from_wire(&payload.0) else { break };
+                if sender == shared.id.raw() {
+                    // Our own multicast came back sequenced: the
+                    // HELD_SEND_SEQ window for it is closed.
+                    shared.pending_sends.sub(1);
+                }
+                let Ok(msg) = M::from_wire(&payload.0) else {
+                    shared.decode_failures.fetch_add(1, Ordering::Relaxed);
+                    break;
+                };
                 Delivery::TotalOrder {
                     seq,
                     sender: MemberId::new(sender),
@@ -206,7 +357,10 @@ fn reader_loop<M: Wire>(
                 }
             }
             DownFrame::Fifo { sender, payload } => {
-                let Ok(msg) = M::from_wire(&payload.0) else { break };
+                let Ok(msg) = M::from_wire(&payload.0) else {
+                    shared.decode_failures.fetch_add(1, Ordering::Relaxed);
+                    break;
+                };
                 Delivery::Fifo { sender: MemberId::new(sender), msg }
             }
             DownFrame::View { id, members } => {
@@ -224,6 +378,8 @@ fn reader_loop<M: Wire>(
             // Welcome is consumed during the handshake; Evicted only goes
             // to admin connections. Either here means a confused peer.
             DownFrame::Welcome { .. } | DownFrame::Evicted => break,
+            // Admin replies never appear on a member connection.
+            DownFrame::Stats { .. } | DownFrame::Time { .. } => break,
         };
         shared.in_flight.add(1);
         if tx.send(delivery).is_err() {
@@ -288,6 +444,10 @@ impl<M: Wire + Clone + Send + 'static> Member<M> for TcpMember<M> {
     fn leave(&self) {
         self.shared.mark_crashed();
     }
+
+    fn transport(&self) -> TransportSnapshot {
+        self.shared.transport_snapshot()
+    }
 }
 
 /// Multicast handle over the member's connection.
@@ -302,12 +462,18 @@ impl<M: Wire + Clone + Send + 'static> TcpCast<M> {
             return Err(GcsError::MemberCrashed);
         }
         let mut stream = self.shared.write.lock();
-        if let Err(e) = write_frame(&mut *stream, frame) {
-            drop(stream);
-            self.shared.mark_crashed();
-            return Err(io_gcs(e));
+        match write_frame_counted(&mut *stream, frame) {
+            Ok(bytes) => {
+                self.shared.frames_out.fetch_add(1, Ordering::Relaxed);
+                self.shared.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                drop(stream);
+                self.shared.mark_crashed();
+                Err(io_gcs(e))
+            }
         }
-        Ok(())
     }
 }
 
@@ -322,7 +488,14 @@ impl<M: Wire + Clone + Send + 'static> Cast<M> for TcpCast<M> {
     /// [`HELD_SEND_SEQ`]. The real sequence number arrives with the
     /// delivery. An `Err` guarantees the message will never be delivered.
     fn multicast_total(&self, msg: M) -> Result<u64, GcsError> {
-        self.send(&UpFrame::Total { payload: Bytes(msg.to_wire()) })?;
+        // Open the pending window before the bytes can hit the wire, so
+        // the gauge never reads zero while a send is actually in flight;
+        // roll back on error (same discipline as the sim tier's gauge).
+        self.shared.pending_sends.add(1);
+        if let Err(e) = self.send(&UpFrame::Total { payload: Bytes(msg.to_wire()) }) {
+            self.shared.pending_sends.sub(1);
+            return Err(e);
+        }
         Ok(HELD_SEND_SEQ)
     }
 
@@ -342,5 +515,62 @@ impl<M: Wire + Clone + Send + 'static> Cast<M> for TcpCast<M> {
 
     fn clone_cast(&self) -> Box<dyn Cast<M>> {
         Box::new(TcpCast { shared: Arc::clone(&self.shared), _msg: PhantomData::<fn() -> M> })
+    }
+
+    fn transport(&self) -> TransportSnapshot {
+        self.shared.transport_snapshot()
+    }
+}
+
+// ======================================================================
+// Sequencer admin scrapes (report/audit roles, telemetry service).
+// ======================================================================
+
+/// Sequencer-side observability counters, scraped over a one-shot admin
+/// connection by [`query_seq_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Frames retained in the sequenced replay log.
+    pub log_len: u64,
+    /// Next total-order sequence number to assign.
+    pub next_seq: u64,
+    /// Current view id.
+    pub view_id: u64,
+    /// `(member, send_queue_depth)` pairs sorted by member id — the
+    /// fan-out backlog broken down by destination.
+    pub members: Vec<(u64, u64)>,
+}
+
+impl SeqStats {
+    /// Total fan-out backlog across all members.
+    pub fn backlog(&self) -> u64 {
+        self.members.iter().map(|&(_, depth)| depth).sum()
+    }
+}
+
+fn admin_scrape(addr: &str, req: &UpFrame) -> io::Result<DownFrame> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(ADMIN_TIMEOUT))?;
+    write_frame(&mut stream, req)?;
+    read_frame(&mut stream)
+}
+
+/// Scrape the sequencer's observability counters.
+pub fn query_seq_stats(addr: &str) -> io::Result<SeqStats> {
+    match admin_scrape(addr, &UpFrame::Stats)? {
+        DownFrame::Stats { log_len, next_seq, view_id, members } => {
+            Ok(SeqStats { log_len, next_seq, view_id, members })
+        }
+        _ => Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected reply to Stats")),
+    }
+}
+
+/// Read the sequencer's monotonic clock (nanoseconds since it started
+/// serving). One leg of the clock-offset handshake: callers sample their
+/// own clock before and after and take the midpoint as the exchange time.
+pub fn probe_seq_time(addr: &str) -> io::Result<u64> {
+    match admin_scrape(addr, &UpFrame::TimeProbe)? {
+        DownFrame::Time { now_ns } => Ok(now_ns),
+        _ => Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected reply to TimeProbe")),
     }
 }

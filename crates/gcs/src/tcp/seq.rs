@@ -37,9 +37,10 @@ use sirep_common::wire::{read_frame, write_frame, Wire};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Member ids pack `(join_count << 32) | replica`, so a replica's id is
 /// distinct across restarts while its low bits stay recognizable. Replica
@@ -52,6 +53,10 @@ struct MemberConn {
     /// Outbound queue drained by this member's writer thread. Unbounded so
     /// enqueueing under the state lock never blocks on a slow socket.
     tx: Sender<Arc<[u8]>>,
+    /// Frames enqueued but not yet written — this member's share of the
+    /// fan-out backlog, reported by [`UpFrame::Stats`]. Incremented at
+    /// enqueue (under the state lock), decremented by the writer thread.
+    queue_depth: Arc<AtomicU64>,
     /// The member's socket, kept for shutdown at eviction (wakes both the
     /// member's reader and our writer).
     stream: TcpStream,
@@ -87,7 +92,9 @@ impl SeqState {
             // A full/dead peer is detected by its writer thread; ignoring
             // the send error here is fine because the queue outlives the
             // member only until eviction.
-            let _ = conn.tx.send(Arc::clone(&encoded));
+            if conn.tx.send(Arc::clone(&encoded)).is_ok() {
+                conn.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -111,6 +118,10 @@ impl SeqState {
 struct SeqInner {
     state: Mutex<SeqState>,
     shutdown: AtomicBool,
+    /// When the service started — the zero point of the monotonic clock
+    /// reported by [`UpFrame::TimeProbe`], against which every node process
+    /// aligns its trace timestamps.
+    epoch: Instant,
 }
 
 /// The sequencer service handle. Dropping it shuts the service down.
@@ -135,6 +146,7 @@ impl Sequencer {
                 log: Vec::new(),
             }),
             shutdown: AtomicBool::new(false),
+            epoch: Instant::now(),
         });
         let accept_inner = Arc::clone(&inner);
         let accept_listener = listener.try_clone()?;
@@ -234,6 +246,30 @@ fn serve_conn(stream: TcpStream, inner: &Arc<SeqInner>) {
                     break;
                 }
             }
+            (UpFrame::Stats, None) => {
+                let frame = {
+                    let st = inner.state.lock();
+                    DownFrame::Stats {
+                        log_len: st.log.len() as u64,
+                        next_seq: st.next_seq,
+                        view_id: st.view_id,
+                        members: st
+                            .members
+                            .iter()
+                            .map(|(&id, c)| (id, c.queue_depth.load(Ordering::Relaxed)))
+                            .collect(),
+                    }
+                };
+                if write_frame(&mut (&read), &frame).is_err() {
+                    break;
+                }
+            }
+            (UpFrame::TimeProbe, None) => {
+                let now_ns = inner.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                if write_frame(&mut (&read), &DownFrame::Time { now_ns }).is_err() {
+                    break;
+                }
+            }
             // Protocol violations (Join twice, payload before Join, admin
             // frames on a member connection) end the connection.
             _ => break,
@@ -252,6 +288,7 @@ fn handle_join(stream: &TcpStream, inner: &Arc<SeqInner>, replica: u64) -> io::R
     }
     let write = stream.try_clone()?;
     let (tx, rx) = channel::unbounded::<Arc<[u8]>>();
+    let queue_depth = Arc::new(AtomicU64::new(0));
     let id;
     {
         let mut st = inner.state.lock();
@@ -263,7 +300,16 @@ fn handle_join(stream: &TcpStream, inner: &Arc<SeqInner>, replica: u64) -> io::R
         // register + sequence under the same lock hold.
         let welcome = DownFrame::Welcome { member: id, incarnation: count };
         let _ = tx.send(welcome.to_wire().into());
-        st.members.insert(id, MemberConn { replica, tx: tx.clone(), stream: stream.try_clone()? });
+        queue_depth.fetch_add(1, Ordering::Relaxed);
+        st.members.insert(
+            id,
+            MemberConn {
+                replica,
+                tx: tx.clone(),
+                queue_depth: Arc::clone(&queue_depth),
+                stream: stream.try_clone()?,
+            },
+        );
         st.view_id += 1;
         let frame = st.view_frame();
         // `sequence` fans out to every live member including the joiner —
@@ -272,25 +318,38 @@ fn handle_join(stream: &TcpStream, inner: &Arc<SeqInner>, replica: u64) -> io::R
         for encoded in &st.log {
             let _ = tx.send(Arc::clone(encoded));
         }
+        queue_depth.fetch_add(st.log.len() as u64, Ordering::Relaxed);
         st.sequence(&frame);
     }
     let writer_inner = Arc::clone(inner);
     thread::Builder::new()
         .name("sirep-seq-writer".into())
-        .spawn(move || writer_loop(write, &rx, &writer_inner, id))?;
+        .spawn(move || writer_loop(write, &rx, &writer_inner, id, &queue_depth))?;
     Ok(id)
 }
 
 /// Drain one member's outbound queue onto its socket. A write failure means
 /// the peer is gone: evict it so the group agrees.
-fn writer_loop(mut stream: TcpStream, rx: &Receiver<Arc<[u8]>>, inner: &Arc<SeqInner>, id: u64) {
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: &Receiver<Arc<[u8]>>,
+    inner: &Arc<SeqInner>,
+    id: u64,
+    queue_depth: &AtomicU64,
+) {
     use std::io::Write;
     while let Ok(frame) = rx.recv() {
-        let len = (frame.len() as u32).to_le_bytes();
-        if stream.write_all(&len).is_err()
-            || stream.write_all(&frame).is_err()
-            || stream.flush().is_err()
-        {
+        let written = {
+            let len = (frame.len() as u32).to_le_bytes();
+            stream.write_all(&len).is_ok()
+                && stream.write_all(&frame).is_ok()
+                && stream.flush().is_ok()
+        };
+        // Dequeued either way; saturate in case an enqueue/decrement pair
+        // ever races a restart of the counter.
+        let _ = queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+        if !written {
             inner.state.lock().evict(&[id]);
             return;
         }

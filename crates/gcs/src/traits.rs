@@ -35,7 +35,7 @@
 //! is the only place the protocol may depend on it.
 
 use crate::fault::{FaultConfig, FaultRecord};
-use sirep_common::{Event, GaugeReading, MemberId};
+use sirep_common::{Event, GaugeReading, MemberId, TransportSnapshot};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -131,6 +131,13 @@ pub trait Cast<M>: Send + Sync {
 
     /// Object-safe clone.
     fn clone_cast(&self) -> Box<dyn Cast<M>>;
+
+    /// Wire-level counters for the endpoint this handle multicasts
+    /// through. Backends without a wire (the sim tier's lock-protected
+    /// queues) report the empty default.
+    fn transport(&self) -> TransportSnapshot {
+        TransportSnapshot::default()
+    }
 }
 
 impl<M> Clone for Box<dyn Cast<M>> {
@@ -182,6 +189,12 @@ pub trait Member<M>: Send {
     /// Leave the group. Survivors observe a view change; for backends
     /// without a distinct graceful-leave protocol this is `crash_self`.
     fn leave(&self);
+
+    /// Wire-level counters for this endpoint (empty default for backends
+    /// without a wire).
+    fn transport(&self) -> TransportSnapshot {
+        TransportSnapshot::default()
+    }
 }
 
 /// A handle on the group itself: join, administratively crash members,
@@ -243,5 +256,12 @@ pub trait Group<M>: Send + Sync {
     /// Snapshot of the network fault journal (empty without a plan).
     fn fault_journal(&self) -> Vec<Event> {
         Vec::new()
+    }
+
+    /// Wire-level counters rolled up over every endpoint this group handle
+    /// created, kept monotonic across member churn. Backends without a
+    /// wire report the empty default.
+    fn transport(&self) -> TransportSnapshot {
+        TransportSnapshot::default()
     }
 }

@@ -91,7 +91,7 @@ fn lock_order_cycle_is_a_config_error() {
 fn workspace_lint_toml_loads() {
     let ws_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let cfg = load_config_file(&ws_root.join("lint.toml")).expect("workspace lint.toml loads");
-    assert_eq!(cfg.checker.journal_gauge.len(), 2, "both journal-gauge scopes configured");
+    assert_eq!(cfg.checker.journal_gauge.len(), 3, "all three journal-gauge scopes configured");
     assert!(cfg.checker.multicast.is_some());
     assert!(cfg.checker.nondet.is_some());
     assert!(cfg.checker.no_unwrap.is_some());

@@ -30,7 +30,9 @@ if [[ "$MODE" == "--tcp" ]]; then
     cargo test --offline -p sirep-gcs --lib conformance -q
     echo "==> remote driver protocol tests (framed client/server, failover)"
     cargo test --offline -p sirep-driver --lib remote -q
-    echo "==> multinode smoke: sequencer + 3 middleware processes, kill -9 + restart"
+    echo "==> telemetry plane tests (frame round-trips, corrupt frames, scrape resilience)"
+    cargo test --offline -p sirep-driver --lib telemetry -q
+    echo "==> multinode smoke: kill -9 + restart, telemetry report parses, scraped audit clean"
     scripts/multinode.sh 3
     echo "OK: TCP tier green."
     exit 0

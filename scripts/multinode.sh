@@ -3,10 +3,18 @@
 # nodes), drive a money-transfer workload through the remote driver,
 # kill -9 one node mid-deployment, restart it, and prove the cluster
 # converged: identical table contents on every node, balances conserved,
-# zero 1-copy-SI audit violations.
+# zero 1-copy-SI audit violations. Then scrape every node's telemetry
+# port: merged cluster report + clock-aligned Perfetto trace must come
+# out parseable, the scraped-journal audit must be clean, and a short
+# client sweep writes the e2e bench baseline.
 #
 # Usage: scripts/multinode.sh [N]        (default: 3 nodes)
 # Env:   OPS, ACCOUNTS, SEED, PROFILE (debug|release)
+#        BENCH_OUT (default: bench JSON stays in the temp workdir;
+#        set BENCH_OUT=results/BENCH_e2e.json to refresh the baseline)
+#        BENCH_CLIENTS, BENCH_SECS
+# On failure the workdir (logs, report, trace, bench JSON) is copied to
+# artifacts/multinode/ for CI upload.
 set -euo pipefail
 
 NODES=${1:-3}
@@ -27,8 +35,16 @@ fi
 WORKDIR=$(mktemp -d)
 pids=()
 cleanup() {
+    local status=$?
     kill "${pids[@]}" >/dev/null 2>&1 || true
     wait >/dev/null 2>&1 || true
+    if [ "$status" -ne 0 ]; then
+        # Keep everything a post-mortem needs: process logs, the scraped
+        # report/trace, and the bench JSON. CI uploads this directory.
+        mkdir -p artifacts/multinode
+        cp -r "$WORKDIR"/. artifacts/multinode/ 2>/dev/null || true
+        echo "multinode failed (exit $status); workdir copied to artifacts/multinode/" >&2
+    fi
     rm -rf "$WORKDIR"
 }
 trap cleanup EXIT
@@ -61,15 +77,20 @@ SEQ_ADDR=$(start_bg "$WORKDIR/seq.log" seq --bind 127.0.0.1:0)
 pids+=("$(cat "$WORKDIR/seq.log.pid")")
 echo "sequencer at $SEQ_ADDR"
 
-declare -a NODE_ADDR NODE_PID
+declare -a NODE_ADDR NODE_PID NODE_TEL
+# The TELEMETRY line is printed before READY, so once start_bg returns it
+# is guaranteed to be in the log already.
+telemetry_addr() { awk '/^TELEMETRY /{print $2; exit}' "$1"; }
 for k in $(seq 0 $((NODES - 1))); do
     NODE_ADDR[k]=$(start_bg "$WORKDIR/node$k.log" \
         node --seq "$SEQ_ADDR" --replica "$k" --bind 127.0.0.1:0 --schema "$SCHEMA")
     NODE_PID[k]=$(cat "$WORKDIR/node$k.log.pid")
+    NODE_TEL[k]=$(telemetry_addr "$WORKDIR/node$k.log")
     pids+=("${NODE_PID[k]}")
-    echo "node $k at ${NODE_ADDR[k]} (pid ${NODE_PID[k]})"
+    echo "node $k at ${NODE_ADDR[k]} (telemetry ${NODE_TEL[k]}, pid ${NODE_PID[k]})"
 done
 join_addrs() { local IFS=,; echo "${NODE_ADDR[*]}"; }
+join_tel() { local IFS=,; echo "${NODE_TEL[*]}"; }
 
 echo "== phase 1: seed + workload on the healthy cluster =="
 "$BIN" workload --nodes "$(join_addrs)" --init \
@@ -92,11 +113,37 @@ echo "== phase 3: restart node $VICTIM, recover by replay, full check =="
 NODE_ADDR[VICTIM]=$(start_bg "$WORKDIR/node$VICTIM-restarted.log" \
     node --seq "$SEQ_ADDR" --replica "$VICTIM" --bind 127.0.0.1:0 --schema "$SCHEMA")
 NODE_PID[VICTIM]=$(cat "$WORKDIR/node$VICTIM-restarted.log.pid")
+NODE_TEL[VICTIM]=$(telemetry_addr "$WORKDIR/node$VICTIM-restarted.log")
 pids+=("${NODE_PID[VICTIM]}")
-echo "node $VICTIM back at ${NODE_ADDR[VICTIM]}"
+echo "node $VICTIM back at ${NODE_ADDR[VICTIM]} (telemetry ${NODE_TEL[VICTIM]})"
 
 "$BIN" workload --nodes "$(join_addrs)" \
     --ops "$OPS" --accounts "$ACCOUNTS" --seed $((SEED + 2))
 "$BIN" check --nodes "$(join_addrs)" --accounts "$ACCOUNTS"
 
-echo "multinode smoke passed: $NODES nodes, kill+restart of node $VICTIM survived"
+echo "== phase 4: scrape telemetry -> merged report, aligned trace, journal audit =="
+"$BIN" report --telemetry "$(join_tel)" --seq "$SEQ_ADDR" --out "$WORKDIR/report"
+for f in report.json report.prom trace.json; do
+    if [ ! -s "$WORKDIR/report/$f" ]; then
+        echo "error: $WORKDIR/report/$f missing or empty" >&2
+        exit 1
+    fi
+done
+# The merged Prometheus text must carry both protocol and wire counters.
+grep -q '^sirep_commits_update_total ' "$WORKDIR/report/report.prom"
+grep -q '^sirep_transport_frames_in_total ' "$WORKDIR/report/report.prom"
+"$BIN" audit --telemetry "$(join_tel)"
+
+echo "== phase 5: e2e bench baseline (committed transfers/sec) =="
+BENCH_OUT=${BENCH_OUT:-$WORKDIR/BENCH_e2e.json}
+"$BIN" workload --nodes "$(join_addrs)" --ops 1 --accounts "$ACCOUNTS" \
+    --seed $((SEED + 3)) --bench-json "$BENCH_OUT" \
+    --clients "${BENCH_CLIENTS:-1,2,4}" --bench-secs "${BENCH_SECS:-2}"
+if [ ! -s "$BENCH_OUT" ]; then
+    echo "error: bench output $BENCH_OUT missing or empty" >&2
+    exit 1
+fi
+"$BIN" check --nodes "$(join_addrs)" --accounts "$ACCOUNTS"
+
+echo "multinode smoke passed: $NODES nodes, kill+restart of node $VICTIM survived," \
+    "telemetry report+audit clean, bench at $BENCH_OUT"
