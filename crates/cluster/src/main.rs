@@ -46,6 +46,7 @@ roles:
             [--schema <sql>]...
   workload  --nodes <a,b,c> [--ops <n>] [--accounts <n>] [--seed <n>] [--init]
             [--bench-json <path>] [--clients <c1,c2,..>] [--bench-secs <n>]
+            [--read-mix <p1,p2,..>] [--bench-warmup-ms <n>]
   check     --nodes <a,b,c> [--accounts <n>] [--timeout-secs <n>]
   report    --telemetry <a,b,c> [--seq <addr>] --out <dir>
   audit     --telemetry <a,b,c>
@@ -336,6 +337,9 @@ fn cmd_workload(args: &[String]) -> i32 {
     if let Some(path) = flags.get("bench-json") {
         let clients_spec = flags.get("clients").unwrap_or("1,2,4");
         let Ok(secs) = flags.num("bench-secs", 2) else { return fail("bad --bench-secs") };
+        let Ok(warmup_ms) = flags.num("bench-warmup-ms", 500) else {
+            return fail("bad --bench-warmup-ms");
+        };
         let client_counts: Result<Vec<usize>, _> = clients_spec
             .split(',')
             .map(str::trim)
@@ -345,8 +349,19 @@ fn cmd_workload(args: &[String]) -> i32 {
         let Ok(client_counts) = client_counts else {
             return fail(&format!("--clients expects numbers, got {clients_spec:?}"));
         };
+        let mix_spec = flags.get("read-mix").unwrap_or("0");
+        let read_mixes: Result<Vec<u64>, _> = mix_spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::parse::<u64>)
+            .collect();
+        let read_mixes = match read_mixes {
+            Ok(m) if m.iter().all(|&p| p <= 100) => m,
+            _ => return fail(&format!("--read-mix expects percentages 0..=100, got {mix_spec:?}")),
+        };
         drop(conn);
-        match run_bench(&nodes, &client_counts, secs, accounts, seed) {
+        match run_bench(&nodes, &client_counts, &read_mixes, secs, warmup_ms, accounts, seed) {
             Ok(rows) => {
                 let json = bench_json(&rows, accounts, seed);
                 if let Err(e) = json_lint(&json) {
@@ -367,14 +382,18 @@ fn cmd_workload(args: &[String]) -> i32 {
 // e2e bench (workload --bench-json)
 // ---------------------------------------------------------------------------
 
-/// Per-client result: (committed, in_doubt, per-commit latencies in ms).
-type ClientResult = Result<(u64, u64, Vec<f64>), String>;
+/// Per-client result: (committed writes, committed reads, in_doubt,
+/// per-commit latencies in ms). Only transactions started after the warmup
+/// window are counted.
+type ClientResult = Result<(u64, u64, u64, Vec<f64>), String>;
 
 struct BenchRow {
     replicas: usize,
     clients: usize,
+    read_pct: u64,
     secs: f64,
     committed: u64,
+    reads: u64,
     in_doubt: u64,
     tps: f64,
     p50_ms: f64,
@@ -389,13 +408,19 @@ fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Drive money transfers from `clients` concurrent connections for `secs`
-/// seconds per client count; measures whole-transfer latency (statement +
-/// statement + replicated commit) and committed throughput.
+/// Drive money transfers (and, at nonzero read mix, single-row balance
+/// lookups committed through the read-only fast path) from `clients`
+/// concurrent connections for `secs` seconds per (client count, read mix)
+/// pair; measures whole-transaction latency (statements + replicated or
+/// local commit) and committed throughput. The first `warmup_ms` of each
+/// round are driven but discarded, so connection setup, cache warming, and
+/// the sequencer's batching ramp don't dilute the steady-state numbers.
 fn run_bench(
     nodes: &[String],
     client_counts: &[usize],
+    read_mixes: &[u64],
     secs: u64,
+    warmup_ms: u64,
     accounts: u64,
     seed: u64,
 ) -> Result<Vec<BenchRow>, String> {
@@ -404,87 +429,122 @@ fn run_bench(
         if clients == 0 {
             return Err("--clients entries must be positive".into());
         }
-        let run = Duration::from_secs(secs.max(1));
-        let started = Instant::now();
-        let results: Vec<ClientResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..clients)
-                .map(|c| {
-                    scope.spawn(move || -> ClientResult {
-                        let driver = RemoteDriver::new(nodes.to_vec());
-                        let mut conn = driver.connect().map_err(|e| format!("client {c}: {e}"))?;
-                        conn.set_autocommit(false).map_err(|e| format!("client {c}: {e}"))?;
-                        let mut rng = Rng(seed ^ (c as u64 + 1).wrapping_mul(0x9e37_79b9));
-                        let (mut committed, mut in_doubt) = (0u64, 0u64);
-                        let mut lat_ms = Vec::new();
-                        let deadline = Instant::now() + run;
-                        while Instant::now() < deadline {
-                            let from = rng.below(accounts);
-                            let to = (from + 1 + rng.below(accounts - 1)) % accounts;
-                            let amount = 1 + rng.below(20);
-                            let t0 = Instant::now();
-                            let transfer = |conn: &mut RemoteConn<'_>| {
-                                conn.execute(&format!(
-                                    "UPDATE accounts SET balance = balance - {amount} \
-                                     WHERE id = {from}"
-                                ))?;
-                                conn.execute(&format!(
-                                    "UPDATE accounts SET balance = balance + {amount} \
-                                     WHERE id = {to}"
-                                ))?;
-                                conn.commit()
-                            };
-                            match with_retries(&mut conn, 50, transfer) {
-                                Ok(()) => {
-                                    committed += 1;
-                                    lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        for &read_pct in read_mixes {
+            let run = Duration::from_secs(secs.max(1));
+            let warmup = Duration::from_millis(warmup_ms);
+            // One shared clock for every client: measurement starts at
+            // `measure_from` regardless of how long each connect took.
+            let started = Instant::now();
+            let measure_from = started + warmup;
+            let deadline = measure_from + run;
+            let results: Vec<ClientResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        scope.spawn(move || -> ClientResult {
+                            let driver = RemoteDriver::new(nodes.to_vec());
+                            let mut conn =
+                                driver.connect().map_err(|e| format!("client {c}: {e}"))?;
+                            conn.set_autocommit(false).map_err(|e| format!("client {c}: {e}"))?;
+                            let mut rng = Rng(seed ^ (c as u64 + 1).wrapping_mul(0x9e37_79b9));
+                            let (mut writes, mut reads, mut in_doubt) = (0u64, 0u64, 0u64);
+                            let mut lat_ms = Vec::new();
+                            while Instant::now() < deadline {
+                                let from = rng.below(accounts);
+                                let is_read = rng.below(100) < read_pct;
+                                let t0 = Instant::now();
+                                let outcome = if is_read {
+                                    let read = |conn: &mut RemoteConn<'_>| {
+                                        conn.execute(&format!(
+                                            "SELECT balance FROM accounts WHERE id = {from}"
+                                        ))?;
+                                        conn.commit()
+                                    };
+                                    with_retries(&mut conn, 50, read)
+                                } else {
+                                    let to = (from + 1 + rng.below(accounts - 1)) % accounts;
+                                    let amount = 1 + rng.below(20);
+                                    let transfer = |conn: &mut RemoteConn<'_>| {
+                                        conn.execute(&format!(
+                                            "UPDATE accounts SET balance = balance - {amount} \
+                                             WHERE id = {from}"
+                                        ))?;
+                                        conn.execute(&format!(
+                                            "UPDATE accounts SET balance = balance + {amount} \
+                                             WHERE id = {to}"
+                                        ))?;
+                                        conn.commit()
+                                    };
+                                    with_retries(&mut conn, 50, transfer)
+                                };
+                                let measured = t0 >= measure_from;
+                                match outcome {
+                                    Ok(()) if measured => {
+                                        if is_read {
+                                            reads += 1;
+                                        } else {
+                                            writes += 1;
+                                        }
+                                        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                    }
+                                    Ok(()) => {}
+                                    Err(sirep_common::DbError::ConnectionLost {
+                                        in_doubt: true,
+                                    }) => {
+                                        if measured {
+                                            in_doubt += 1;
+                                        }
+                                    }
+                                    Err(e) => return Err(format!("client {c}: {e}")),
                                 }
-                                Err(sirep_common::DbError::ConnectionLost { in_doubt: true }) => {
-                                    in_doubt += 1;
-                                }
-                                Err(e) => return Err(format!("client {c}: {e}")),
                             }
-                        }
-                        Ok((committed, in_doubt, lat_ms))
+                            Ok((writes, reads, in_doubt, lat_ms))
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|_| Err("bench client panicked".into())))
-                .collect()
-        });
-        let elapsed = started.elapsed().as_secs_f64();
-        let (mut committed, mut in_doubt, mut lat_ms) = (0u64, 0u64, Vec::new());
-        for r in results {
-            let (c, d, mut l) = r?;
-            committed += c;
-            in_doubt += d;
-            lat_ms.append(&mut l);
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|_| Err("bench client panicked".into())))
+                    .collect()
+            });
+            let elapsed = (started.elapsed().as_secs_f64() - warmup.as_secs_f64()).max(1e-9);
+            let (mut writes, mut reads, mut in_doubt, mut lat_ms) = (0u64, 0u64, 0u64, Vec::new());
+            for r in results {
+                let (w, rd, d, mut l) = r?;
+                writes += w;
+                reads += rd;
+                in_doubt += d;
+                lat_ms.append(&mut l);
+            }
+            lat_ms.sort_by(f64::total_cmp);
+            let committed = writes + reads;
+            rows.push(BenchRow {
+                replicas: nodes.len(),
+                clients,
+                read_pct,
+                secs: elapsed,
+                committed,
+                reads,
+                in_doubt,
+                tps: committed as f64 / elapsed,
+                p50_ms: quantile_ms(&lat_ms, 0.50),
+                p95_ms: quantile_ms(&lat_ms, 0.95),
+            });
+            let last = rows.last().expect("just pushed");
+            println!(
+                "bench: {} clients x {} replicas, {}% reads: {} committed ({} reads) \
+                 in {:.1}s = {:.1} tps (p50 {:.2} ms, p95 {:.2} ms, {} in doubt)",
+                last.clients,
+                last.replicas,
+                last.read_pct,
+                last.committed,
+                last.reads,
+                last.secs,
+                last.tps,
+                last.p50_ms,
+                last.p95_ms,
+                last.in_doubt
+            );
         }
-        lat_ms.sort_by(f64::total_cmp);
-        rows.push(BenchRow {
-            replicas: nodes.len(),
-            clients,
-            secs: elapsed,
-            committed,
-            in_doubt,
-            tps: committed as f64 / elapsed.max(1e-9),
-            p50_ms: quantile_ms(&lat_ms, 0.50),
-            p95_ms: quantile_ms(&lat_ms, 0.95),
-        });
-        let last = rows.last().expect("just pushed");
-        println!(
-            "bench: {} clients x {} replicas: {} committed in {:.1}s = {:.1} tps \
-             (p50 {:.2} ms, p95 {:.2} ms, {} in doubt)",
-            last.clients,
-            last.replicas,
-            last.committed,
-            last.secs,
-            last.tps,
-            last.p50_ms,
-            last.p95_ms,
-            last.in_doubt
-        );
     }
     Ok(rows)
 }
@@ -499,9 +559,19 @@ fn bench_json(rows: &[BenchRow], accounts: u64, seed: u64) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"replicas\":{},\"clients\":{},\"secs\":{:.2},\"committed\":{},\
-             \"in_doubt\":{},\"tps\":{:.2},\"p50_ms\":{:.3},\"p95_ms\":{:.3}}}",
-            r.replicas, r.clients, r.secs, r.committed, r.in_doubt, r.tps, r.p50_ms, r.p95_ms
+            "{{\"replicas\":{},\"clients\":{},\"read_pct\":{},\"secs\":{:.2},\
+             \"committed\":{},\"reads\":{},\"in_doubt\":{},\"tps\":{:.2},\
+             \"p50_ms\":{:.3},\"p95_ms\":{:.3}}}",
+            r.replicas,
+            r.clients,
+            r.read_pct,
+            r.secs,
+            r.committed,
+            r.reads,
+            r.in_doubt,
+            r.tps,
+            r.p50_ms,
+            r.p95_ms
         ));
     }
     out.push_str("]}");

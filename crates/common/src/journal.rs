@@ -133,6 +133,10 @@ pub enum EventKind {
     PartitionHealed { flushed: u64 },
     /// An armed crash-point fired and this replica crash-stopped there.
     CrashPointFired { point: CrashPoint },
+    /// A read-only transaction ran entirely against the local snapshot
+    /// (`snapshot` = the begin-time commit watermark): no multicast, no
+    /// certification, no sequencer round-trip.
+    LocalReadOnly { xact: XactId, snapshot: GlobalTid },
 }
 
 impl EventKind {
@@ -157,6 +161,7 @@ impl EventKind {
             EventKind::PartitionStarted { .. } => "partition_started",
             EventKind::PartitionHealed { .. } => "partition_healed",
             EventKind::CrashPointFired { .. } => "crash_point_fired",
+            EventKind::LocalReadOnly { .. } => "local_read_only",
         }
     }
 
@@ -171,7 +176,8 @@ impl EventKind {
             | EventKind::Commit { xact, .. }
             | EventKind::Abort { xact }
             | EventKind::ApplyStart { xact, .. }
-            | EventKind::ApplyDone { xact, .. } => Some(xact),
+            | EventKind::ApplyDone { xact, .. }
+            | EventKind::LocalReadOnly { xact, .. } => Some(xact),
             EventKind::HoleOpened { .. }
             | EventKind::HoleClosed { .. }
             | EventKind::WsListPruned { .. }
@@ -335,6 +341,11 @@ impl Wire for EventKind {
                 17u8.encode(out);
                 point.encode(out);
             }
+            EventKind::LocalReadOnly { xact, snapshot } => {
+                18u8.encode(out);
+                xact.encode(out);
+                snapshot.encode(out);
+            }
         }
     }
 
@@ -372,6 +383,10 @@ impl Wire for EventKind {
             15 => EventKind::PartitionStarted { isolated: u64::decode(r)? },
             16 => EventKind::PartitionHealed { flushed: u64::decode(r)? },
             17 => EventKind::CrashPointFired { point: CrashPoint::decode(r)? },
+            18 => EventKind::LocalReadOnly {
+                xact: XactId::decode(r)?,
+                snapshot: GlobalTid::decode(r)?,
+            },
             _ => return Err(WireError::Corrupt("event kind tag")),
         })
     }
@@ -652,6 +667,7 @@ mod tests {
             EventKind::PartitionStarted { isolated: 1 },
             EventKind::PartitionHealed { flushed: 8 },
             EventKind::CrashPointFired { point: CrashPoint::AfterDeliverBeforeCommit },
+            EventKind::LocalReadOnly { xact: x, snapshot: t },
         ]
     }
 
@@ -674,7 +690,7 @@ mod tests {
 
     #[test]
     fn wire_corrupt_tags_rejected() {
-        assert_eq!(EventKind::from_wire(&[18]), Err(WireError::Corrupt("event kind tag")));
+        assert_eq!(EventKind::from_wire(&[19]), Err(WireError::Corrupt("event kind tag")));
         assert_eq!(FaultKind::from_wire(&[3]), Err(WireError::Corrupt("fault kind tag")));
         assert_eq!(CrashPoint::from_wire(&[4]), Err(WireError::Corrupt("crash point tag")));
     }

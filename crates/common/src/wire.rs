@@ -217,6 +217,17 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
 macro_rules! wire_id {
     ($($t:ty),*) => {$(
         impl Wire for $t {

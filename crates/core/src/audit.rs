@@ -262,6 +262,40 @@ impl Auditor {
         }
     }
 
+    /// A read-only transaction ran entirely against `replica`'s local
+    /// snapshot, skipping multicast and certification. `snapshot` is the
+    /// commit watermark captured at begin; the snapshot is valid iff the
+    /// replica had really committed everything up to it (no tid at or below
+    /// `snapshot` still pending) and never claims commits from the future.
+    pub fn on_local_readonly(&self, replica: ReplicaId, xact: XactId, snapshot: GlobalTid) {
+        if !self.enabled {
+            return;
+        }
+        let mut st = self.inner.lock();
+        let ra = st.replicas.entry(replica).or_default();
+        if snapshot > ra.max_committed {
+            let max = ra.max_committed;
+            self.violate(
+                &mut st,
+                AuditKind::HoleSyncViolation,
+                replica,
+                format!("read-only {xact} claims snapshot {snapshot} above max committed {max}"),
+            );
+            return;
+        }
+        if !self.check_hole_sync {
+            return;
+        }
+        if let Some(&hole) = ra.pending.range(..=snapshot).next() {
+            self.violate(
+                &mut st,
+                AuditKind::HoleSyncViolation,
+                replica,
+                format!("read-only {xact} began on snapshot {snapshot} with tid {hole} uncommitted below it"),
+            );
+        }
+    }
+
     /// A writeset was delivered in total order at `replica`.
     pub fn on_deliver(&self, replica: ReplicaId, xact: XactId, cert: GlobalTid) {
         if !self.enabled {
@@ -490,6 +524,9 @@ impl Auditor {
 
     #[inline(always)]
     pub fn on_local_begin(&self, _replica: ReplicaId) {}
+
+    #[inline(always)]
+    pub fn on_local_readonly(&self, _replica: ReplicaId, _xact: XactId, _snapshot: GlobalTid) {}
 
     #[inline(always)]
     pub fn on_deliver(&self, _replica: ReplicaId, _xact: XactId, _cert: GlobalTid) {}

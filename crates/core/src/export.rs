@@ -130,6 +130,9 @@ fn event_args(kind: &EventKind) -> String {
         EventKind::PartitionStarted { isolated } => format!("\"isolated\":{isolated}"),
         EventKind::PartitionHealed { flushed } => format!("\"flushed\":{flushed}"),
         EventKind::CrashPointFired { point } => format!("\"point\":\"{}\"", point.name()),
+        EventKind::LocalReadOnly { xact, snapshot } => {
+            format!("\"xact\":\"{xact}\",\"snapshot\":{}", snapshot.raw())
+        }
     }
 }
 

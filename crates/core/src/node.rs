@@ -27,11 +27,23 @@
 //!   validation the delivery thread hands them back to their session
 //!   thread, which commits immediately (adjustment 2).
 //!
-//! All protocol state (ws_list, tocommit queue, hole tracker, pending local
-//! transactions, current view) lives behind one mutex per replica — the
-//! paper's `wsmutex`. Database work (reads, writes, writeset application,
-//! the commit log force) happens outside it; only the final commit step,
-//! which must be atomic with local transaction begins, runs under the lock.
+//! ## Lock structure (per replica)
+//!
+//! The paper's single `wsmutex` is split three ways so the hot paths stop
+//! contending on one mutex (lint.toml registers the classes and the
+//! `node-state < node-apply` / `node-state < node-telem` order):
+//!
+//! - the **cert-state lock** (`state`) — ws_list, hole tracker, pending
+//!   local transactions, outcomes, view. Certification, begins, and the
+//!   final commit step (atomic with begins) run under it;
+//! - the **applier lock** (`apply`) — the tocommit queue. Appliers drain
+//!   eligible entries under it without blocking sessions; sites that need
+//!   both always take `state` first;
+//! - the **telemetry lock** (`telem`) — recovery markers and the progress
+//!   advert cursor; never nested inside anything.
+//!
+//! Database work (reads, writes, writeset application, the commit log
+//! force) happens outside all of them.
 
 use crate::audit::Auditor;
 use crate::chaos::CrashPlan;
@@ -65,6 +77,12 @@ pub enum ReplicationMode {
 /// How long waiters poll for shutdown while blocked on the node condvar.
 const WAIT_TICK: Duration = Duration::from_millis(25);
 
+/// Most tocommit entries one applier claims per group commit. Bounds the
+/// size of the shared engine transaction (and the latency of the single
+/// log force) without limiting throughput — whatever is left stays ready
+/// for the next applier.
+const APPLIER_BATCH_MAX: usize = 64;
+
 /// An entry of `tocommit_queue_k`.
 struct QEntry {
     tid: GlobalTid,
@@ -80,6 +98,15 @@ struct QEntry {
     blockers: usize,
     /// Stage timeline for remote entries, originating at delivery time
     /// (local entries carry their own trace on the session thread).
+    trace: TxTrace,
+}
+
+/// One entry claimed into an applier's group commit: everything needed to
+/// apply and finish it after the queue lock is released.
+struct BatchItem {
+    tid: GlobalTid,
+    xact: XactId,
+    ws: Arc<WriteSet>,
     trace: TxTrace,
 }
 
@@ -398,9 +425,11 @@ impl sirep_common::wire::Wire for InDoubt {
     }
 }
 
+/// Certification state — everything the paper's `wsmutex` must keep atomic
+/// with local transaction begins and commits. Guarded by the node's
+/// cert-state lock (`node-state` in lint.toml).
 struct NodeState {
     wslist: WsList,
-    queue: TocommitQueue,
     holes: HoleTracker,
     pending_local: HashMap<XactId, PendingLocal>,
     outcomes: OutcomeLog,
@@ -415,6 +444,20 @@ struct NodeState {
     /// multicast is already in `outcomes` — so an in-doubt transaction of a
     /// departed incarnation with no outcome was never received, full stop.
     departed: std::collections::HashSet<(ReplicaId, u64)>,
+}
+
+/// Applier-side state: the tocommit queue, guarded by its own lock
+/// (`node-apply`) so applier wakeups and drains never contend with session
+/// begins. Sites that need cert state too take `state` first (the declared
+/// `node-state < node-apply` order).
+struct ApplyState {
+    queue: TocommitQueue,
+}
+
+/// Telemetry/bookkeeping state off the protocol hot paths (`node-telem`):
+/// recovery markers and the progress-advert cursor. Never nested inside
+/// another node lock.
+struct TelemState {
     /// Recovery markers processed (see [`ReplMsg::Marker`]).
     markers_seen: std::collections::HashSet<u64>,
     last_progress_sent: GlobalTid,
@@ -433,6 +476,10 @@ pub struct ReplicaNode {
     mode: ReplicationMode,
     state: Mutex<NodeState>,
     cond: Condvar,
+    apply: Mutex<ApplyState>,
+    apply_cond: Condvar,
+    telem: Mutex<TelemState>,
+    telem_cond: Condvar,
     shutdown: AtomicBool,
     next_xact: AtomicU64,
     /// This node's own incarnation (times its replica id has re-joined);
@@ -475,6 +522,10 @@ pub(crate) struct Bootstrap {
 pub struct ActiveTxn {
     pub xact: XactId,
     pub txn: TxnHandle,
+    /// The commit watermark at begin time — the snapshot this transaction
+    /// reads. Journaled (and audited) when the transaction turns out to be
+    /// read-only and commits without certification.
+    snapshot: GlobalTid,
     guard: LocalGuard,
     trace: TxTrace,
 }
@@ -505,26 +556,26 @@ impl ReplicaNode {
                 b.queue_entries.iter().map(|(tid, ..)| *tid),
             );
         }
-        let state = match bootstrap {
-            None => NodeState {
-                wslist: WsList::new(),
-                queue: TocommitQueue::new(),
-                holes: HoleTracker::new(),
-                pending_local: HashMap::new(),
-                outcomes: OutcomeLog::new(outcome_cap),
-                // The view must only ever reflect view changes this node's
-                // delivery thread has actually processed. Seeding it with
-                // the expected full membership would make the one-by-one
-                // formation view changes look like departures, poisoning
-                // `departed` with (replica, 0) entries that later turn
-                // in-doubt inquiries into false `NeverReceived` answers —
-                // a committed transaction reported to its client as lost.
-                view: Vec::new(),
-                incarnations: HashMap::new(),
-                departed: std::collections::HashSet::new(),
-                markers_seen: std::collections::HashSet::new(),
-                last_progress_sent: GlobalTid::ZERO,
-            },
+        let (state, apply) = match bootstrap {
+            None => (
+                NodeState {
+                    wslist: WsList::new(),
+                    holes: HoleTracker::new(),
+                    pending_local: HashMap::new(),
+                    outcomes: OutcomeLog::new(outcome_cap),
+                    // The view must only ever reflect view changes this node's
+                    // delivery thread has actually processed. Seeding it with
+                    // the expected full membership would make the one-by-one
+                    // formation view changes look like departures, poisoning
+                    // `departed` with (replica, 0) entries that later turn
+                    // in-doubt inquiries into false `NeverReceived` answers —
+                    // a committed transaction reported to its client as lost.
+                    view: Vec::new(),
+                    incarnations: HashMap::new(),
+                    departed: std::collections::HashSet::new(),
+                },
+                ApplyState { queue: TocommitQueue::new() },
+            ),
             Some(b) => {
                 let holes = HoleTracker::bootstrap(
                     b.max_committed,
@@ -545,18 +596,18 @@ impl ReplicaNode {
                         trace: TxTrace::start(),
                     });
                 }
-                NodeState {
-                    wslist: b.wslist,
-                    queue,
-                    holes,
-                    pending_local: HashMap::new(),
-                    outcomes: b.outcomes,
-                    view: b.view,
-                    incarnations: b.incarnations,
-                    departed: b.departed,
-                    markers_seen: std::collections::HashSet::new(),
-                    last_progress_sent: GlobalTid::ZERO,
-                }
+                (
+                    NodeState {
+                        wslist: b.wslist,
+                        holes,
+                        pending_local: HashMap::new(),
+                        outcomes: b.outcomes,
+                        view: b.view,
+                        incarnations: b.incarnations,
+                        departed: b.departed,
+                    },
+                    ApplyState { queue },
+                )
             }
         };
         Arc::new(ReplicaNode {
@@ -566,6 +617,13 @@ impl ReplicaNode {
             mode,
             state: Mutex::new(state),
             cond: Condvar::new(),
+            apply: Mutex::new(apply),
+            apply_cond: Condvar::new(),
+            telem: Mutex::new(TelemState {
+                markers_seen: std::collections::HashSet::new(),
+                last_progress_sent: GlobalTid::ZERO,
+            }),
+            telem_cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_xact: AtomicU64::new(XactId::seq_base(incarnation) + 1),
             incarnation,
@@ -595,20 +653,34 @@ impl ReplicaNode {
         true
     }
 
-    /// Recompute the queue-depth gauges from the protocol state. Called at
-    /// mutation sites under the state lock; compiles away without `trace`.
+    /// Recompute the cert-state gauges. Called at mutation sites under the
+    /// state lock; compiles away without `trace`.
     fn refresh_gauges(&self, st: &NodeState) {
         #[cfg(feature = "trace")]
         {
-            self.gauges.tocommit_depth.set(st.queue.len() as u64);
             self.gauges.ws_list_len.set(st.wslist.len() as u64);
             self.gauges.open_holes.set(st.holes.open_holes() as u64);
-            self.gauges.applier_backlog.set(st.queue.backlog() as u64);
-            self.gauges.ready_len.set(st.queue.ready_len() as u64);
             self.gauges.cert_index_keys.set(st.wslist.index_len() as u64);
         }
         #[cfg(not(feature = "trace"))]
         let _ = st;
+    }
+
+    /// Recompute the queue-depth gauges that live behind the applier lock.
+    /// Takes both state refs so call sites prove they hold the cert-state
+    /// *and* applier locks (in the declared `node-state < node-apply`
+    /// order) — gauge refreshes stay ordered with the queue mutations they
+    /// observe. Applier drains deliberately skip this (they only *claim*
+    /// entries; depth changes on push and remove).
+    fn refresh_apply_gauges(&self, _st: &NodeState, ap: &ApplyState) {
+        #[cfg(feature = "trace")]
+        {
+            self.gauges.tocommit_depth.set(ap.queue.len() as u64);
+            self.gauges.applier_backlog.set(ap.queue.backlog() as u64);
+            self.gauges.ready_len.set(ap.queue.ready_len() as u64);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = ap;
     }
 
     pub fn id(&self) -> ReplicaId {
@@ -629,19 +701,21 @@ impl ReplicaNode {
 
     /// Current number of queued (validated, uncommitted) writesets.
     pub fn queue_len(&self) -> usize {
-        self.state.lock().queue.len()
+        self.apply.lock().queue.len()
     }
 
     /// A point-in-time snapshot of this replica's protocol state, for
     /// monitoring and load-balancing decisions.
     pub fn status(&self) -> NodeStatus {
         let st = self.state.lock();
+        let ap = self.apply.lock();
         self.refresh_gauges(&st);
+        self.refresh_apply_gauges(&st, &ap);
         NodeStatus {
             replica: self.id,
             alive: self.is_alive(),
             last_validated: st.wslist.last_tid(),
-            queued: st.queue.len(),
+            queued: ap.queue.len(),
             pending_local: st.pending_local.len(),
             holes_open: st.holes.holes_exist(),
             running_locals: st.holes.running_locals(),
@@ -671,16 +745,18 @@ impl ReplicaNode {
 
     /// Block until this node's delivery thread has processed the recovery
     /// marker `token` (and therefore every message sequenced before it).
+    /// Waits on the telemetry lock only — marker bookkeeping never touches
+    /// certification state.
     pub(crate) fn wait_for_marker(&self, token: u64, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        let mut st = self.state.lock();
-        while !st.markers_seen.contains(&token) {
+        let mut tl = self.telem.lock();
+        while !tl.markers_seen.contains(&token) {
             if !self.is_alive() || std::time::Instant::now() >= deadline {
                 return false;
             }
-            self.cond.wait_for(&mut st, WAIT_TICK);
+            self.telem_cond.wait_for(&mut tl, WAIT_TICK);
         }
-        st.markers_seen.remove(&token);
+        tl.markers_seen.remove(&token);
         true
     }
 
@@ -691,18 +767,21 @@ impl ReplicaNode {
     /// latched (its state lock) only for the duration of the copy; other
     /// replicas are unaffected.
     ///
-    /// Correctness: commits at this replica happen under the state lock, so
-    /// while we hold it the forked database corresponds exactly to "all
-    /// validated tids except those still in the queue". The recovering
-    /// replica must have joined the group *before* this is taken; every
-    /// writeset it then receives is either (a) recorded in the transferred
-    /// outcome log — covered by the fork or the copied queue and skipped —
-    /// or (b) new, and validated normally against the transferred ws_list.
+    /// Correctness: commits at this replica happen under the state lock,
+    /// and queue membership only changes while it is held (pushes and
+    /// removes take `state` before `apply`), so while we hold both the
+    /// forked database corresponds exactly to "all validated tids except
+    /// those still in the queue". The recovering replica must have joined
+    /// the group *before* this is taken; every writeset it then receives is
+    /// either (a) recorded in the transferred outcome log — covered by the
+    /// fork or the copied queue and skipped — or (b) new, and validated
+    /// normally against the transferred ws_list.
     pub(crate) fn state_transfer(&self, cost: sirep_storage::CostModel) -> (Database, Bootstrap) {
         let st = self.state.lock();
+        let ap = self.apply.lock();
         let db = self.db.fork_latest(cost);
         let mut queue_entries: Vec<_> =
-            st.queue.iter().map(|e| (e.tid, e.xact, Arc::clone(&e.ws), e.origin)).collect();
+            ap.queue.iter().map(|e| (e.tid, e.xact, Arc::clone(&e.ws), e.origin)).collect();
         // Tid order, so the recovering replica can rebuild its scheduling
         // index with the same incremental pushes delivery would have made.
         queue_entries.sort_by_key(|(tid, ..)| *tid);
@@ -756,10 +835,20 @@ impl ReplicaNode {
                 self.auditor.on_local_begin(self.id);
                 let txn = self.db.begin()?;
                 st.holes.local_started();
+                // Captured atomically with the begin: the watermark this
+                // transaction's snapshot reflects (no holes exist here, so
+                // every tid ≤ snapshot is committed locally).
+                let snapshot = st.holes.max_committed();
                 self.journal.record(EventKind::TxBegin { xact });
                 self.recorder.on_begin(xact);
                 drop(st);
-                Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
+                Ok(ActiveTxn {
+                    xact,
+                    txn,
+                    snapshot,
+                    guard: LocalGuard { node: Arc::clone(self) },
+                    trace,
+                })
             }
             ReplicationMode::SrcaOpt => {
                 // No hole-rule synchronization: begin immediately (1-copy-SI
@@ -769,10 +858,17 @@ impl ReplicaNode {
                 let txn = self.db.begin()?;
                 let mut st = self.state.lock();
                 st.holes.local_started();
+                let snapshot = st.holes.max_committed();
                 self.journal.record(EventKind::TxBegin { xact });
                 drop(st);
                 self.recorder.on_begin(xact);
-                Ok(ActiveTxn { xact, txn, guard: LocalGuard { node: Arc::clone(self) }, trace })
+                Ok(ActiveTxn {
+                    xact,
+                    txn,
+                    snapshot,
+                    guard: LocalGuard { node: Arc::clone(self) },
+                    trace,
+                })
             }
         }
     }
@@ -781,15 +877,22 @@ impl ReplicaNode {
     /// local validation against the tocommit queue, multicast in total
     /// order, and block until the transaction's fate is decided.
     pub fn commit_local(self: &Arc<Self>, active: ActiveTxn) -> Result<(), DbError> {
-        let ActiveTxn { xact, txn, guard, mut trace } = active;
+        let ActiveTxn { xact, txn, snapshot, guard, mut trace } = active;
         trace.mark(Stage::Execute);
         let ws = txn.writeset();
         if ws.is_empty() {
-            // Read-only fast path (step I.2.c): commit locally, no
-            // coordination. Its commit position is irrelevant for 1-copy-SI.
+            // Certification-free read-only path (step I.2.c): the
+            // transaction ran entirely against the local snapshot — commit
+            // locally with no multicast, no certification, no sequencer
+            // round-trip. Its commit position is irrelevant for 1-copy-SI;
+            // the journaled snapshot lets the auditor check the snapshot
+            // itself was hole-free.
             self.recorder.on_local_committed(xact, &txn, &ws);
             txn.commit()?;
             self.recorder.on_commit(xact);
+            // sirep-lint: allow(journal-gauge-under-lock): read-only commits touch no protocol state — the event is ordered by this session thread alone, and the auditor hook re-checks the begin-time snapshot against its own watermark
+            self.journal.record(EventKind::LocalReadOnly { xact, snapshot });
+            self.auditor.on_local_readonly(self.id, xact, snapshot);
             Metrics::inc(&self.metrics.commits_readonly);
             trace.mark(Stage::Commit);
             self.stages.absorb(&trace.finish());
@@ -807,8 +910,10 @@ impl ReplicaNode {
         {
             let mut st = self.state.lock();
             // Local validation (adjustment 1): only the tocommit queue —
-            // O(|ws|) probes of its waiter index.
-            if st.queue.conflicts(&ws) {
+            // O(|ws|) probes of its waiter index, via a momentary applier
+            // lock nested inside the state lock (the declared
+            // `node-state < node-apply` order).
+            if self.apply.lock().queue.conflicts(&ws) {
                 // Journal the abort verdict at the decision point, under the
                 // lock, so it cannot interleave after a later transaction's
                 // events; only the database-side rollback runs outside.
@@ -858,7 +963,7 @@ impl ReplicaNode {
                 // thread — never behind the applier pool.
                 let LocalCommitJob { tid, txn, _guard, mut trace } = job;
                 trace.mark(Stage::ValidateQueue);
-                self.finalize(tid, xact, &ws, txn, true, trace);
+                self.finalize(tid, xact, &ws, txn, trace);
                 Metrics::inc(&self.metrics.commits_update);
                 Ok(())
             }
@@ -908,32 +1013,26 @@ impl ReplicaNode {
                 return;
             }
             match member.recv_timeout(idle) {
-                Ok(Delivery::TotalOrder { msg: ReplMsg::WriteSet(m), sequenced_at, .. }) => {
-                    self.handle_writeset(&m, sequenced_at);
+                Ok(Delivery::TotalOrder { msg, sequenced_at, .. }) => {
+                    self.handle_total(msg, sequenced_at);
                 }
-                Ok(
-                    Delivery::TotalOrder { msg: ReplMsg::Progress { from, lastvalidated }, .. }
-                    | Delivery::Fifo { msg: ReplMsg::Progress { from, lastvalidated }, .. },
-                ) => {
-                    let mut st = self.state.lock();
-                    let view = st.view.clone();
-                    if let Some((watermark, removed)) =
-                        st.wslist.advance_progress(from, lastvalidated, &view)
-                    {
-                        self.auditor.on_prune(self.id, watermark);
-                        if removed > 0 {
-                            self.journal.record(EventKind::WsListPruned { watermark, removed });
+                Ok(Delivery::TotalBatch { sequenced_at, entries }) => {
+                    // A sequencer batch frame: entries carry ascending
+                    // per-message sequence numbers and are processed one by
+                    // one in that order, so certification verdicts are
+                    // bit-identical to unbatched delivery.
+                    for e in entries {
+                        if !self.is_alive() {
+                            return;
                         }
-                        self.refresh_gauges(&st);
+                        self.handle_total(e.msg, sequenced_at);
                     }
                 }
-                Ok(
-                    Delivery::TotalOrder { msg: ReplMsg::Marker { token }, .. }
-                    | Delivery::Fifo { msg: ReplMsg::Marker { token }, .. },
-                ) => {
-                    let mut st = self.state.lock();
-                    st.markers_seen.insert(token);
-                    self.cond.notify_all();
+                Ok(Delivery::Fifo { msg: ReplMsg::Progress { from, lastvalidated }, .. }) => {
+                    self.handle_progress(from, lastvalidated);
+                }
+                Ok(Delivery::Fifo { msg: ReplMsg::Marker { token }, .. }) => {
+                    self.handle_marker(token);
                 }
                 Ok(Delivery::Fifo { msg: ReplMsg::WriteSet(_), .. }) => {
                     debug_assert!(false, "writesets travel in total order only");
@@ -987,6 +1086,35 @@ impl ReplicaNode {
         }
     }
 
+    /// Dispatch one totally-ordered message — called for singleton
+    /// deliveries and for each entry of a batch frame alike.
+    fn handle_total(self: &Arc<Self>, msg: ReplMsg, sequenced_at: Instant) {
+        match msg {
+            ReplMsg::WriteSet(m) => self.handle_writeset(&m, sequenced_at),
+            ReplMsg::Progress { from, lastvalidated } => self.handle_progress(from, lastvalidated),
+            ReplMsg::Marker { token } => self.handle_marker(token),
+        }
+    }
+
+    fn handle_progress(&self, from: ReplicaId, lastvalidated: GlobalTid) {
+        let mut st = self.state.lock();
+        let view = st.view.clone();
+        if let Some((watermark, removed)) = st.wslist.advance_progress(from, lastvalidated, &view) {
+            self.auditor.on_prune(self.id, watermark);
+            if removed > 0 {
+                self.journal.record(EventKind::WsListPruned { watermark, removed });
+            }
+            self.refresh_gauges(&st);
+        }
+    }
+
+    fn handle_marker(&self, token: u64) {
+        let mut tl = self.telem.lock();
+        tl.markers_seen.insert(token);
+        drop(tl);
+        self.telem_cond.notify_all();
+    }
+
     fn handle_writeset(self: &Arc<Self>, m: &WsMsg, sequenced_at: Instant) {
         let delivered_at = Instant::now();
         if m.origin != self.id {
@@ -1037,15 +1165,19 @@ impl ReplicaNode {
             } else {
                 None
             };
-            st.queue.push(QEntry {
-                tid,
-                xact: m.xact,
-                ws: Arc::clone(&m.ws),
-                origin: m.origin,
-                running: local_job.is_some(),
-                blockers: 0,
-                trace: TxTrace::starting_at(delivered_at),
-            });
+            {
+                let mut ap = self.apply.lock();
+                ap.queue.push(QEntry {
+                    tid,
+                    xact: m.xact,
+                    ws: Arc::clone(&m.ws),
+                    origin: m.origin,
+                    running: local_job.is_some(),
+                    blockers: 0,
+                    trace: TxTrace::starting_at(delivered_at),
+                });
+                self.refresh_apply_gauges(&st, &ap);
+            }
             st.outcomes.record(m.xact, Outcome::Committed);
             self.refresh_gauges(&st);
             drop(st);
@@ -1053,6 +1185,7 @@ impl ReplicaNode {
                 let _ = responder.send(Ok(job));
             }
             self.cond.notify_all();
+            self.apply_cond.notify_all();
         } else {
             st.outcomes.record(m.xact, Outcome::Aborted);
             Metrics::inc(&self.metrics.ws_discarded);
@@ -1084,16 +1217,22 @@ impl ReplicaNode {
     /// replica can prune (we promise future certs ≥ lastvalidated).
     fn maybe_send_progress(&self) {
         const PRUNE_THRESHOLD: usize = 64;
-        let (should, lastvalidated) = {
+        let (grown, lastvalidated) = {
             let st = self.state.lock();
-            let lv = st.wslist.last_tid();
-            (st.wslist.len() > PRUNE_THRESHOLD && lv > st.last_progress_sent, lv)
+            (st.wslist.len() > PRUNE_THRESHOLD, st.wslist.last_tid())
         };
-        if should
-            // sirep-lint: allow(multicast-under-lock): progress adverts are monotone promises, not certifications — a stale lastvalidated only delays pruning, it cannot reorder certs
-            && self.gcs.multicast_fifo(ReplMsg::Progress { from: self.id, lastvalidated }).is_ok()
-        {
-            self.state.lock().last_progress_sent = lastvalidated;
+        if !grown {
+            return;
+        }
+        // The advert cursor lives behind the telemetry lock: progress
+        // adverts are a pruning hint, not certification state.
+        let mut tl = self.telem.lock();
+        if lastvalidated <= tl.last_progress_sent {
+            return;
+        }
+        // sirep-lint: allow(multicast-under-lock): progress adverts are monotone promises, not certifications — a stale lastvalidated only delays pruning, it cannot reorder certs
+        if self.gcs.multicast_fifo(ReplMsg::Progress { from: self.id, lastvalidated }).is_ok() {
+            tl.last_progress_sent = lastvalidated;
         }
     }
 
@@ -1103,31 +1242,41 @@ impl ReplicaNode {
 
     pub(crate) fn run_applier(self: Arc<Self>) {
         loop {
-            // Claim the smallest-tid entry with no conflicting predecessor
-            // (adjustment 2: anything non-conflicting may proceed, not just
-            // the head). Eligibility is tracked incrementally by the
-            // queue's blocker counts — no rescan on wakeup.
-            let picked = {
-                let mut st = self.state.lock();
+            // Claim every currently-eligible entry in one sweep, bounded by
+            // APPLIER_BATCH_MAX (group commit). Each ready entry has zero
+            // blockers against *all* queued predecessors — including the
+            // others claimed here — so the batch is mutually
+            // non-conflicting and can safely be applied inside a single
+            // engine transaction. pop_ready pops the smallest ready tid
+            // first, so the batch is ascending by construction.
+            let mut batch = {
+                let mut ap = self.apply.lock();
                 loop {
                     if !self.is_alive() {
                         return;
                     }
-                    if let Some(e) = st.queue.pop_ready() {
+                    let mut claimed = Vec::new();
+                    while claimed.len() < APPLIER_BATCH_MAX {
+                        let Some(e) = ap.queue.pop_ready() else { break };
                         let mut trace = e.trace;
                         trace.mark(Stage::ValidateQueue);
-                        let picked = (e.tid, e.xact, Arc::clone(&e.ws), e.origin, trace);
-                        self.refresh_gauges(&st);
-                        break picked;
+                        claimed.push(BatchItem {
+                            tid: e.tid,
+                            xact: e.xact,
+                            ws: Arc::clone(&e.ws),
+                            trace,
+                        });
                     }
-                    self.cond.wait_for(&mut st, WAIT_TICK);
+                    if !claimed.is_empty() {
+                        break claimed;
+                    }
+                    self.apply_cond.wait_for(&mut ap, WAIT_TICK);
                 }
             };
-            let (tid, xact, ws, _origin, mut trace) = picked;
             if self.crash_point(CrashPoint::AfterDeliverBeforeCommit) {
-                // The writeset was delivered and validated here but dies
+                // The writesets were delivered and validated here but die
                 // uncommitted with the replica; uniform delivery means
-                // every survivor still commits it.
+                // every survivor still commits them.
                 return;
             }
             // Appliers only ever see remote writesets (local entries are
@@ -1135,59 +1284,73 @@ impl ReplicaNode {
             // marked running). A nominally-local entry without a session —
             // transferred during recovery from before our crash — is applied
             // like any remote writeset.
-            // sirep-lint: allow(journal-gauge-under-lock): apply runs outside the state lock by design (the paper's adjustment 2 — appliers work in parallel); Apply* events are ordered per-tid by the queue's running flag, not by the lock
-            self.journal.record(EventKind::ApplyStart { xact, tid });
-            let Some(handle) = self.apply_remote(&ws) else { return }; // database crashed
-            trace.mark(Stage::Apply);
-            // sirep-lint: allow(journal-gauge-under-lock): same as ApplyStart above — apply is deliberately lock-free; finalize re-enters the lock for the commit record
-            self.journal.record(EventKind::ApplyDone { xact, tid });
-            self.finalize(tid, xact, &ws, handle, false, trace);
+            for item in &batch {
+                // sirep-lint: allow(journal-gauge-under-lock): apply runs outside the state lock by design (the paper's adjustment 2 — appliers work in parallel); Apply* events are ordered per-tid by the queue's running flag, not by the lock
+                self.journal.record(EventKind::ApplyStart { xact: item.xact, tid: item.tid });
+            }
+            let Some(handle) = self.apply_batch(&batch) else { return }; // database crashed
+            for item in &mut batch {
+                item.trace.mark(Stage::Apply);
+                // sirep-lint: allow(journal-gauge-under-lock): same as ApplyStart above — apply is deliberately lock-free; finalize_batch re-enters the lock for the commit records
+                self.journal.record(EventKind::ApplyDone { xact: item.xact, tid: item.tid });
+            }
+            self.finalize_batch(batch, handle);
         }
     }
 
-    /// Apply a remote writeset, retrying on database deadlocks (§4.2: "the
-    /// middleware has to reapply the writeset until the remote transaction
-    /// succeeds").
-    fn apply_remote(&self, ws: &WriteSet) -> Option<TxnHandle> {
-        loop {
+    /// Apply a batch of mutually non-conflicting remote writesets inside
+    /// ONE engine transaction — the group-commit half of adjustment 2's
+    /// concurrency: n writesets cost n applications but a single commit
+    /// log force. Retries the whole batch on database deadlocks (§4.2:
+    /// "the middleware has to reapply the writeset until the remote
+    /// transaction succeeds"); dropping the handle rolls back every
+    /// already-applied member, so a retry starts clean.
+    fn apply_batch(&self, batch: &[BatchItem]) -> Option<TxnHandle> {
+        'retry: loop {
             if !self.is_alive() {
                 return None;
             }
             let Ok(txn) = self.db.begin() else { return None };
-            match txn.apply_writeset(ws) {
-                Ok(()) => return Some(txn),
-                Err(DbError::Aborted(AbortReason::Deadlock))
-                | Err(DbError::Aborted(AbortReason::SerializationFailure)) => {
-                    Metrics::inc(&self.metrics.ws_apply_retries);
-                }
-                Err(DbError::Aborted(AbortReason::Shutdown)) => return None,
-                Err(e) => {
-                    // Schema divergence would be a bug: surface loudly.
-                    // sirep-lint: allow(no-unwrap-on-protocol-paths): a remote writeset that fails for a non-transient reason means the replicas' schemas diverged — continuing would silently fork the copies, so crash instead
-                    panic!("writeset application failed irrecoverably: {e}");
+            for item in batch {
+                match txn.apply_writeset(&item.ws) {
+                    Ok(()) => {}
+                    Err(DbError::Aborted(AbortReason::Deadlock))
+                    | Err(DbError::Aborted(AbortReason::SerializationFailure)) => {
+                        Metrics::inc(&self.metrics.ws_apply_retries);
+                        continue 'retry;
+                    }
+                    Err(DbError::Aborted(AbortReason::Shutdown)) => return None,
+                    Err(e) => {
+                        // Schema divergence would be a bug: surface loudly.
+                        // sirep-lint: allow(no-unwrap-on-protocol-paths): a remote writeset that fails for a non-transient reason means the replicas' schemas diverged — continuing would silently fork the copies, so crash instead
+                        panic!("writeset application failed irrecoverably: {e}");
+                    }
                 }
             }
+            return Some(txn);
         }
     }
 
-    /// Commit a picked entry: log force outside the lock, then the hole
-    /// rule + database commit + bookkeeping atomically under it. Called by
-    /// applier threads for remote writesets and by the owning session
-    /// thread for local transactions (adjustment 2).
-    fn finalize(
-        &self,
-        tid: GlobalTid,
-        xact: XactId,
-        ws: &WriteSet,
-        txn: TxnHandle,
-        is_local: bool,
-        mut trace: TxTrace,
-    ) {
-        self.db.cost_model().commit();
+    /// Group-commit a batch of applied remote entries: one log force, one
+    /// engine commit, then per-entry protocol bookkeeping in ascending tid
+    /// order under the state lock.
+    ///
+    /// The hole rule gates on the batch's *smallest* tid only. Gating on
+    /// every member jointly can deadlock two appliers — batch {t1, t5}
+    /// waiting on t3 while the applier holding {t3} waits on t1 — whereas
+    /// gating on the smallest preserves liveness by the same induction as
+    /// unbatched commits: the smallest pending tid above the watermark is
+    /// always allowed through. Later batch members may open holes, exactly
+    /// as an unthrottled single commit may; local begins still gate on
+    /// `holes_exist`, so 1-copy-SI is intact.
+    fn finalize_batch(&self, mut batch: Vec<BatchItem>, txn: TxnHandle) {
+        let Some(gate) = batch.first().map(|i| i.tid) else { return };
+        // One flush charge for the whole batch — the group-commit saving.
+        self.db.cost_model().commit_batch(batch.len());
         let mut st = self.state.lock();
         if self.mode == ReplicationMode::SrcaRep {
             let mut counted = false;
-            while !st.holes.may_commit(tid, is_local) && self.is_alive() {
+            while !st.holes.may_commit(gate, false) && self.is_alive() {
                 if !counted {
                     Metrics::inc(&self.metrics.commits_delayed_for_holes);
                     counted = true;
@@ -1200,16 +1363,74 @@ impl ReplicaNode {
             txn.abort(AbortReason::Shutdown);
             return;
         }
-        if is_local {
-            self.recorder.on_local_committed(xact, &txn, ws);
-        } else {
-            self.recorder.on_begin(xact);
+        // Remote begins are recorded at commit time under the state lock
+        // (see RecordingNotes); batch members don't conflict with each
+        // other, so one begin spanning a sibling's commit is harmless.
+        for item in &batch {
+            self.recorder.on_begin(item.xact);
         }
+        let res = txn.commit_quiet();
+        debug_assert!(res.is_ok(), "validated batch failed to commit: {res:?}");
+        for item in &mut batch {
+            self.recorder.on_commit(item.xact);
+            // The commit stage includes the hole-rule wait above — that
+            // delay is part of perceived commit latency.
+            item.trace.mark(Stage::Commit);
+            let had_holes = st.holes.holes_exist();
+            st.holes.on_committed(item.tid);
+            let has_holes = st.holes.holes_exist();
+            if !had_holes && has_holes {
+                self.journal.record(EventKind::HoleOpened { tid: item.tid });
+            } else if had_holes && !has_holes {
+                self.journal.record(EventKind::HoleClosed { tid: item.tid });
+            }
+            self.journal.record(EventKind::Commit { xact: item.xact, tid: item.tid });
+            self.auditor.on_commit(self.id, item.xact, item.tid);
+        }
+        {
+            // O(|ws| + released edges) per entry: unblocks successors,
+            // which the apply_cond notify below wakes the appliers for.
+            let mut ap = self.apply.lock();
+            for item in &batch {
+                ap.queue.remove(item.tid);
+            }
+            self.refresh_apply_gauges(&st, &ap);
+        }
+        self.refresh_gauges(&st);
+        drop(st);
+        for item in &batch {
+            // Remote timelines start at delivery, not begin: no total.
+            self.stages.absorb(&item.trace);
+        }
+        self.cond.notify_all();
+        self.apply_cond.notify_all();
+    }
+
+    /// Commit a validated *local* transaction on its session thread
+    /// (adjustment 2): log force outside the lock, then the database commit
+    /// and bookkeeping atomically under it. A local transaction sits in the
+    /// hole tracker's running set, so the hole rule never throttles it
+    /// (`may_commit(tid, is_local=true)` is identically true) — no wait
+    /// loop here, unlike [`ReplicaNode::finalize_batch`].
+    fn finalize(
+        &self,
+        tid: GlobalTid,
+        xact: XactId,
+        ws: &WriteSet,
+        txn: TxnHandle,
+        mut trace: TxTrace,
+    ) {
+        self.db.cost_model().commit();
+        let mut st = self.state.lock();
+        if !self.is_alive() {
+            drop(st);
+            txn.abort(AbortReason::Shutdown);
+            return;
+        }
+        self.recorder.on_local_committed(xact, &txn, ws);
         let res = txn.commit_quiet();
         debug_assert!(res.is_ok(), "validated transaction failed to commit: {res:?}");
         self.recorder.on_commit(xact);
-        // The commit stage includes the hole-rule wait above — that delay is
-        // part of what a client perceives as commit latency.
         trace.mark(Stage::Commit);
         let had_holes = st.holes.holes_exist();
         st.holes.on_committed(tid);
@@ -1221,17 +1442,21 @@ impl ReplicaNode {
         }
         self.journal.record(EventKind::Commit { xact, tid });
         self.auditor.on_commit(self.id, xact, tid);
-        // O(|ws| + released edges): unblocks successors as a side effect,
-        // which the notify_all below wakes the appliers for.
-        st.queue.remove(tid);
+        {
+            // O(|ws| + released edges): unblocks successors, which the
+            // apply_cond notify below wakes the appliers for.
+            let mut ap = self.apply.lock();
+            ap.queue.remove(tid);
+            self.refresh_apply_gauges(&st, &ap);
+        }
         self.refresh_gauges(&st);
         drop(st);
-        if is_local {
-            // Remote timelines start at delivery, not begin: no total.
-            trace.mark(Stage::Total);
-        }
+        // Remote timelines start at delivery, not begin; local ones span
+        // the whole round trip.
+        trace.mark(Stage::Total);
         self.stages.absorb(&trace);
         self.cond.notify_all();
+        self.apply_cond.notify_all();
     }
 
     // ---------------------------------------------------------------------
@@ -1256,6 +1481,8 @@ impl ReplicaNode {
             let _ = p.responder.send(Err(DbError::Aborted(AbortReason::ReplicaCrashed)));
         }
         self.cond.notify_all();
+        self.apply_cond.notify_all();
+        self.telem_cond.notify_all();
     }
 }
 

@@ -72,6 +72,10 @@ pub struct Session {
     node: Arc<ReplicaNode>,
     current: Option<ActiveTxn>,
     autocommit: bool,
+    /// Declared read-only (JDBC's `Connection.setReadOnly`): writes are
+    /// rejected at parse time and every commit takes the certification-free
+    /// local fast path — no multicast, no sequencer round-trip.
+    readonly: bool,
     /// Client-visible id of the most recently begun transaction, surviving
     /// its commit/abort. The failover driver needs it to resolve an
     /// autocommit statement whose implicit commit crashed mid-flight —
@@ -81,7 +85,7 @@ pub struct Session {
 
 impl Session {
     pub fn new(node: Arc<ReplicaNode>) -> Session {
-        Session { node, current: None, autocommit: false, last_xact: None }
+        Session { node, current: None, autocommit: false, readonly: false, last_xact: None }
     }
 
     /// A fresh session with the autocommit mode preset. Unlike
@@ -89,7 +93,7 @@ impl Session {
     /// is no open transaction to commit), so failover paths that rebuild a
     /// session have no panic or error case to handle.
     pub fn with_autocommit(node: Arc<ReplicaNode>, on: bool) -> Session {
-        Session { node, current: None, autocommit: on, last_xact: None }
+        Session { node, current: None, autocommit: on, readonly: false, last_xact: None }
     }
 
     pub fn node(&self) -> &Arc<ReplicaNode> {
@@ -110,6 +114,26 @@ impl Session {
 
     pub fn autocommit(&self) -> bool {
         self.autocommit
+    }
+
+    /// Declare this session read-only (or writable again), mirroring
+    /// JDBC's `Connection.setReadOnly`: it cannot change mid-transaction.
+    /// While declared, any write statement fails before the engine sees it,
+    /// which guarantees the commit's writeset is empty and therefore takes
+    /// the certification-free local snapshot path — no multicast, no
+    /// certification, no sequencer round-trip.
+    pub fn set_readonly(&mut self, on: bool) -> Result<(), DbError> {
+        if self.current.is_some() {
+            return Err(DbError::Unsupported(
+                "cannot change read-only mode inside a transaction".into(),
+            ));
+        }
+        self.readonly = on;
+        Ok(())
+    }
+
+    pub fn is_readonly(&self) -> bool {
+        self.readonly
     }
 
     /// Whether a transaction is currently open.
@@ -145,6 +169,13 @@ impl Connection for Session {
             return Err(DbError::Unsupported(
                 "DDL must run through Cluster::execute_ddl (identical schemas at all replicas)"
                     .into(),
+            ));
+        }
+        if self.readonly && stmt.is_write() {
+            // Rejected before the engine sees it, so the open transaction
+            // stays clean (and its writeset provably empty).
+            return Err(DbError::Unsupported(
+                "session is declared read-only (set_readonly)".into(),
             ));
         }
         let db = self.node.database().clone();
@@ -194,6 +225,27 @@ impl Connection for Session {
 
     fn xact_id(&self) -> Option<XactId> {
         self.current.as_ref().map(|a| a.xact)
+    }
+
+    /// Templates that pre-declare themselves read-only run under the
+    /// declared mode for their duration: writes fail fast and the commit is
+    /// certification-free. The previous mode is restored afterwards.
+    fn run_template(&mut self, tmpl: &TxnTemplate) -> Result<(), DbError> {
+        if !tmpl.readonly || self.readonly {
+            for sql in &tmpl.statements {
+                self.execute(sql)?;
+            }
+            return self.commit();
+        }
+        self.set_readonly(true)?;
+        let result = (|| {
+            for sql in &tmpl.statements {
+                self.execute(sql)?;
+            }
+            self.commit()
+        })();
+        self.readonly = false;
+        result
     }
 }
 

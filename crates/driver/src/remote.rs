@@ -250,6 +250,9 @@ impl NodeServer {
                     return;
                 }
                 let Ok(stream) = conn else { continue };
+                // Client requests are small request/response frames; Nagle
+                // would add a full RTT of buffering to every commit ack.
+                let _ = stream.set_nodelay(true);
                 let cluster = cluster.clone();
                 let _ = thread::Builder::new()
                     .name("node-server-conn".into())
@@ -589,6 +592,9 @@ impl RemoteConn<'_> {
                 let idx = (from + step) % n;
                 let Some(addr) = self.driver.addrs.get(idx) else { continue };
                 let Ok(stream) = TcpStream::connect(addr) else { continue };
+                // Small frames both ways: disable Nagle on the client leg
+                // too, or each statement pays a delayed-ack round trip.
+                let _ = stream.set_nodelay(true);
                 let Ok(rstream) = stream.try_clone() else { continue };
                 self.link =
                     Some(Link { reader: BufReader::new(rstream), writer: BufWriter::new(stream) });

@@ -179,6 +179,9 @@ impl TelemetryServer {
                     return;
                 }
                 let Ok(stream) = conn else { continue };
+                // Scrape responses are single small frames; don't let Nagle
+                // hold them back.
+                let _ = stream.set_nodelay(true);
                 let cluster = cluster.clone();
                 let _ = thread::Builder::new()
                     .name("telemetry-conn".into())
@@ -273,6 +276,7 @@ pub fn scrape_with_timeout(
     timeout: Duration,
 ) -> io::Result<TelemetryResp> {
     let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     write_frame(&mut stream, &req)?;

@@ -51,8 +51,22 @@ fn sim() -> Backend {
     Backend { group: Arc::new(SimGroup::new(GroupConfig::instant())), _seq: None }
 }
 
+/// The sim tier with receiver-side writeset batching disabled — pins the
+/// pre-batching delivery shape (`TotalOrder` only) against the same contract.
+fn sim_unbatched() -> Backend {
+    Backend { group: Arc::new(SimGroup::new(GroupConfig::instant().unbatched())), _seq: None }
+}
+
 fn tcp() -> Backend {
     let seq = Sequencer::spawn("127.0.0.1:0").expect("bind sequencer");
+    let group = TcpGroup::<u64>::new(seq.addr().to_string(), 0);
+    Backend { group: Arc::new(group), _seq: Some(seq) }
+}
+
+/// The TCP tier with sequencer-side batching disabled (batch_max = 1): every
+/// total-order message rides its own `DownFrame::Total`.
+fn tcp_unbatched() -> Backend {
+    let seq = Sequencer::spawn_with_batching("127.0.0.1:0", 1).expect("bind sequencer");
     let group = TcpGroup::<u64>::new(seq.addr().to_string(), 0);
     Backend { group: Arc::new(group), _seq: Some(seq) }
 }
@@ -85,6 +99,9 @@ fn collect_total(m: &dyn Member<u64>, n: usize) -> Vec<(u64, MemberId, u64)> {
         );
         match m.recv_timeout(STEP) {
             Ok(Delivery::TotalOrder { seq, sender, msg, .. }) => out.push((seq, sender, msg)),
+            Ok(Delivery::TotalBatch { entries, .. }) => {
+                out.extend(entries.into_iter().map(|e| (e.seq, e.sender, e.msg)));
+            }
             Ok(_) | Err(GcsError::Timeout) => {}
             Err(e) => panic!("recv failed while collecting: {e}"),
         }
@@ -115,6 +132,22 @@ fn collect_fifo(m: &dyn Member<u64>, n: usize) -> Vec<(MemberId, u64)> {
 /// no longer contains `gone`, plus a short quiet-period drain afterwards to
 /// catch contract-violating stragglers.
 fn collect_until_member_gone(m: &dyn Member<u64>, gone: MemberId) -> Vec<Delivery<u64>> {
+    // Flatten batches into the individual deliveries they stand for, so the
+    // per-delivery assertions downstream see one shape regardless of backend
+    // batching configuration.
+    fn flatten(d: Delivery<u64>, out: &mut Vec<Delivery<u64>>) {
+        match d {
+            Delivery::TotalBatch { sequenced_at, entries } => {
+                out.extend(entries.into_iter().map(|e| Delivery::TotalOrder {
+                    seq: e.seq,
+                    sender: e.sender,
+                    sequenced_at,
+                    msg: e.msg,
+                }));
+            }
+            other => out.push(other),
+        }
+    }
     let deadline = Instant::now() + TIMEOUT;
     let mut out = Vec::new();
     loop {
@@ -122,7 +155,7 @@ fn collect_until_member_gone(m: &dyn Member<u64>, gone: MemberId) -> Vec<Deliver
         match m.recv_timeout(STEP) {
             Ok(d) => {
                 let done = matches!(&d, Delivery::ViewChange(v) if !v.contains(gone));
-                out.push(d);
+                flatten(d, &mut out);
                 if done {
                     break;
                 }
@@ -134,7 +167,7 @@ fn collect_until_member_gone(m: &dyn Member<u64>, gone: MemberId) -> Vec<Deliver
     let quiet_until = Instant::now() + Duration::from_millis(300);
     while Instant::now() < quiet_until {
         if let Ok(d) = m.recv_timeout(STEP) {
-            out.push(d);
+            flatten(d, &mut out);
         }
     }
     out
@@ -352,11 +385,14 @@ macro_rules! conformance {
     };
 }
 
-/// Instantiate every conformance test for every backend.
+/// Instantiate every conformance test for every backend, with batching both
+/// on (the default) and off — the contract must be indistinguishable.
 macro_rules! all_backends {
     ($($test:ident),* $(,)?) => {
         conformance!(sim: $($test),*);
+        conformance!(sim_unbatched: $($test),*);
         conformance!(tcp: $($test),*);
+        conformance!(tcp_unbatched: $($test),*);
     };
 }
 

@@ -34,7 +34,7 @@
 //! heals, preserving the single total order end to end.
 
 use crate::fault::{FaultConfig, FaultRecord, FaultState, NETWORK_REPLICA};
-use crate::traits::{Delivery, GcsError, View, HELD_SEND_SEQ};
+use crate::traits::{BatchEntry, Delivery, GcsError, View, HELD_SEND_SEQ};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use sirep_common::journal::FaultKind;
@@ -46,6 +46,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default receiver-side coalescing cap for the sim backend (mirrors the
+/// TCP sequencer's writer-side cap).
+pub const DEFAULT_SIM_BATCH: usize = 32;
 
 /// SimGroup configuration.
 #[derive(Debug, Clone)]
@@ -60,6 +64,12 @@ pub struct GroupConfig {
     /// view ("reconfiguration [...] can take up to a couple of seconds").
     pub detection_delay_ms: f64,
     pub scale: TimeScale,
+    /// Writeset batching: a receiver that finds several already-visible
+    /// total-order deliveries queued coalesces up to this many into one
+    /// [`Delivery::TotalBatch`]. `1` disables batching. Sequencing, fault
+    /// decisions and per-entry seqs are unaffected — batching only groups
+    /// what delivery-loop iteration order already fixed.
+    pub batch_max: usize,
 }
 
 impl GroupConfig {
@@ -70,6 +80,7 @@ impl GroupConfig {
             fifo_delay_ms: 0.0,
             detection_delay_ms: 0.0,
             scale: TimeScale::REAL_TIME,
+            batch_max: DEFAULT_SIM_BATCH,
         }
     }
 
@@ -81,7 +92,15 @@ impl GroupConfig {
             fifo_delay_ms: 1.0,
             detection_delay_ms: 1000.0,
             scale,
+            batch_max: DEFAULT_SIM_BATCH,
         }
+    }
+
+    /// This config with delivery batching disabled — the differential and
+    /// conformance suites use it to compare against the unbatched stream.
+    pub fn unbatched(mut self) -> GroupConfig {
+        self.batch_max = 1;
+        self
     }
 }
 
@@ -452,7 +471,13 @@ impl<M: Clone + Send + 'static> SimGroup<M> {
             None,
         );
         drop(st);
-        SimMember { id, group: Arc::clone(&self.inner), rx, last_seq: AtomicU64::new(u64::MAX) }
+        SimMember {
+            id,
+            group: Arc::clone(&self.inner),
+            rx,
+            last_seq: AtomicU64::new(u64::MAX),
+            stash: Mutex::new(None),
+        }
     }
 
     /// Crash a member: it is removed from the group and every survivor
@@ -653,6 +678,10 @@ pub struct SimMember<M> {
     /// enqueues happen under the group lock, so this channel sees strictly
     /// increasing seqs except for injected duplicate copies.
     last_seq: AtomicU64,
+    /// One delivery pulled off the queue during batch coalescing that could
+    /// not join the batch (not total-order, or not yet visible). Drained
+    /// ahead of the channel by the next receive, preserving stream order.
+    stash: Mutex<Option<Timed<M>>>,
 }
 
 impl<M: Clone + Send + 'static> SimMember<M> {
@@ -691,16 +720,70 @@ impl<M: Clone + Send + 'static> SimMember<M> {
         Some(t.delivery)
     }
 
+    /// The stashed delivery left behind by a previous coalescing pass, if
+    /// any — it precedes everything still on the channel.
+    fn take_stashed(&self) -> Option<Timed<M>> {
+        self.stash.lock().take()
+    }
+
+    /// Greedily coalesce already-visible queued total-order deliveries
+    /// behind `first` into one [`Delivery::TotalBatch`], up to the config
+    /// cap. Dedup and gauge accounting per entry are identical to
+    /// [`SimMember::admit`]; the first delivery that cannot join the batch
+    /// (view/FIFO, or latency not yet elapsed — coalescing never waits) is
+    /// stashed for the next receive. With `batch_max <= 1` this is the
+    /// identity function.
+    fn coalesce(&self, first: Delivery<M>) -> Delivery<M> {
+        let batch_max = self.group.config.batch_max;
+        if batch_max <= 1 {
+            return first;
+        }
+        let (seq0, sender0, sequenced_at, msg0) = match first {
+            Delivery::TotalOrder { seq, sender, sequenced_at, msg } => {
+                (seq, sender, sequenced_at, msg)
+            }
+            other => return other,
+        };
+        let mut entries = vec![BatchEntry { seq: seq0, sender: sender0, msg: msg0 }];
+        while entries.len() < batch_max {
+            let Ok(t) = self.rx.try_recv() else { break };
+            let Timed { visible_at, delivery } = t;
+            match delivery {
+                Delivery::TotalOrder { seq, sender, msg, .. } if visible_at <= Instant::now() => {
+                    self.group.in_flight.sub(1);
+                    let last = self.last_seq.load(Ordering::Relaxed);
+                    if last != u64::MAX && seq <= last {
+                        continue; // injected duplicate copy
+                    }
+                    self.last_seq.store(seq, Ordering::Relaxed);
+                    entries.push(BatchEntry { seq, sender, msg });
+                }
+                delivery => {
+                    *self.stash.lock() = Some(Timed { visible_at, delivery });
+                    break;
+                }
+            }
+        }
+        if entries.len() == 1 {
+            let e = entries.pop().expect("len checked above");
+            Delivery::TotalOrder { seq: e.seq, sender: e.sender, sequenced_at, msg: e.msg }
+        } else {
+            Delivery::TotalBatch { sequenced_at, entries }
+        }
+    }
+
     /// Blocking receive; sleeps until the delivery's simulated arrival time.
     pub fn recv(&self) -> Result<Delivery<M>, GcsError> {
         loop {
-            match self.rx.recv() {
-                Ok(t) => {
-                    if let Some(d) = self.admit(t) {
-                        return Ok(d);
-                    }
-                }
-                Err(_) => return Err(GcsError::Disconnected),
+            let t = match self.take_stashed() {
+                Some(t) => t,
+                None => match self.rx.recv() {
+                    Ok(t) => t,
+                    Err(_) => return Err(GcsError::Disconnected),
+                },
+            };
+            if let Some(d) = self.admit(t) {
+                return Ok(self.coalesce(d));
             }
         }
     }
@@ -709,17 +792,20 @@ impl<M: Clone + Send + 'static> SimMember<M> {
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Delivery<M>, GcsError> {
         let deadline = Instant::now() + timeout;
         loop {
-            match self.rx.recv_deadline(deadline) {
-                Ok(t) => {
-                    // Honour the simulated latency but never past the
-                    // caller's deadline by more than the remaining sim
-                    // delay.
-                    if let Some(d) = self.admit(t) {
-                        return Ok(d);
+            let t = match self.take_stashed() {
+                Some(t) => t,
+                None => match self.rx.recv_deadline(deadline) {
+                    Ok(t) => t,
+                    Err(channel::RecvTimeoutError::Timeout) => return Err(GcsError::Timeout),
+                    Err(channel::RecvTimeoutError::Disconnected) => {
+                        return Err(GcsError::Disconnected)
                     }
-                }
-                Err(channel::RecvTimeoutError::Timeout) => return Err(GcsError::Timeout),
-                Err(channel::RecvTimeoutError::Disconnected) => return Err(GcsError::Disconnected),
+                },
+            };
+            // Honour the simulated latency but never past the caller's
+            // deadline by more than the remaining sim delay.
+            if let Some(d) = self.admit(t) {
+                return Ok(self.coalesce(d));
             }
         }
     }
@@ -728,13 +814,12 @@ impl<M: Clone + Send + 'static> SimMember<M> {
     /// "arrived" (its simulated latency elapsed).
     pub fn try_recv(&self) -> Option<Delivery<M>> {
         loop {
-            match self.rx.try_recv() {
-                Ok(t) => {
-                    if let Some(d) = self.admit(t) {
-                        return Some(d);
-                    }
-                }
-                Err(_) => return None,
+            let t = match self.take_stashed() {
+                Some(t) => t,
+                None => self.rx.try_recv().ok()?,
+            };
+            if let Some(d) = self.admit(t) {
+                return Some(self.coalesce(d));
             }
         }
     }

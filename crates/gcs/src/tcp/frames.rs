@@ -128,6 +128,12 @@ pub enum DownFrame {
     /// Admin reply to [`UpFrame::TimeProbe`]: nanoseconds on the
     /// sequencer's monotonic clock since it started serving.
     Time { now_ns: u64 },
+    /// A coalesced run of sequenced total-order multicasts: the sequencer's
+    /// writer thread batches messages that queued up behind one socket
+    /// write. Per-entry `(seq, sender, payload)` triples are preserved in
+    /// sequence order, so delivery is bit-identical to receiving the same
+    /// run as individual [`DownFrame::Total`] frames.
+    Batch { entries: Vec<(u64, u64, Bytes)> },
 }
 
 impl Wire for DownFrame {
@@ -166,6 +172,10 @@ impl Wire for DownFrame {
                 out.push(6);
                 now_ns.encode(out);
             }
+            DownFrame::Batch { entries } => {
+                out.push(7);
+                entries.encode(out);
+            }
         }
     }
 
@@ -187,6 +197,7 @@ impl Wire for DownFrame {
                 members: Vec::decode(r)?,
             }),
             6 => Ok(DownFrame::Time { now_ns: u64::decode(r)? }),
+            7 => Ok(DownFrame::Batch { entries: Vec::decode(r)? }),
             _ => Err(WireError::Corrupt("downframe tag")),
         }
     }
@@ -230,6 +241,14 @@ mod tests {
             members: vec![(0, 3), (1 << 32, 0)],
         });
         round_trip(&DownFrame::Time { now_ns: 1_234_567_890 });
+        round_trip(&DownFrame::Batch { entries: Vec::new() });
+        round_trip(&DownFrame::Batch {
+            entries: vec![
+                (3, 0, Bytes(vec![1, 2])),
+                (4, 2, Bytes(Vec::new())),
+                (5, 1, Bytes(vec![0xaa; 48])),
+            ],
+        });
     }
 
     #[test]
@@ -257,6 +276,21 @@ mod tests {
         #[test]
         fn prop_truncations_rejected(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
             let frame = DownFrame::Total { seq: 1, sender: 2, payload: Bytes(payload) };
+            let bytes = frame.to_wire();
+            for cut in 0..bytes.len() {
+                prop_assert!(DownFrame::from_wire(&bytes[..cut]).is_err());
+            }
+        }
+
+        #[test]
+        fn prop_batch_truncations_rejected(payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..16), 1..5)) {
+            let entries = payloads
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (i as u64 + 1, (i % 3) as u64, Bytes(p)))
+                .collect::<Vec<_>>();
+            let frame = DownFrame::Batch { entries };
             let bytes = frame.to_wire();
             for cut in 0..bytes.len() {
                 prop_assert!(DownFrame::from_wire(&bytes[..cut]).is_err());

@@ -33,7 +33,7 @@
 pub mod frames;
 pub mod seq;
 
-use crate::traits::{Cast, Delivery, GcsError, Group, Member, View, HELD_SEND_SEQ};
+use crate::traits::{BatchEntry, Cast, Delivery, GcsError, Group, Member, View, HELD_SEND_SEQ};
 use crossbeam::channel::{self, Receiver};
 use frames::{Bytes, DownFrame, UpFrame};
 use parking_lot::Mutex;
@@ -136,6 +136,7 @@ impl<M: Wire + Clone + Send + 'static> TcpGroup<M> {
 
     fn admin(&self, req: &UpFrame) -> io::Result<DownFrame> {
         let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
         write_frame(&mut stream, req)?;
         read_frame(&mut stream)
     }
@@ -356,6 +357,46 @@ fn reader_loop<M: Wire>(
                     msg,
                 }
             }
+            DownFrame::Batch { entries } => {
+                // Per-entry processing identical to the Total arm: dedup by
+                // sequence number, close own-send pending windows, decode.
+                let mut batch = Vec::with_capacity(entries.len());
+                let mut bad_decode = false;
+                for (seq, sender, payload) in entries {
+                    if last_seq.is_some_and(|last| seq <= last) {
+                        continue;
+                    }
+                    last_seq = Some(seq);
+                    if sender == shared.id.raw() {
+                        shared.pending_sends.sub(1);
+                    }
+                    let Ok(msg) = M::from_wire(&payload.0) else {
+                        bad_decode = true;
+                        break;
+                    };
+                    batch.push(BatchEntry { seq, sender: MemberId::new(sender), msg });
+                }
+                if bad_decode {
+                    shared.decode_failures.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                match batch.len() {
+                    0 => continue,
+                    // A fully-deduped-to-one batch delivers exactly like
+                    // the unbatched stream would.
+                    1 => {
+                        // sirep-lint: allow(no-unwrap-on-protocol-paths): len checked == 1
+                        let e = batch.pop().expect("len checked above");
+                        Delivery::TotalOrder {
+                            seq: e.seq,
+                            sender: e.sender,
+                            sequenced_at: Instant::now(),
+                            msg: e.msg,
+                        }
+                    }
+                    _ => Delivery::TotalBatch { sequenced_at: Instant::now(), entries: batch },
+                }
+            }
             DownFrame::Fifo { sender, payload } => {
                 let Ok(msg) = M::from_wire(&payload.0) else {
                     shared.decode_failures.fetch_add(1, Ordering::Relaxed);
@@ -550,6 +591,7 @@ impl SeqStats {
 
 fn admin_scrape(addr: &str, req: &UpFrame) -> io::Result<DownFrame> {
     let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(ADMIN_TIMEOUT))?;
     write_frame(&mut stream, req)?;
     read_frame(&mut stream)

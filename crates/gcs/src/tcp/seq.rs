@@ -30,7 +30,7 @@
 //! change. There is no failure *suspicion* — exactly the crash-stop model
 //! the paper assumes.
 
-use super::frames::{DownFrame, UpFrame};
+use super::frames::{Bytes, DownFrame, UpFrame};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use sirep_common::wire::{read_frame, write_frame, Wire};
@@ -47,12 +47,27 @@ use std::time::Instant;
 /// ids must therefore fit in 32 bits on this transport.
 pub const MEMBER_INCARNATION_SHIFT: u32 = 32;
 
+/// Default cap on how many sequenced totals one socket write may coalesce
+/// into a [`DownFrame::Batch`]. Batching only engages when a writer falls
+/// behind sequencing, so the cap bounds frame size without adding latency.
+pub const DEFAULT_SEQ_BATCH: usize = 32;
+
+/// One item on a member's outbound queue.
+enum Outbound {
+    /// A pre-encoded frame written as-is (welcome, replay, views, FIFOs).
+    Raw(Arc<[u8]>),
+    /// A sequenced total-order message, eligible for writer-side
+    /// coalescing. `encoded` is the shared single-frame encoding (the same
+    /// allocation the log retains), used when the total goes out alone.
+    Total { seq: u64, sender: u64, payload: Arc<Bytes>, encoded: Arc<[u8]> },
+}
+
 /// One connected member as the sequencer sees it.
 struct MemberConn {
     replica: u64,
     /// Outbound queue drained by this member's writer thread. Unbounded so
     /// enqueueing under the state lock never blocks on a slow socket.
-    tx: Sender<Arc<[u8]>>,
+    tx: Sender<Outbound>,
     /// Frames enqueued but not yet written — this member's share of the
     /// fan-out backlog, reported by [`UpFrame::Stats`]. Incremented at
     /// enqueue (under the state lock), decremented by the writer thread.
@@ -92,7 +107,29 @@ impl SeqState {
             // A full/dead peer is detected by its writer thread; ignoring
             // the send error here is fine because the queue outlives the
             // member only until eviction.
-            if conn.tx.send(Arc::clone(&encoded)).is_ok() {
+            if conn.tx.send(Outbound::Raw(Arc::clone(&encoded))).is_ok() {
+                conn.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Sequence a total-order payload: the log keeps the single-frame
+    /// encoding (so joiner replay is byte-identical to the unbatched
+    /// stream), while members receive a structured item their writer
+    /// thread may coalesce into a [`DownFrame::Batch`].
+    fn sequence_total(&mut self, seq: u64, sender: u64, payload: Bytes) {
+        let payload = Arc::new(payload);
+        let encoded: Arc<[u8]> =
+            DownFrame::Total { seq, sender, payload: (*payload).clone() }.to_wire().into();
+        self.log.push(Arc::clone(&encoded));
+        for conn in self.members.values() {
+            let item = Outbound::Total {
+                seq,
+                sender,
+                payload: Arc::clone(&payload),
+                encoded: Arc::clone(&encoded),
+            };
+            if conn.tx.send(item).is_ok() {
                 conn.queue_depth.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -122,6 +159,9 @@ struct SeqInner {
     /// reported by [`UpFrame::TimeProbe`], against which every node process
     /// aligns its trace timestamps.
     epoch: Instant,
+    /// Per-socket-write coalescing cap; `1` disables batching (every total
+    /// goes out as an individual [`DownFrame::Total`]).
+    batch_max: usize,
 }
 
 /// The sequencer service handle. Dropping it shuts the service down.
@@ -133,8 +173,15 @@ pub struct Sequencer {
 
 impl Sequencer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// serving.
+    /// serving, with writeset batching at the default coalescing cap.
     pub fn spawn(addr: &str) -> io::Result<Sequencer> {
+        Sequencer::spawn_with_batching(addr, DEFAULT_SEQ_BATCH)
+    }
+
+    /// Like [`Sequencer::spawn`] with an explicit coalescing cap.
+    /// `batch_max <= 1` disables batching entirely — the differential and
+    /// conformance suites use that to compare against the unbatched stream.
+    pub fn spawn_with_batching(addr: &str, batch_max: usize) -> io::Result<Sequencer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let inner = Arc::new(SeqInner {
@@ -147,6 +194,7 @@ impl Sequencer {
             }),
             shutdown: AtomicBool::new(false),
             epoch: Instant::now(),
+            batch_max: batch_max.max(1),
         });
         let accept_inner = Arc::clone(&inner);
         let accept_listener = listener.try_clone()?;
@@ -192,6 +240,8 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<SeqInner>) {
             return;
         }
         let Ok((stream, _)) = conn else { return };
+        // Sequenced frames are small and latency-critical: never Nagle them.
+        let _ = stream.set_nodelay(true);
         let conn_inner = Arc::clone(inner);
         let spawned = thread::Builder::new()
             .name("sirep-seq-conn".into())
@@ -221,7 +271,7 @@ fn serve_conn(stream: TcpStream, inner: &Arc<SeqInner>) {
                 if st.members.contains_key(&id) {
                     let seq = st.next_seq;
                     st.next_seq += 1;
-                    st.sequence(&DownFrame::Total { seq, sender: id, payload });
+                    st.sequence_total(seq, id, payload);
                 }
             }
             (UpFrame::Fifo { payload }, Some(id)) => {
@@ -287,7 +337,7 @@ fn handle_join(stream: &TcpStream, inner: &Arc<SeqInner>, replica: u64) -> io::R
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "replica id exceeds 32 bits"));
     }
     let write = stream.try_clone()?;
-    let (tx, rx) = channel::unbounded::<Arc<[u8]>>();
+    let (tx, rx) = channel::unbounded::<Outbound>();
     let queue_depth = Arc::new(AtomicU64::new(0));
     let id;
     {
@@ -299,7 +349,7 @@ fn handle_join(stream: &TcpStream, inner: &Arc<SeqInner>, replica: u64) -> io::R
         // ends with the view frame that admits this member, because we
         // register + sequence under the same lock hold.
         let welcome = DownFrame::Welcome { member: id, incarnation: count };
-        let _ = tx.send(welcome.to_wire().into());
+        let _ = tx.send(Outbound::Raw(welcome.to_wire().into()));
         queue_depth.fetch_add(1, Ordering::Relaxed);
         st.members.insert(
             id,
@@ -314,9 +364,11 @@ fn handle_join(stream: &TcpStream, inner: &Arc<SeqInner>, replica: u64) -> io::R
         let frame = st.view_frame();
         // `sequence` fans out to every live member including the joiner —
         // but the joiner must first see the history, so replay everything
-        // *before* this view into its queue, then sequence.
+        // *before* this view into its queue, then sequence. Replay is
+        // per-frame (`Raw`) even when batching is on: the log retains the
+        // single-frame encodings.
         for encoded in &st.log {
-            let _ = tx.send(Arc::clone(encoded));
+            let _ = tx.send(Outbound::Raw(Arc::clone(encoded)));
         }
         queue_depth.fetch_add(st.log.len() as u64, Ordering::Relaxed);
         st.sequence(&frame);
@@ -328,30 +380,72 @@ fn handle_join(stream: &TcpStream, inner: &Arc<SeqInner>, replica: u64) -> io::R
     Ok(id)
 }
 
-/// Drain one member's outbound queue onto its socket. A write failure means
-/// the peer is gone: evict it so the group agrees.
+/// Drain one member's outbound queue onto its socket, coalescing runs of
+/// queued totals into [`DownFrame::Batch`] frames up to the configured cap.
+/// A write failure means the peer is gone: evict it so the group agrees.
 fn writer_loop(
     mut stream: TcpStream,
-    rx: &Receiver<Arc<[u8]>>,
+    rx: &Receiver<Outbound>,
     inner: &Arc<SeqInner>,
     id: u64,
     queue_depth: &AtomicU64,
 ) {
-    use std::io::Write;
-    while let Ok(frame) = rx.recv() {
-        let written = {
-            let len = (frame.len() as u32).to_le_bytes();
-            stream.write_all(&len).is_ok()
-                && stream.write_all(&frame).is_ok()
-                && stream.flush().is_ok()
+    let batch_max = inner.batch_max;
+    // An item pulled off the queue that could not join the current batch;
+    // written on the next iteration, before blocking on the channel again.
+    let mut carry: Option<Outbound> = None;
+    loop {
+        let first = match carry.take() {
+            Some(item) => item,
+            None => match rx.recv() {
+                Ok(item) => item,
+                Err(_) => return,
+            },
+        };
+        let mut drained = 1u64;
+        let written = match first {
+            Outbound::Raw(frame) => write_one(&mut stream, &frame),
+            Outbound::Total { seq, sender, payload, encoded } => {
+                // Coalesce totals that queued up behind this write; stop at
+                // the first non-total item so stream order is preserved.
+                let mut entries = vec![(seq, sender, (*payload).clone())];
+                let mut solo = Some(encoded);
+                while entries.len() < batch_max {
+                    match rx.try_recv() {
+                        Ok(Outbound::Total { seq, sender, payload, .. }) => {
+                            entries.push((seq, sender, (*payload).clone()));
+                            solo = None;
+                            drained += 1;
+                        }
+                        Ok(other) => {
+                            carry = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                match solo {
+                    // A lone total goes out byte-identical to the
+                    // unbatched stream.
+                    Some(encoded) => write_one(&mut stream, &encoded),
+                    None => write_one(&mut stream, &DownFrame::Batch { entries }.to_wire()),
+                }
+            }
         };
         // Dequeued either way; saturate in case an enqueue/decrement pair
         // ever races a restart of the counter.
-        let _ = queue_depth
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+        let _ = queue_depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(drained))
+        });
         if !written {
             inner.state.lock().evict(&[id]);
             return;
         }
     }
+}
+
+fn write_one(stream: &mut TcpStream, frame: &[u8]) -> bool {
+    use std::io::Write;
+    let len = (frame.len() as u32).to_le_bytes();
+    stream.write_all(&len).is_ok() && stream.write_all(frame).is_ok() && stream.flush().is_ok()
 }

@@ -48,6 +48,15 @@ pub enum Statement {
     Select(Select),
 }
 
+impl Statement {
+    /// Whether executing this statement can modify data. DDL counts as a
+    /// write (it changes the schema). Sessions declared read-only use this
+    /// to reject writes before the engine ever sees them.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, Statement::Select(_))
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 pub struct Select {
     pub projection: Vec<SelectItem>,

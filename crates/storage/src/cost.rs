@@ -39,8 +39,14 @@ pub struct CostModel {
     /// Write of one row when applying a replicated writeset (no SQL
     /// processing, no read — just install the after-image).
     pub apply_write_ms: f64,
-    /// Commit of an update transaction (log force).
-    pub commit_ms: f64,
+    /// Per-transaction CPU share of a commit (log record construction,
+    /// status flip). Charged once per transaction even inside a group
+    /// commit.
+    pub commit_entry_ms: f64,
+    /// The log force itself (disk flush). Charged once per commit *batch* —
+    /// this is the saving group commit exists to exploit: n transactions
+    /// share one flush.
+    pub commit_flush_ms: f64,
     /// Per-statement SQL overhead (parse/plan/dispatch); charged by the SQL
     /// layer, not the engine.
     pub stmt_overhead_ms: f64,
@@ -57,7 +63,8 @@ impl CostModel {
             scan_row_ms: 0.0,
             write_ms: 0.0,
             apply_write_ms: 0.0,
-            commit_ms: 0.0,
+            commit_entry_ms: 0.0,
+            commit_flush_ms: 0.0,
             stmt_overhead_ms: 0.0,
         }
     }
@@ -69,7 +76,8 @@ impl CostModel {
             && self.scan_row_ms == 0.0
             && self.write_ms == 0.0
             && self.apply_write_ms == 0.0
-            && self.commit_ms == 0.0
+            && self.commit_entry_ms == 0.0
+            && self.commit_flush_ms == 0.0
             && self.stmt_overhead_ms == 0.0
     }
 }
@@ -140,8 +148,19 @@ impl CostGate {
         self.charge(self.model.apply_write_ms);
     }
 
+    /// Commit of a single transaction: one entry's CPU share plus the
+    /// log force.
     pub fn commit(&self) {
-        self.charge(self.model.commit_ms);
+        self.charge(self.model.commit_entry_ms + self.model.commit_flush_ms);
+    }
+
+    /// Group commit of `n` transactions: n entry shares but a single
+    /// shared log force.
+    pub fn commit_batch(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.charge(self.model.commit_entry_ms * n as f64 + self.model.commit_flush_ms);
     }
 
     pub fn stmt_overhead(&self) {

@@ -21,7 +21,8 @@ fn main() {
         scan_row_ms: 0.05,
         write_ms: 5.0,
         apply_write_ms: 1.2,
-        commit_ms: 5.0,
+        commit_entry_ms: 1.0,
+        commit_flush_ms: 4.0,
         stmt_overhead_ms: 1.0,
     };
     let workload = LargeDb {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Bench smoke gate: compare a fresh e2e bench run against the committed
+# baseline (results/BENCH_e2e.json). Rows are matched on
+# (replicas, clients, read_pct); any matched row whose committed-tps drops
+# by more than BENCH_GATE_PCT percent (default 30) fails the gate.
+#
+# Usage: scripts/bench_gate.sh <fresh.json> [baseline.json]
+# The tolerance is deliberately wide: it catches "group commit stopped
+# batching"-class collapses, not run-to-run scheduler noise.
+set -euo pipefail
+FRESH=${1:?usage: bench_gate.sh <fresh.json> [baseline.json]}
+BASE=${2:-results/BENCH_e2e.json}
+
+python3 - "$FRESH" "$BASE" <<'PY'
+import json, os, sys
+
+fresh_path, base_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    fresh = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+tol = float(os.environ.get("BENCH_GATE_PCT", "30")) / 100.0
+
+def key(r):
+    return (r["replicas"], r["clients"], r.get("read_pct", 0))
+
+baseline = {key(r): r for r in base["rows"]}
+bad, matched = [], 0
+for r in fresh["rows"]:
+    k = key(r)
+    if k not in baseline:
+        continue
+    matched += 1
+    floor = baseline[k]["tps"] * (1.0 - tol)
+    if r["tps"] < floor:
+        bad.append(
+            "  replicas=%d clients=%d read_pct=%d: %.1f tps < floor %.1f "
+            "(baseline %.1f)" % (*k, r["tps"], floor, baseline[k]["tps"])
+        )
+if matched == 0:
+    sys.exit("bench gate: no rows matched between %s and %s" % (fresh_path, base_path))
+if bad:
+    print("bench gate: committed-tps regression beyond %d%% tolerance:" % int(tol * 100))
+    print("\n".join(bad))
+    sys.exit(1)
+print("bench gate ok: %d rows within %d%% of baseline" % (matched, int(tol * 100)))
+PY

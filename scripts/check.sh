@@ -101,7 +101,7 @@ if [[ "$QUICK" == "1" ]]; then
     cargo test --offline --workspace --lib -q
     echo "==> sirep-lint rule fixtures"
     cargo test --offline -p sirep-lint --test fixtures_test -q
-    echo "==> certification differential property test (indexed vs scan oracle)"
+    echo "==> certification differential property tests (indexed vs scan oracle; batched vs single-frame delivery)"
     cargo test --offline -p sirep-core --lib validation::differential -q
     echo "==> chaos harness (2 pinned seeds)"
     SIREP_CHAOS_SEEDS=2 cargo test --offline --test chaos_faults -q

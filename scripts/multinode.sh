@@ -12,7 +12,7 @@
 # Env:   OPS, ACCOUNTS, SEED, PROFILE (debug|release)
 #        BENCH_OUT (default: bench JSON stays in the temp workdir;
 #        set BENCH_OUT=results/BENCH_e2e.json to refresh the baseline)
-#        BENCH_CLIENTS, BENCH_SECS
+#        BENCH_CLIENTS, BENCH_SECS, BENCH_READ_MIX, BENCH_WARMUP_MS
 # On failure the workdir (logs, report, trace, bench JSON) is copied to
 # artifacts/multinode/ for CI upload.
 set -euo pipefail
@@ -138,7 +138,8 @@ echo "== phase 5: e2e bench baseline (committed transfers/sec) =="
 BENCH_OUT=${BENCH_OUT:-$WORKDIR/BENCH_e2e.json}
 "$BIN" workload --nodes "$(join_addrs)" --ops 1 --accounts "$ACCOUNTS" \
     --seed $((SEED + 3)) --bench-json "$BENCH_OUT" \
-    --clients "${BENCH_CLIENTS:-1,2,4}" --bench-secs "${BENCH_SECS:-2}"
+    --clients "${BENCH_CLIENTS:-1,2,4}" --bench-secs "${BENCH_SECS:-2}" \
+    --read-mix "${BENCH_READ_MIX:-0,50}" --bench-warmup-ms "${BENCH_WARMUP_MS:-500}"
 if [ ! -s "$BENCH_OUT" ]; then
     echo "error: bench output $BENCH_OUT missing or empty" >&2
     exit 1
