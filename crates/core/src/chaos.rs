@@ -18,9 +18,36 @@
 //!
 //! [`EventKind::CrashPointFired`]: sirep_common::EventKind::CrashPointFired
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use sirep_common::{CrashPoint, ReplicaId};
 use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Named places in the protocol where a thread can be made to *pause*
+/// (block) until released — the deterministic-schedule counterpart of a
+/// [`CrashPoint`], used by counterexample-replay tests (sirep-model) to
+/// hold a thread inside a specific interleaving window. Unlike a crash
+/// point a pause is not one-shot: every thread of the armed replica that
+/// reaches the point blocks until [`CrashPlan::release_pause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PausePoint {
+    /// In `begin_local` (SRCA-Opt), just before the state lock is taken —
+    /// the window the nonatomic-begin-snapshot counterexample schedules a
+    /// concurrent commit into.
+    OptBeginPreLock,
+    /// In `run_applier`, after a batch is claimed but before it is applied
+    /// and committed — the window where a writeset is validated (its
+    /// outcome known) but not yet locally visible.
+    ApplierBeforeCommit,
+}
+
+/// One armed pause: who pauses there, and how many threads have reached
+/// the point so far (lets a test wait until the target thread is parked).
+#[derive(Debug, Clone, Copy)]
+struct Pause {
+    replica: ReplicaId,
+    reached: usize,
+}
 
 /// Armed crash-points for one cluster. Cheap to check when nothing is
 /// armed (one short mutex hold on an empty map). A `BTreeMap` so that
@@ -29,6 +56,8 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default)]
 pub struct CrashPlan {
     armed: Mutex<BTreeMap<CrashPoint, ReplicaId>>,
+    paused: Mutex<BTreeMap<PausePoint, Pause>>,
+    pause_cond: Condvar,
 }
 
 impl CrashPlan {
@@ -50,6 +79,36 @@ impl CrashPlan {
     /// Currently armed points.
     pub fn armed(&self) -> Vec<(CrashPoint, ReplicaId)> {
         self.armed.lock().iter().map(|(&p, &r)| (p, r)).collect()
+    }
+
+    /// Arm `point` as a pause for `replica`; replaces any previous arming.
+    pub fn arm_pause(&self, point: PausePoint, replica: ReplicaId) {
+        self.paused.lock().insert(point, Pause { replica, reached: 0 });
+    }
+
+    /// Release every thread parked at `point` (no-op if not armed).
+    pub fn release_pause(&self, point: PausePoint) {
+        self.paused.lock().remove(&point);
+        self.pause_cond.notify_all();
+    }
+
+    /// How many threads have reached `point` since it was armed — a test
+    /// polls this to know its target thread is parked in the window.
+    pub fn pause_reached(&self, point: PausePoint) -> usize {
+        self.paused.lock().get(&point).map_or(0, |p| p.reached)
+    }
+
+    /// Block while `point` is armed for `replica`. The tick keeps the wait
+    /// robust against a release racing the park (no lost-wakeup hangs).
+    pub(crate) fn pause_at(&self, point: PausePoint, replica: ReplicaId) {
+        let mut paused = self.paused.lock();
+        match paused.get_mut(&point) {
+            Some(p) if p.replica == replica => p.reached += 1,
+            _ => return,
+        }
+        while paused.get(&point).is_some_and(|p| p.replica == replica) {
+            self.pause_cond.wait_for(&mut paused, Duration::from_millis(25));
+        }
     }
 
     /// True (and disarms the point) exactly once, when `replica` reaches an
@@ -78,6 +137,29 @@ mod tests {
         assert!(plan.fire(p, ReplicaId::new(1)));
         assert!(!plan.fire(p, ReplicaId::new(1)), "second reach must not re-fire");
         assert!(plan.armed().is_empty());
+    }
+
+    #[test]
+    fn pause_points_block_until_released_and_are_replica_scoped() {
+        let plan = std::sync::Arc::new(CrashPlan::new());
+        let p = PausePoint::ApplierBeforeCommit;
+        // Unarmed and wrong-replica reaches are no-ops.
+        plan.pause_at(p, ReplicaId::new(0));
+        plan.arm_pause(p, ReplicaId::new(1));
+        plan.pause_at(p, ReplicaId::new(0));
+        assert_eq!(plan.pause_reached(p), 0, "wrong replica must not park");
+        let t = {
+            let plan = std::sync::Arc::clone(&plan);
+            std::thread::spawn(move || plan.pause_at(p, ReplicaId::new(1)))
+        };
+        while plan.pause_reached(p) == 0 {
+            std::thread::yield_now();
+        }
+        assert!(!t.is_finished(), "armed pause must park the matching replica");
+        plan.release_pause(p);
+        t.join().unwrap();
+        // Released points are gone: reaching again is a no-op.
+        plan.pause_at(p, ReplicaId::new(1));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Cluster assembly: N middleware/database replica pairs over one group.
 
 use crate::audit::{AuditViolation, Auditor};
-use crate::chaos::CrashPlan;
+use crate::chaos::{CrashPlan, PausePoint};
 use crate::model::{ReplicatedExecution, TxSpec};
 use crate::msg::{ReplMsg, XactId};
 use crate::node::{MemberRegistry, NodeStatus, ReplicaNode, ReplicationMode};
@@ -488,6 +488,23 @@ impl Cluster {
     /// Crash-points still armed (not yet fired or disarmed).
     pub fn armed_crash_points(&self) -> Vec<(CrashPoint, ReplicaId)> {
         self.crash_plan.armed()
+    }
+
+    /// Arm a pause-point: threads of replica `k` reaching `point` block
+    /// until [`Cluster::release_pause`] — the deterministic-interleaving
+    /// hook counterexample-replay tests (sirep-model) are built on.
+    pub fn arm_pause(&self, point: PausePoint, k: usize) {
+        self.crash_plan.arm_pause(point, ReplicaId::new(self.config.first_replica + k as u64));
+    }
+
+    /// Release every thread parked at `point` and disarm it.
+    pub fn release_pause(&self, point: PausePoint) {
+        self.crash_plan.release_pause(point);
+    }
+
+    /// How many threads have parked at `point` since it was armed.
+    pub fn pause_reached(&self, point: PausePoint) -> usize {
+        self.crash_plan.pause_reached(point)
     }
 
     /// Crash replica `k`: survivors get a view change; clients of `k` see

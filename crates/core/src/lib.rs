@@ -57,7 +57,7 @@ pub mod validation;
 
 pub use audit::{AuditKind, AuditViolation, Auditor};
 pub use centralized::Centralized;
-pub use chaos::CrashPlan;
+pub use chaos::{CrashPlan, PausePoint};
 pub use cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ClusterReport, Transport};
 pub use export::{perfetto_trace_json, prometheus_text};
 pub use holes::HoleTracker;

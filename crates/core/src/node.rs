@@ -46,7 +46,7 @@
 //! force) happens outside all of them.
 
 use crate::audit::Auditor;
-use crate::chaos::CrashPlan;
+use crate::chaos::{CrashPlan, PausePoint};
 use crate::holes::HoleTracker;
 use crate::msg::{Outcome, ReplMsg, WsMsg, XactId};
 use crate::recorder::Recorder;
@@ -166,6 +166,15 @@ impl TocommitQueue {
 
     fn iter(&self) -> impl Iterator<Item = &QEntry> {
         self.entries.values()
+    }
+
+    /// Is `xact` still queued here — validated (its outcome known) but not
+    /// yet committed locally? Claimed entries stay in the queue until
+    /// `finalize`/`finalize_batch` removes them, so this covers the whole
+    /// in-flight window. O(n) scan, but only called on the rare
+    /// failover-inquire path.
+    fn contains_xact(&self, xact: XactId) -> bool {
+        self.entries.values().any(|e| e.xact == xact)
     }
 
     /// Adjustment-1 local validation: does `ws` conflict with any queued
@@ -653,6 +662,14 @@ impl ReplicaNode {
         true
     }
 
+    /// Block while `point` is armed for this replica — the deterministic
+    /// interleaving hook for counterexample-replay tests. Free when
+    /// unarmed (one short mutex probe). Must be called *without* protocol
+    /// locks held, so a parked thread cannot stall unrelated progress.
+    fn pause_point(&self, point: PausePoint) {
+        self.crash_plan.pause_at(point, self.id);
+    }
+
     /// Recompute the cert-state gauges. Called at mutation sites under the
     /// state lock; compiles away without `trace`.
     fn refresh_gauges(&self, st: &NodeState) {
@@ -853,10 +870,15 @@ impl ReplicaNode {
             ReplicationMode::SrcaOpt => {
                 // No hole-rule synchronization: begin immediately (1-copy-SI
                 // may be lost, which is the point of the ablation). The
-                // begin event is still journaled under the state lock so the
-                // journal's event order matches the bookkeeping order.
-                let txn = self.db.begin()?;
+                // engine begin and the snapshot-watermark capture still run
+                // under one state-lock hold: sirep-model's P3 counterexample
+                // (tests/model_replay.rs) showed that taking the engine
+                // snapshot before the lock lets a commit slip between the
+                // two, making the journaled snapshot claim tids the
+                // transaction cannot read.
+                self.pause_point(PausePoint::OptBeginPreLock);
                 let mut st = self.state.lock();
+                let txn = self.db.begin()?;
                 st.holes.local_started();
                 let snapshot = st.holes.max_committed();
                 self.journal.record(EventKind::TxBegin { xact });
@@ -980,19 +1002,34 @@ impl ReplicaNode {
         let mut st = self.state.lock();
         loop {
             if let Some(o) = st.outcomes.get(xact) {
-                return Ok(InDoubt::Known(o));
-            }
-            // The transaction's origin *incarnation* has departed: uniform
-            // delivery put any writeset it multicast in front of the view
-            // change we already processed, so no outcome means no writeset
-            // — even if the replica id has since re-joined (recovery). The
-            // fallback arm requires a *recorded* incarnation: before this
-            // node has processed a view containing the origin, absence from
-            // the view means "not seen yet", not "departed".
-            if st.departed.contains(&(xact.origin, xact.incarnation()))
+                // A committed verdict is recorded at *validation* time, but
+                // answering then is a session-order bug sirep-model found
+                // (P7, tests/model_replay.rs): the writeset may still sit in
+                // the tocommit queue, so a failed-over client told
+                // "committed" could begin its next transaction here and
+                // miss its own write. Hold the answer until the entry has
+                // left the queue (committed locally). Momentary apply lock
+                // inside the state lock — the declared node-state <
+                // node-apply order, same as local validation.
+                let visible =
+                    o != Outcome::Committed || !self.apply.lock().queue.contains_xact(xact);
+                if visible {
+                    return Ok(InDoubt::Known(o));
+                }
+            } else if st.departed.contains(&(xact.origin, xact.incarnation()))
                 || (!st.view.contains(&xact.origin)
                     && st.incarnations.get(&xact.origin).copied() == Some(xact.incarnation()))
             {
+                // The transaction's origin *incarnation* has departed:
+                // uniform delivery put any writeset it multicast in front of
+                // the view change we already processed, so no outcome means
+                // no writeset — even if the replica id has since re-joined
+                // (recovery). The fallback arm requires a *recorded*
+                // incarnation: before this node has processed a view
+                // containing the origin, absence from the view means "not
+                // seen yet", not "departed". (Guarded on the outcome being
+                // absent: a known-but-not-yet-visible outcome must wait
+                // below, never degrade to NeverReceived.)
                 return Ok(InDoubt::NeverReceived);
             }
             if !self.is_alive() {
@@ -1273,6 +1310,10 @@ impl ReplicaNode {
                     self.apply_cond.wait_for(&mut ap, WAIT_TICK);
                 }
             };
+            // Claimed entries are still in the queue (until finalize_batch
+            // removes them), so a thread parked here models "validated but
+            // not yet locally visible" for the P7 replay test.
+            self.pause_point(PausePoint::ApplierBeforeCommit);
             if self.crash_point(CrashPoint::AfterDeliverBeforeCommit) {
                 // The writesets were delivered and validated here but die
                 // uncommitted with the replica; uniform delivery means

@@ -103,11 +103,15 @@ if [[ "$QUICK" == "1" ]]; then
     cargo test --offline -p sirep-lint --test fixtures_test -q
     echo "==> certification differential property tests (indexed vs scan oracle; batched vs single-frame delivery)"
     cargo test --offline -p sirep-core --lib validation::differential -q
+    echo "==> sirep-model (exhaustive protocol exploration, quick scopes)"
+    cargo run --offline -q --release -p sirep-model -- --quick --emit results
     echo "==> chaos harness (2 pinned seeds)"
     SIREP_CHAOS_SEEDS=2 cargo test --offline --test chaos_faults -q
 else
     echo "==> cargo test (workspace)"
     cargo test --offline --workspace -q
+    echo "==> sirep-model (exhaustive protocol exploration, all scopes + mutant self-check)"
+    cargo run --offline -q --release -p sirep-model -- --full --self-check --emit results
     echo "==> chaos harness (16-seed sweep)"
     SIREP_CHAOS_SEEDS=16 cargo test --offline --test chaos_faults -q
 fi
