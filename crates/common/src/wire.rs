@@ -148,7 +148,12 @@ impl Wire for f64 {
 
 impl Wire for bool {
     fn encode(&self, out: &mut Vec<u8>) {
-        out.push(u8::from(*self));
+        // Literal tag bytes, mirrored by `decode`'s arms: the lint's
+        // wire-tag registry checks the two sides stay in sync.
+        match self {
+            false => out.push(0),
+            true => out.push(1),
+        }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         match u8::decode(r)? {

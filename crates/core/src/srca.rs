@@ -412,10 +412,11 @@ fn applier_loop(sh: Arc<Shared>, k: usize) {
                 if sh.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                let queue = &mut st.queues[k];
                 let idx = match sh.variant {
                     // Fig. 1: strictly the head of the queue.
                     SrcaVariant::Serial => {
-                        if st.queues[k].front().is_some_and(|e| !e.running) {
+                        if queue.front().is_some_and(|e| !e.running) {
                             Some(0)
                         } else {
                             None
@@ -423,11 +424,11 @@ fn applier_loop(sh: Arc<Shared>, k: usize) {
                     }
                     // Adjustment 2: first entry with no conflicting
                     // predecessor.
-                    _ => find_eligible(&st.queues[k]),
+                    _ => find_eligible(queue),
                 };
                 if let Some(i) = idx {
-                    st.queues[k][i].running = true;
-                    let e = &st.queues[k][i];
+                    let e = &mut queue[i];
+                    e.running = true;
                     break (e.tid, e.xact, Arc::clone(&e.ws), e.local);
                 }
                 sh.cond.wait_for(&mut st, WAIT_TICK);
@@ -460,18 +461,13 @@ fn applier_loop(sh: Arc<Shared>, k: usize) {
 }
 
 fn find_eligible(queue: &VecDeque<QEntry>) -> Option<usize> {
-    'outer: for i in 0..queue.len() {
-        if queue[i].running {
-            continue;
+    queue.iter().enumerate().find_map(|(i, e)| {
+        if e.running {
+            return None;
         }
-        for j in 0..i {
-            if queue[j].ws.intersects(&queue[i].ws) {
-                continue 'outer;
-            }
-        }
-        return Some(i);
-    }
-    None
+        let blocked = queue.iter().take(i).any(|p| p.ws.intersects(&e.ws));
+        (!blocked).then_some(i)
+    })
 }
 
 fn apply_remote(sh: &Arc<Shared>, k: usize, ws: &WriteSet) -> Option<TxnHandle> {
@@ -526,8 +522,9 @@ fn finalize(
         debug_assert!(res.is_ok(), "validated transaction failed to commit: {res:?}");
         st.holes[k].on_committed(tid);
         st.lastcommitted[k] = st.lastcommitted[k].max(tid);
-        if let Some(pos) = st.queues[k].iter().position(|e| e.xact == xact) {
-            st.queues[k].remove(pos);
+        let queue = &mut st.queues[k];
+        if let Some(pos) = queue.iter().position(|e| e.xact == xact) {
+            queue.remove(pos);
         }
         // Fig. 1 keeps ws_list entries forever; prune what no future cert
         // can reach (cert = some replica's lastcommitted, so the minimum
@@ -549,8 +546,9 @@ fn finalize(
 fn discard(sh: &Arc<Shared>, k: usize, tid: GlobalTid, xact: XactId) {
     let mut st = sh.state.lock();
     st.holes[k].on_discarded(tid);
-    if let Some(pos) = st.queues[k].iter().position(|e| e.xact == xact) {
-        st.queues[k].remove(pos);
+    let queue = &mut st.queues[k];
+    if let Some(pos) = queue.iter().position(|e| e.xact == xact) {
+        queue.remove(pos);
     }
     sh.cond.notify_all();
 }

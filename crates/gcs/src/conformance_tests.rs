@@ -487,14 +487,18 @@ mod tcp_only {
         let ta = a.transport();
         assert_eq!(ta.frames_out, 3, "sender frames_out: {ta:?}");
         assert!(ta.bytes_out > 0 && ta.bytes_in > 0, "byte counters never moved: {ta:?}");
-        // The reader saw at least the 3 totals plus view frames.
-        assert!(ta.frames_in >= 4, "reader frames_in: {ta:?}");
+        // The reader saw the totals plus at least one view frame. The
+        // sequencer may coalesce adjacent totals into one TotalBatch wire
+        // frame, so the floor is 2 frames, not 4.
+        assert!(ta.frames_in >= 2, "reader frames_in: {ta:?}");
         assert_eq!(ta.decode_failures, 0);
         assert_eq!(ta.pending_sends.current, 0, "sends all sequenced: {ta:?}");
         assert!(ta.pending_sends.high_water >= 1);
         let tc = c.transport();
         assert_eq!(tc.frames_out, 0, "c never multicast: {tc:?}");
-        assert!(tc.frames_in >= 3, "c delivered a's multicasts: {tc:?}");
+        // Same batching caveat: a's 3 multicasts may arrive at c as one
+        // TotalBatch frame on top of c's join view.
+        assert!(tc.frames_in >= 2, "c delivered a's multicasts: {tc:?}");
 
         // The group rollup covers both endpoints and counts churn.
         let tg = b.group.transport();

@@ -136,19 +136,34 @@ impl SeqState {
     }
 
     /// Remove members and sequence one view frame covering all of them.
-    fn evict(&mut self, ids: &[u64]) {
-        let mut changed = false;
+    ///
+    /// Returns the evicted members' sockets for the caller to shut down
+    /// *after* releasing the state lock: `shutdown` is a syscall, and
+    /// running it under the sequencer lock stalls sequencing for the
+    /// whole group while the kernel tears down a dead peer's socket.
+    #[must_use]
+    fn evict(&mut self, ids: &[u64]) -> Vec<TcpStream> {
+        let mut evicted = Vec::new();
         for id in ids {
             if let Some(conn) = self.members.remove(id) {
-                let _ = conn.stream.shutdown(Shutdown::Both);
-                changed = true;
+                evicted.push(conn.stream);
             }
         }
-        if changed {
+        if !evicted.is_empty() {
             self.view_id += 1;
             let frame = self.view_frame();
             self.sequence(&frame);
         }
+        evicted
+    }
+}
+
+/// Evict `ids` under the state lock, then shut their sockets down with
+/// the lock released (wakes each evicted member's reader and our writer).
+fn evict_and_shutdown(inner: &SeqInner, ids: &[u64]) {
+    let evicted = inner.state.lock().evict(ids);
+    for stream in evicted {
+        let _ = stream.shutdown(Shutdown::Both);
     }
 }
 
@@ -218,7 +233,7 @@ impl Sequencer {
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         let ids: Vec<u64> = self.inner.state.lock().members.keys().copied().collect();
-        self.inner.state.lock().evict(&ids);
+        evict_and_shutdown(&self.inner, &ids);
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
         // A second path for platforms where the self-connect races the
@@ -281,11 +296,11 @@ fn serve_conn(stream: TcpStream, inner: &Arc<SeqInner>) {
                 }
             }
             (UpFrame::Leave, Some(id)) => {
-                inner.state.lock().evict(&[id]);
+                evict_and_shutdown(inner, &[id]);
                 break;
             }
             (UpFrame::Evict { member }, None) => {
-                inner.state.lock().evict(&[member]);
+                evict_and_shutdown(inner, &[member]);
                 if write_frame(&mut (&read), &DownFrame::Evicted).is_err() {
                     break;
                 }
@@ -326,7 +341,7 @@ fn serve_conn(stream: TcpStream, inner: &Arc<SeqInner>) {
         }
     }
     if let Some(id) = member {
-        inner.state.lock().evict(&[id]);
+        evict_and_shutdown(inner, &[id]);
     }
 }
 
@@ -438,7 +453,7 @@ fn writer_loop(
             Some(v.saturating_sub(drained))
         });
         if !written {
-            inner.state.lock().evict(&[id]);
+            evict_and_shutdown(inner, &[id]);
             return;
         }
     }

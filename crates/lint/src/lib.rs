@@ -1,8 +1,8 @@
 //! sirep-lint: workspace invariant checker for SI-Rep.
 //!
-//! Enforces the lock-discipline and determinism invariants the SRCA-Rep
-//! protocol depends on (DESIGN.md §13). Five named rules, each
-//! individually suppressable per-site with a written justification:
+//! Enforces the lock-discipline, determinism, and registry invariants the
+//! SRCA-Rep protocol depends on (DESIGN.md §13, §18). Eleven named rules,
+//! each individually suppressable per-site with a written justification:
 //!
 //! - an inline directive on or directly above the offending line:
 //!   `// sirep-lint: allow(<rule>): <why this site is safe>`
@@ -11,16 +11,25 @@
 //!
 //! A suppression with no justification, a malformed directive, or an
 //! unknown rule name is itself a violation — the suppression mechanism
-//! must not rot silently.
+//! must not rot silently. `--deny-stale` (CI) escalates stale
+//! suppressions from warnings to a failing exit.
+//!
+//! Guard-sensitive rules run over a per-function control-flow graph
+//! ([`cfg`]) with fixed-point may/must guard liveness ([`dataflow`]);
+//! cross-artifact registries (wire tags, journal consumers, chaos
+//! points) are checked by [`registry`].
 
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
+pub mod registry;
 pub mod rules;
 pub mod scopes;
 
 use rules::{
-    CallUnderLockRule, CheckerConfig, JournalGaugeRule, LockClass, LockOrderRule, NoUnwrapRule,
-    NondetRule, Violation, ALL_RULES, RULE_DIRECTIVE,
+    CallUnderLockRule, CheckerConfig, JournalGaugeRule, LockClass, LockCoverageRule, LockOrderRule,
+    NoBlockingRule, NoIoRule, NoUnwrapRule, NondetRule, Violation, ALL_RULES, RULE_DIRECTIVE,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -39,15 +48,24 @@ pub struct TomlSuppress {
 #[derive(Debug)]
 pub struct LintConfig {
     pub checker: CheckerConfig,
+    pub registry: registry::RegistryRules,
     pub roots: Vec<String>,
     pub exclude: Vec<String>,
     pub suppress: Vec<TomlSuppress>,
+}
+
+/// A violation that was suppressed, and how (`"inline"` / `"lint.toml"`).
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub violation: Violation,
+    pub via: String,
 }
 
 /// Result of linting one file (pre-workspace aggregation).
 #[derive(Debug, Default)]
 pub struct FileResult {
     pub violations: Vec<Violation>,
+    pub suppressed: Vec<Suppressed>,
     /// Non-fatal notices (unused suppressions).
     pub warnings: Vec<String>,
 }
@@ -55,9 +73,11 @@ pub struct FileResult {
 #[derive(Debug, Default)]
 pub struct Report {
     pub violations: Vec<Violation>,
+    /// Every suppressed finding, for the JSON report: each one is a
+    /// justified debt the reviewer can audit.
+    pub suppressed: Vec<Suppressed>,
     pub warnings: Vec<String>,
     pub files_scanned: usize,
-    pub suppressed: usize,
 }
 
 fn cfg_err<T>(msg: impl Into<String>) -> Result<T, String> {
@@ -77,6 +97,7 @@ pub fn load_config_str(src: &str) -> Result<LintConfig, String> {
 
     let mut cfg = LintConfig {
         checker: CheckerConfig::default(),
+        registry: registry::RegistryRules::default(),
         roots: vec!["crates".into(), "src".into()],
         exclude: Vec::new(),
         suppress: Vec::new(),
@@ -101,7 +122,15 @@ pub fn load_config_str(src: &str) -> Result<LintConfig, String> {
             acquire_fns: config::get_str_list(tbl, "acquire-fns"),
             param_types: config::get_str_list(tbl, "param-types"),
             held_in_impls: config::get_str_list(tbl, "held-in-impls"),
+            condvars: config::get_str_list(tbl, "condvars"),
+            fields: config::get_str_list(tbl, "fields"),
         };
+        if (!class.condvars.is_empty() || !class.fields.is_empty()) && class.files.is_empty() {
+            return cfg_err(format!(
+                "lint.toml: lock-class `{name}` has condvars/fields but no `files` scope — \
+                 declaration names are ambiguous across crates, scope them"
+            ));
+        }
         if !class.lock_exprs.is_empty() && class.files.is_empty() {
             return cfg_err(format!(
                 "lint.toml: lock-class `{name}` has lock-exprs but no `files` scope — \
@@ -195,6 +224,87 @@ pub fn load_config_str(src: &str) -> Result<LintConfig, String> {
             cfg.checker.lock_order =
                 Some(LockOrderRule { files: config::get_str_list(t, "files") });
         }
+        if let Some(t) = config::get_table(rules_tbl, rules::RULE_NO_IO) {
+            let allow_under = config::get_str_list(t, "allow-under");
+            for class in &allow_under {
+                require_class(&cfg.checker, class)?;
+            }
+            cfg.checker.no_io = Some(NoIoRule {
+                files: config::get_str_list(t, "files"),
+                calls: config::get_str_list(t, "calls"),
+                allow_under,
+            });
+        }
+        if let Some(t) = config::get_table(rules_tbl, rules::RULE_NO_BLOCKING) {
+            cfg.checker.no_blocking = Some(NoBlockingRule {
+                files: config::get_str_list(t, "files"),
+                calls: config::get_str_list(t, "calls"),
+                condvar_waits: config::get_str_list(t, "condvar-waits"),
+            });
+        }
+        if let Some(t) = config::get_table(rules_tbl, rules::RULE_LOCK_COVERAGE) {
+            let mut rule = LockCoverageRule::default();
+            let types = config::get_str_list(t, "types");
+            if !types.is_empty() {
+                rule.types = types;
+            }
+            cfg.checker.lock_coverage = Some(rule);
+        }
+        if let Some(t) = config::get_table(rules_tbl, rules::RULE_WIRE_TAGS) {
+            cfg.registry.wire_tags =
+                Some(registry::WireTagRule { files: config::get_str_list(t, "files") });
+        }
+        if let Some(t) = config::get_table(rules_tbl, rules::RULE_JOURNAL_CONSUMERS) {
+            let enum_file = config::get_str(t, "enum-file")
+                .ok_or("lint.toml: journal-consumer-registry needs `enum-file`")?;
+            let enum_name = config::get_str(t, "enum-name")
+                .ok_or("lint.toml: journal-consumer-registry needs `enum-name`")?;
+            let consumers = config::get_str_list(t, "consumers");
+            if consumers.is_empty() {
+                return cfg_err("lint.toml: journal-consumer-registry needs `consumers`");
+            }
+            let mut ignore = Vec::new();
+            for entry in config::get_str_list(t, "ignore") {
+                // "consumer-file: Variant: why this consumer skips it"
+                let parts: Vec<&str> = entry.splitn(3, ':').map(str::trim).collect();
+                let [file, variant, reason] = parts[..] else {
+                    return cfg_err(format!(
+                        "lint.toml: journal-consumer-registry ignore entry `{entry}` must be \
+                         `<consumer-file>: <Variant>: <reason>`"
+                    ));
+                };
+                if reason.is_empty() {
+                    return cfg_err(format!(
+                        "lint.toml: ignore entry for `{variant}` in `{file}` has no reason — \
+                         every deliberate skip must carry a written justification"
+                    ));
+                }
+                ignore.push(registry::ConsumerIgnore {
+                    file: file.to_string(),
+                    variant: variant.to_string(),
+                    reason: reason.to_string(),
+                });
+            }
+            cfg.registry.journal_consumers =
+                Some(registry::JournalConsumerRule { enum_file, enum_name, consumers, ignore });
+        }
+        if let Some(t) = config::get_table(rules_tbl, rules::RULE_CHAOS_POINTS) {
+            let mut enums = Vec::new();
+            for entry in config::get_str_list(t, "enums") {
+                let Some((file, name)) = entry.split_once(':') else {
+                    return cfg_err(format!(
+                        "lint.toml: chaos-point-registry enum entry `{entry}` must be \
+                         `<file>: <EnumName>`"
+                    ));
+                };
+                enums.push((file.trim().to_string(), name.trim().to_string()));
+            }
+            let hook_files = config::get_str_list(t, "hook-files");
+            if enums.is_empty() || hook_files.is_empty() {
+                return cfg_err("lint.toml: chaos-point-registry needs `enums` and `hook-files`");
+            }
+            cfg.registry.chaos_points = Some(registry::ChaosPointRule { enums, hook_files });
+        }
     }
 
     for tbl in config::get_table_array(&root, "suppress") {
@@ -245,7 +355,6 @@ pub fn check_file(
     src: &str,
     cfg: &LintConfig,
     used_toml: &mut BTreeSet<usize>,
-    suppressed: &mut usize,
 ) -> FileResult {
     let mut res = FileResult::default();
     let (toks, directives) = lexer::lex(src);
@@ -256,6 +365,10 @@ pub fn check_file(
         rules::check_func(f, file, &cfg.checker, &mut raw);
     }
     rules::check_nondet(&toks, &funcs, file, &cfg.checker, &mut raw);
+    rules::check_lock_coverage(&toks, &funcs, file, &cfg.checker, &mut raw);
+    if let Some(rule) = &cfg.registry.wire_tags {
+        registry::check_wire_tags(&funcs, file, rule, &mut raw);
+    }
 
     // Directive hygiene first: malformed, unknown-rule, or reason-less
     // directives are violations in their own right and never suppress.
@@ -305,7 +418,7 @@ pub fn check_file(
             if let Some(ds) = valid.get(&l) {
                 if ds.iter().any(|d| d.rule == v.rule) {
                     used_inline.insert(l);
-                    *suppressed += 1;
+                    res.suppressed.push(Suppressed { violation: v, via: "inline".into() });
                     continue 'viol;
                 }
             }
@@ -317,7 +430,7 @@ pub fn check_file(
                 && s.contains.as_deref().is_none_or(|c| v.msg.contains(c))
             {
                 used_toml.insert(idx);
-                *suppressed += 1;
+                res.suppressed.push(Suppressed { violation: v, via: "lint.toml".into() });
                 continue 'viol;
             }
         }
@@ -350,6 +463,7 @@ pub fn run(workspace_root: &Path, cfg: &LintConfig) -> Result<Report, String> {
 
     let mut report = Report::default();
     let mut used_toml: BTreeSet<usize> = BTreeSet::new();
+    let mut scan = registry::Scan::default();
     for path in files {
         let rel =
             path.strip_prefix(workspace_root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
@@ -359,9 +473,29 @@ pub fn run(workspace_root: &Path, cfg: &LintConfig) -> Result<Report, String> {
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         report.files_scanned += 1;
-        let res = check_file(&rel, &src, cfg, &mut used_toml, &mut report.suppressed);
+        let res = check_file(&rel, &src, cfg, &mut used_toml);
         report.violations.extend(res.violations);
+        report.suppressed.extend(res.suppressed);
         report.warnings.extend(res.warnings);
+        let (toks, _) = lexer::lex(&src);
+        scan.scan_file(&rel, &toks, &scopes::extract_funcs(&toks), &cfg.registry);
+    }
+    // Cross-file registry findings; suppressible via lint.toml only (there
+    // is no single source line to hang an inline directive on).
+    let mut registry_raw = Vec::new();
+    scan.finish(&cfg.registry, &mut registry_raw);
+    'reg: for v in registry_raw {
+        for (idx, s) in cfg.suppress.iter().enumerate() {
+            if s.rule == v.rule
+                && rules::file_matches(&v.file, &s.file)
+                && s.contains.as_deref().is_none_or(|c| v.msg.contains(c))
+            {
+                used_toml.insert(idx);
+                report.suppressed.push(Suppressed { violation: v, via: "lint.toml".into() });
+                continue 'reg;
+            }
+        }
+        report.violations.push(v);
     }
     for (idx, s) in cfg.suppress.iter().enumerate() {
         if !used_toml.contains(&idx) {
@@ -373,6 +507,52 @@ pub fn run(workspace_root: &Path, cfg: &LintConfig) -> Result<Report, String> {
     }
     report.violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(report)
+}
+
+/// Render a [`Report`] as the `results/LINT.json` machine-readable form.
+/// Hand-rolled (the lint crate is dependency-free); strings are escaped
+/// per JSON's required set.
+pub fn report_to_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn viol(v: &Violation, suppressed: Option<&str>) -> String {
+        let mut s = format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"msg\":\"{}\"",
+            esc(&v.rule),
+            esc(&v.file),
+            v.line,
+            esc(&v.msg)
+        );
+        match suppressed {
+            Some(via) => s.push_str(&format!(",\"suppressed\":true,\"via\":\"{}\"}}", esc(via))),
+            None => s.push_str(",\"suppressed\":false}"),
+        }
+        s
+    }
+    let violations: Vec<String> = report.violations.iter().map(|v| viol(v, None)).collect();
+    let suppressed: Vec<String> =
+        report.suppressed.iter().map(|s| viol(&s.violation, Some(&s.via))).collect();
+    let warnings: Vec<String> = report.warnings.iter().map(|w| format!("\"{}\"", esc(w))).collect();
+    format!(
+        "{{\n\"files_scanned\":{},\n\"violations\":[{}],\n\"suppressed\":[{}],\n\"warnings\":[{}]\n}}\n",
+        report.files_scanned,
+        violations.join(","),
+        suppressed.join(","),
+        warnings.join(",")
+    )
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -420,8 +600,7 @@ requires = "node-state"
 
     fn lint_one(cfg: &LintConfig, src: &str) -> FileResult {
         let mut used = BTreeSet::new();
-        let mut supp = 0;
-        check_file("node.rs", src, cfg, &mut used, &mut supp)
+        check_file("node.rs", src, cfg, &mut used)
     }
 
     #[test]

@@ -2,9 +2,16 @@
 //!
 //! ```text
 //! sirep-lint [--root <dir>] [--config <lint.toml>] [--quiet]
+//!            [--json <path>] [--deny-stale]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 config/usage error.
+//! `--json` writes a machine-readable report (violations, suppressed
+//! findings with their suppression channel, warnings) for CI artifact
+//! upload. `--deny-stale` escalates stale-suppression warnings to a
+//! failing exit — CI runs with it so dead suppressions cannot accumulate.
+//!
+//! Exit codes: 0 clean, 1 violations found (or stale suppressions under
+//! `--deny-stale`), 2 config/usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -13,6 +20,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut json: Option<PathBuf> = None;
+    let mut deny_stale = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -25,9 +34,17 @@ fn main() -> ExitCode {
                 Some(v) => config = Some(PathBuf::from(v)),
                 None => return usage("--config needs a value"),
             },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--deny-stale" => deny_stale = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
-                println!("sirep-lint [--root <dir>] [--config <lint.toml>] [--quiet]");
+                println!(
+                    "sirep-lint [--root <dir>] [--config <lint.toml>] [--quiet] \
+                     [--json <path>] [--deny-stale]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
@@ -51,21 +68,36 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &json {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, sirep_lint::report_to_json(&report)) {
+            eprintln!("sirep-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     for v in &report.violations {
         println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
     }
-    if !quiet {
+    let stale_fail = deny_stale && !report.warnings.is_empty();
+    if !quiet || stale_fail {
         for w in &report.warnings {
-            eprintln!("warning: {w}");
+            if stale_fail {
+                eprintln!("error (--deny-stale): {w}");
+            } else {
+                eprintln!("warning: {w}");
+            }
         }
         eprintln!(
             "sirep-lint: {} file(s), {} violation(s), {} suppressed",
             report.files_scanned,
             report.violations.len(),
-            report.suppressed
+            report.suppressed.len()
         );
     }
-    if report.violations.is_empty() {
+    if report.violations.is_empty() && !stale_fail {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -74,6 +106,9 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("sirep-lint: {msg}");
-    eprintln!("usage: sirep-lint [--root <dir>] [--config <lint.toml>] [--quiet]");
+    eprintln!(
+        "usage: sirep-lint [--root <dir>] [--config <lint.toml>] [--quiet] \
+         [--json <path>] [--deny-stale]"
+    );
     ExitCode::from(2)
 }

@@ -1,0 +1,11 @@
+//! Failing: lock declarations with no lint.toml class.
+
+struct Node {
+    /// Classified: `state` heads the node-state class's lock-exprs.
+    state: Mutex<NodeState>,
+    /// Unclassified field — invisible to every guard rule.
+    stray: Mutex<u64>,
+}
+
+/// Unclassified type alias.
+type ScratchRegistry = Arc<Mutex<Vec<u64>>>;

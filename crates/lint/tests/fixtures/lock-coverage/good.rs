@@ -1,0 +1,29 @@
+//! Passing: every declaration maps to a class; uses, borrows, and
+//! imports are not declarations.
+
+use parking_lot::{Condvar, Mutex};
+
+struct Node {
+    state: Mutex<NodeState>,
+    cond: Condvar,
+}
+
+/// A borrowed parameter is not a declaration.
+fn inspect(m: &Mutex<u64>) -> u64 {
+    *m.lock()
+}
+
+fn build() {
+    // Expression position: construction, not declaration.
+    let g = Mutex::new(0u64);
+    drop(g);
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test-scoped scratch locks are exempt.
+    fn scratch() {
+        let pad: Mutex<u64> = Mutex::new(0);
+        drop(pad);
+    }
+}

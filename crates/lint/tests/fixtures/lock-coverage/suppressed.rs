@@ -1,0 +1,6 @@
+//! Suppressed: a justified unclassified lock.
+
+struct Bench {
+    // sirep-lint: allow(lock-coverage): benchmark-only scratch pad, never reachable from a protocol thread
+    pad: Mutex<u64>,
+}

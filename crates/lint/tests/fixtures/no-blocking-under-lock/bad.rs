@@ -1,0 +1,29 @@
+//! Failing: blocking while holding a protocol lock.
+
+impl Node {
+    /// The wait is paired with `state` — but `aux` is also held, and a
+    /// parked thread must hold nothing but the paired mutex.
+    fn wait_with_extra_lock(&self) {
+        let aux = self.aux.lock();
+        let mut st = self.state.lock();
+        self.cond.wait_for(&mut st, TICK);
+        drop(st);
+        drop(aux);
+    }
+
+    /// A channel receive can block indefinitely; no declared lock may be
+    /// held across it.
+    fn recv_under_lock(&self) -> Msg {
+        let st = self.state.lock();
+        let msg = self.rx.recv();
+        drop(st);
+        msg
+    }
+
+    /// `other_cond` is not declared as any lock class's condvar, so the
+    /// pairing cannot be checked — flagged.
+    fn unpaired_wait(&self) {
+        let mut g = self.aux.lock();
+        self.other_cond.wait(&mut g);
+    }
+}

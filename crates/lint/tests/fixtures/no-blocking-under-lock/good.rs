@@ -1,0 +1,22 @@
+//! Passing: waits hold exactly their paired mutex; receives happen after
+//! release.
+
+impl Node {
+    fn paired_wait(&self) {
+        let mut st = self.state.lock();
+        while st.pending() {
+            self.cond.wait_for(&mut st, TICK);
+        }
+        drop(st);
+    }
+
+    fn recv_outside(&self) -> Msg {
+        let wanted = {
+            let st = self.state.lock();
+            st.wanted()
+        };
+        let msg = self.rx.recv();
+        self.check(wanted, &msg);
+        msg
+    }
+}

@@ -1,0 +1,25 @@
+//! Failing: socket syscalls while the node-state guard may be live.
+
+impl Node {
+    /// The shape of the sequencer-evict bug: a shutdown syscall per dead
+    /// peer, all under the lock that orders the whole group.
+    fn evict_bad(&self, ids: &[u64]) {
+        let mut st = self.state.lock();
+        for id in ids {
+            if let Some(conn) = st.members.remove(id) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+        drop(st);
+    }
+
+    /// Dropped on one branch only: the fall-through still may-holds the
+    /// guard, so the write is flagged.
+    fn may_path_bad(&self, fast: bool) {
+        let st = self.state.lock();
+        if fast {
+            drop(st);
+        }
+        let _ = self.out.write_all(b"advert");
+    }
+}

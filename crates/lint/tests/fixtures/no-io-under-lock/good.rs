@@ -1,0 +1,34 @@
+//! Passing: materialize under the lock, do the I/O after release — and
+//! I/O under the declared writer lock, which exists to serialize frames.
+
+impl Node {
+    fn evict_good(&self, ids: &[u64]) {
+        let streams = {
+            let mut st = self.state.lock();
+            st.take_streams(ids)
+        };
+        for s in streams {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// The frame-writer lock is `allow-under`: holding it across the
+    /// write is the point, not a bug.
+    fn framed_write(&self, frame: &[u8]) {
+        let mut w = self.write.lock();
+        let _ = w.write_all(frame);
+        let _ = w.flush();
+    }
+
+    /// Early-release branch: flush runs only on the path where the guard
+    /// was dropped.
+    fn branch_release(&self, done: bool) {
+        let st = self.state.lock();
+        if done {
+            drop(st);
+            let _ = self.out.flush();
+            return;
+        }
+        st.touch();
+    }
+}

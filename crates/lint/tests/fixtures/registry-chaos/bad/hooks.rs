@@ -1,0 +1,3 @@
+pub fn commit(chaos: &Chaos) {
+    chaos.crash_point(CrashPoint::PreCommit);
+}

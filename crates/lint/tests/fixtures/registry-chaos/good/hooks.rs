@@ -1,0 +1,7 @@
+pub fn commit(chaos: &Chaos) {
+    chaos.crash_point(CrashPoint::PreCommit);
+}
+
+pub fn apply(chaos: &Chaos) {
+    chaos.crash_point(CrashPoint::PostApply);
+}

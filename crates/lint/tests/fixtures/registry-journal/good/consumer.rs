@@ -1,0 +1,15 @@
+pub fn consume(e: &EventKind) {
+    match e {
+        EventKind::Commit { .. } => {}
+        EventKind::Abort => {}
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test-only consumption must not count: `Trace` stays ignored.
+    fn t() {
+        let _ = EventKind::Trace;
+    }
+}

@@ -1,0 +1,5 @@
+pub enum EventKind {
+    Commit { tid: u64 },
+    Abort,
+    Trace,
+}

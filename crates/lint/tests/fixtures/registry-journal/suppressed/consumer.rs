@@ -1,0 +1,6 @@
+pub fn consume(e: &EventKind) {
+    match e {
+        EventKind::Commit { .. } => {}
+        _ => {}
+    }
+}

@@ -1,0 +1,4 @@
+pub enum EventKind {
+    Commit { tid: u64 },
+    Abort,
+}

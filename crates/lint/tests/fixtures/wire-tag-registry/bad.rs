@@ -1,0 +1,41 @@
+//! Failing: asymmetric tag sets and a duplicated encode tag.
+
+/// Encodes tag 2 that no decode arm accepts.
+impl Wire for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Data(p) => {
+                out.push(0);
+                p.encode(out);
+            }
+            Frame::View(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+            Frame::Probe => out.push(2),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Frame::Data(Payload::decode(r)?)),
+            1 => Ok(Frame::View(View::decode(r)?)),
+            _ => Err(WireError::Corrupt("frame tag")),
+        }
+    }
+}
+
+/// Two variants share tag 0: the decoder cannot tell them apart.
+impl Wire for Dup {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Dup::X => out.push(0),
+            Dup::Y => out.push(0),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Dup::X),
+            _ => Err(WireError::Corrupt("dup tag")),
+        }
+    }
+}

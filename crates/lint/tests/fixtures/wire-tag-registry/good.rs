@@ -1,0 +1,33 @@
+//! Passing: encode and decode agree tag-for-tag; tag-free impls are
+//! skipped entirely.
+
+impl Wire for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Data(p) => {
+                out.push(0);
+                p.encode(out);
+            }
+            Frame::Probe => out.push(1),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Frame::Data(Payload::decode(r)?)),
+            1 => Ok(Frame::Probe),
+            _ => Err(WireError::Corrupt("frame tag")),
+        }
+    }
+}
+
+/// No tag bytes on either side: plain field forwarding, including
+/// tuple-index `self.0.encode` which is not a tag literal.
+impl Wire for Pair {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Pair(u64::decode(r)?, u64::decode(r)?))
+    }
+}

@@ -1,0 +1,20 @@
+//! Suppressed: a justified tag asymmetry (version-skew shim).
+
+impl Wire for Legacy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Legacy::Current(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    // sirep-lint: allow(wire-tag-registry): decode still accepts retired tag 0 frames from pre-upgrade peers; encode intentionally never emits it
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Legacy::Current(V::migrate(r)?)),
+            1 => Ok(Legacy::Current(V::decode(r)?)),
+            _ => Err(WireError::Corrupt("legacy tag")),
+        }
+    }
+}

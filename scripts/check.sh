@@ -91,7 +91,21 @@ echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> sirep-lint (workspace invariant checker; see lint.toml)"
-cargo run --offline -q -p sirep-lint -- --root .
+# Build first so the wall-clock budget below measures analysis, not
+# compilation. --deny-stale: a suppression matching nothing is an error
+# here and in CI, so dead justifications cannot accumulate. The JSON
+# report is what CI uploads as an artifact when the gate fails.
+cargo build --offline -q -p sirep-lint
+LINT_START=$SECONDS
+cargo run --offline -q -p sirep-lint -- --root . --json results/LINT.json --deny-stale
+LINT_ELAPSED=$(( SECONDS - LINT_START ))
+echo "    sirep-lint wall clock: ${LINT_ELAPSED}s"
+if (( LINT_ELAPSED > 20 )); then
+    echo "FAIL: sirep-lint took ${LINT_ELAPSED}s (budget: 20s). The analysis runs on every"
+    echo "      commit; if it cannot stay inside the budget, fix the regression (the CFG"
+    echo "      pass is expected to be linear in tokens per function)."
+    exit 1
+fi
 
 echo "==> cargo build (trace feature disabled — the no-op observability path)"
 cargo build --offline -p si-rep --no-default-features
